@@ -1,0 +1,115 @@
+//! Micro-benchmarks of the substrate: QoS routing, the event queue, the
+//! chain solver and the two distributed transports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sflow_core::baseline::ChainSolver;
+use sflow_net::topology::{self, LinkProfile};
+use sflow_net::ServiceId;
+use sflow_routing::{classic, shortest_widest};
+use sflow_runtime::{run_actors, RuntimeConfig};
+use sflow_sim::{run_distributed, EventQueue, SimConfig, SimTime};
+use sflow_workload::generator::{build_trial, RequirementKind};
+
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/routing");
+    for n in [25usize, 50, 100] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let net = topology::waxman(n, 0.25, 0.25, &LinkProfile::default(), &mut rng);
+        let graph = net.graph();
+        let src = graph.node_ids().next().unwrap();
+        g.bench_with_input(BenchmarkId::new("shortest-widest-exact", n), &n, |b, _| {
+            b.iter(|| shortest_widest::single_source(graph, src))
+        });
+        g.bench_with_input(BenchmarkId::new("shortest-widest-lex", n), &n, |b, _| {
+            b.iter(|| shortest_widest::single_source_lexicographic(graph, src))
+        });
+        g.bench_with_input(BenchmarkId::new("widest", n), &n, |b, _| {
+            b.iter(|| classic::widest(graph, src))
+        });
+        g.bench_with_input(BenchmarkId::new("shortest", n), &n, |b, _| {
+            b.iter(|| classic::shortest(graph, src))
+        });
+    }
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("micro/event-queue/push-pop-10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                // Reversed times exercise the heap.
+                q.push(SimTime::from_micros(10_000 - i), i);
+            }
+            let mut last = 0;
+            while let Some((_, e)) = q.pop() {
+                last = e;
+            }
+            last
+        })
+    });
+}
+
+fn bench_chain_solver(c: &mut Criterion) {
+    let trial = build_trial(40, 8, 4, RequirementKind::Path, 99, 0);
+    let ctx = trial.fixture.context();
+    let chain: Vec<ServiceId> = trial.requirement.topo_order();
+    c.bench_function("micro/chain-solver/8x4", |b| {
+        b.iter(|| ChainSolver::new(&ctx).solve(&chain))
+    });
+}
+
+fn bench_transports(c: &mut Criterion) {
+    let trial = build_trial(30, 6, 3, RequirementKind::Dag, 77, 0);
+    let ctx = trial.fixture.context();
+    let mut g = c.benchmark_group("micro/transport");
+    g.bench_function("event-simulation", |b| {
+        b.iter(|| run_distributed(&ctx, &trial.requirement, &SimConfig::default()))
+    });
+    g.bench_function("actor-runtime", |b| {
+        b.iter(|| run_actors(&ctx, &trial.requirement, &RuntimeConfig::default()))
+    });
+    g.finish();
+}
+
+fn bench_linkstate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/linkstate-flood");
+    for n in [20usize, 50] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let net = topology::waxman(n, 0.25, 0.25, &LinkProfile::default(), &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| sflow_sim::linkstate::flood_link_state(&net))
+        });
+    }
+    g.finish();
+}
+
+fn bench_repair(c: &mut Criterion) {
+    use sflow_core::algorithms::{FederationAlgorithm, SflowAlgorithm};
+    use sflow_core::{repair::repair, FederationContext};
+    let trial = build_trial(30, 6, 3, RequirementKind::Dag, 123, 0);
+    let ctx = trial.fixture.context();
+    let flow = SflowAlgorithm::default()
+        .federate(&ctx, &trial.requirement)
+        .expect("federates");
+    let victim = flow.instances()[&trial.requirement.sinks()[0]];
+    let degraded = trial.fixture.overlay.without_instances(&[victim]);
+    let ap = degraded.all_pairs();
+    let source = degraded
+        .node_of(trial.fixture.overlay.instance(trial.fixture.source))
+        .expect("source survives");
+    let ctx2 = FederationContext::new(&degraded, &ap, source);
+    c.bench_function("micro/repair/one-failure", |b| {
+        b.iter(|| repair(&ctx2, &trial.requirement, &flow))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_routing, bench_event_queue, bench_chain_solver, bench_transports,
+              bench_linkstate, bench_repair
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every `benches/fig10*.rs` target regenerates its figure's series (printed
+//! once, before timing) and then benchmarks the computation behind it, so
+//! `cargo bench` both *reports* the reproduced figure and *measures* the
+//! algorithms. `benches/ablations.rs` does the same for the design-choice
+//! ablations, and `benches/micro.rs` covers the substrate (routing, event
+//! queue, chain solver).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sflow_workload::experiments::SweepConfig;
+
+/// The sweep used when a bench regenerates a figure's series: the paper's
+/// sizes with fewer trials, so `cargo bench` stays fast while the series
+/// shape is still visible.
+pub fn bench_sweep() -> SweepConfig {
+    SweepConfig {
+        trials: 8,
+        ..SweepConfig::default()
+    }
+}
+
+/// The world sizes benchmarks time individual federations at.
+pub const BENCH_SIZES: [usize; 3] = [10, 30, 50];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_sweep_keeps_paper_sizes() {
+        assert_eq!(bench_sweep().sizes, vec![10, 20, 30, 40, 50]);
+        assert_eq!(bench_sweep().trials, 8);
+    }
+}

@@ -1,0 +1,179 @@
+//! The service abstract graph (Sec. 3.1, Fig. 6 of the paper).
+//!
+//! The abstract graph connects a [`ServiceRequirement`] to an overlay: every
+//! required service becomes a *service abstract node* populated with that
+//! service's instances, and two instances are linked whenever their services
+//! are linked in the requirement. Each abstract edge is labelled with the
+//! QoS of the shortest-widest overlay path between the two instances.
+
+use std::collections::HashMap;
+
+use sflow_graph::{DiGraph, NodeIx};
+use sflow_net::{ServiceId, ServiceInstance};
+use sflow_routing::Qos;
+
+use crate::{FederationContext, FederationError, ServiceRequirement};
+
+/// One populated instance inside an abstract node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AbstractInstance {
+    /// Which required service this instance populates.
+    pub service: ServiceId,
+    /// The instance's node in the *overlay* graph.
+    pub overlay_node: NodeIx,
+    /// The (service, host) pair, for display.
+    pub instance: ServiceInstance,
+}
+
+/// The service abstract graph.
+#[derive(Clone, Debug)]
+pub struct AbstractGraph {
+    graph: DiGraph<AbstractInstance, Qos>,
+    by_service: HashMap<ServiceId, Vec<NodeIx>>,
+}
+
+impl AbstractGraph {
+    /// Builds the abstract graph for `req` over the context's overlay.
+    ///
+    /// Instances of the requirement's source service are restricted to the
+    /// context's pinned source instance (the consumer has already delivered
+    /// the requirement there); every other service contributes all of its
+    /// instances. Abstract edges are added only where the overlay actually
+    /// connects the two instances.
+    ///
+    /// # Errors
+    ///
+    /// * [`FederationError::SourceMismatch`] if the pinned instance does not
+    ///   provide the requirement's source service;
+    /// * [`FederationError::NoInstances`] if some required service has no
+    ///   instance in the overlay.
+    pub fn build(
+        ctx: &FederationContext<'_>,
+        req: &ServiceRequirement,
+    ) -> Result<Self, FederationError> {
+        let source_service = ctx.source().service;
+        if source_service != req.source() {
+            return Err(FederationError::SourceMismatch {
+                required: req.source(),
+                provided: source_service,
+            });
+        }
+        let overlay = ctx.overlay();
+        let mut graph = DiGraph::new();
+        let mut by_service: HashMap<ServiceId, Vec<NodeIx>> = HashMap::new();
+        for sid in req.services() {
+            let overlay_nodes: Vec<NodeIx> = if sid == req.source() {
+                vec![ctx.source_instance()]
+            } else {
+                overlay.instances_of(sid).to_vec()
+            };
+            if overlay_nodes.is_empty() {
+                return Err(FederationError::NoInstances(sid));
+            }
+            for on in overlay_nodes {
+                let a = graph.add_node(AbstractInstance {
+                    service: sid,
+                    overlay_node: on,
+                    instance: overlay.instance(on),
+                });
+                by_service.entry(sid).or_default().push(a);
+            }
+        }
+        for (from_s, to_s) in req.edges() {
+            for &fa in &by_service[&from_s] {
+                for &ta in &by_service[&to_s] {
+                    let fo = graph.node(fa).overlay_node;
+                    let to = graph.node(ta).overlay_node;
+                    if let Some(qos) = ctx.qos(fo, to) {
+                        graph.add_edge(fa, ta, qos);
+                    }
+                }
+            }
+        }
+        Ok(AbstractGraph { graph, by_service })
+    }
+
+    /// The abstract graph itself.
+    pub fn graph(&self) -> &DiGraph<AbstractInstance, Qos> {
+        &self.graph
+    }
+
+    /// The abstract nodes populating `service` (empty if not required).
+    pub fn instances_of(&self, service: ServiceId) -> &[NodeIx] {
+        self.by_service
+            .get(&service)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Total number of populated instances across all abstract nodes.
+    pub fn instance_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of abstract edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Renders the abstract graph as Graphviz DOT (the paper's Fig. 6 view:
+    /// abstract nodes populated with `SID/NID` instances, edges labelled
+    /// with shortest-widest QoS).
+    pub fn to_dot(&self) -> String {
+        sflow_graph::dot::to_dot(
+            &self.graph,
+            &sflow_graph::dot::DotOptions {
+                name: "abstract_graph".into(),
+                ..Default::default()
+            },
+            |_, a| a.instance.to_string(),
+            |e| e.weight.to_string(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::line_fixture;
+    use sflow_net::ServiceId;
+
+    #[test]
+    fn abstract_graph_populates_and_links() {
+        let fx = line_fixture();
+        let ctx = fx.context();
+        let req =
+            ServiceRequirement::path(&[ServiceId::new(0), ServiceId::new(1), ServiceId::new(2)])
+                .unwrap();
+        let ag = AbstractGraph::build(&ctx, &req).unwrap();
+        // source restricted to 1, two s1 instances, one s2 instance.
+        assert_eq!(ag.instance_count(), 4);
+        assert_eq!(ag.instances_of(ServiceId::new(1)).len(), 2);
+        // Edges: 1×2 (s0→s1) + 2×1 (s1→s2) = 4.
+        assert_eq!(ag.edge_count(), 4);
+        assert!(ag.instances_of(ServiceId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn missing_instances_error() {
+        let fx = line_fixture();
+        let ctx = fx.context();
+        let req = ServiceRequirement::path(&[ServiceId::new(0), ServiceId::new(9)]).unwrap();
+        assert_eq!(
+            AbstractGraph::build(&ctx, &req).unwrap_err(),
+            FederationError::NoInstances(ServiceId::new(9))
+        );
+    }
+
+    #[test]
+    fn source_mismatch_error() {
+        let fx = line_fixture();
+        let ctx = fx.context();
+        // Requirement whose source is s1, but the context pins an s0 instance.
+        let req = ServiceRequirement::path(&[ServiceId::new(1), ServiceId::new(2)]).unwrap();
+        assert!(matches!(
+            AbstractGraph::build(&ctx, &req).unwrap_err(),
+            FederationError::SourceMismatch { .. }
+        ));
+    }
+}

@@ -1,0 +1,129 @@
+//! The "fixed" control algorithm of Sec. 5.
+//!
+//! "The fixed algorithm always chooses the direct downstream with the
+//! highest available bandwidth that leads to the corresponding downstream
+//! service in the service requirement."
+
+use std::collections::BTreeMap;
+
+use sflow_graph::NodeIx;
+use sflow_routing::Qos;
+
+use crate::algorithms::FederationAlgorithm;
+use crate::{FederationContext, FederationError, FlowGraph, ServiceRequirement};
+
+/// Greedy federation, paper-literal: each selected node, in requirement
+/// topological order, picks for each of its unselected downstream services
+/// the instance with the widest *direct* service link from itself (ties:
+/// lower latency, then instance order). At merging services, whichever
+/// upstream comes first in topological order decides — the other upstream's
+/// links are not consulted, just as a hop-by-hop greedy cannot.
+///
+/// Greedy local choices ignore downstream consequences, which is exactly the
+/// failure mode Fig. 10 attributes to this control: "high success rates only
+/// when the optimal service flow graph contains all the links with the
+/// highest bandwidth".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FixedAlgorithm;
+
+impl FederationAlgorithm for FixedAlgorithm {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn federate(
+        &self,
+        ctx: &FederationContext<'_>,
+        req: &ServiceRequirement,
+    ) -> Result<FlowGraph, FederationError> {
+        let overlay = ctx.overlay();
+        let mut selection: BTreeMap<_, _> = [(req.source(), ctx.source_instance())]
+            .into_iter()
+            .collect();
+        for sid in req.topo_order() {
+            let Some(&me) = selection.get(&sid) else {
+                // Can happen only if some upstream failed to pick us, which
+                // the loop below prevents; defensive.
+                return Err(FederationError::NoFeasibleSelection);
+            };
+            for d in req.downstream(sid) {
+                if selection.contains_key(&d) {
+                    continue; // an earlier upstream already decided
+                }
+                let cands = overlay.instances_of(d);
+                if cands.is_empty() {
+                    return Err(FederationError::NoInstances(d));
+                }
+                let mut best: Option<(NodeIx, Qos)> = None;
+                for &c in cands {
+                    let Some(direct) = overlay
+                        .graph()
+                        .find_edge(me, c)
+                        .map(|e| *overlay.graph().edge(e))
+                    else {
+                        continue;
+                    };
+                    if best.map_or(true, |(_, bq)| direct.is_better_than(&bq)) {
+                        best = Some((c, direct));
+                    }
+                }
+                let Some((chosen, _)) = best else {
+                    return Err(FederationError::NoFeasibleSelection);
+                };
+                selection.insert(d, chosen);
+            }
+        }
+        FlowGraph::assemble(ctx, req, &selection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{diamond_fixture, diamond_requirement, line_fixture};
+    use sflow_net::ServiceId;
+    use sflow_routing::Bandwidth;
+
+    fn s(i: u32) -> ServiceId {
+        ServiceId::new(i)
+    }
+
+    #[test]
+    fn greedy_picks_widest_first_hop() {
+        let fx = line_fixture();
+        let ctx = fx.context();
+        let req = ServiceRequirement::path(&[s(0), s(1), s(2)]).unwrap();
+        let flow = FixedAlgorithm.federate(&ctx, &req).unwrap();
+        // Greedy takes the widest direct link s0→s1 (h1, bw 10).
+        let h = ctx
+            .overlay()
+            .instance(flow.instance_for(s(1)).unwrap())
+            .host;
+        assert_eq!(h.as_u32(), 1);
+        assert_eq!(flow.bandwidth(), Bandwidth::kbps(6));
+        assert_eq!(FixedAlgorithm.name(), "fixed");
+    }
+
+    #[test]
+    fn handles_merging_services() {
+        let fx = diamond_fixture();
+        let ctx = fx.context();
+        let flow = FixedAlgorithm
+            .federate(&ctx, &diamond_requirement())
+            .unwrap();
+        assert_eq!(flow.selection().len(), 4);
+        // Greedy is at most as good as the optimum (80 kbps here).
+        assert!(flow.bandwidth() <= Bandwidth::kbps(80));
+    }
+
+    #[test]
+    fn missing_instances_error() {
+        let fx = line_fixture();
+        let ctx = fx.context();
+        let req = ServiceRequirement::path(&[s(0), s(9)]).unwrap();
+        assert_eq!(
+            FixedAlgorithm.federate(&ctx, &req).unwrap_err(),
+            FederationError::NoInstances(s(9))
+        );
+    }
+}

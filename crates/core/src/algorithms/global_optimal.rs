@@ -1,0 +1,261 @@
+//! Exhaustive search for the globally optimal service flow graph.
+//!
+//! The paper uses the global optimum as the benchmark for the correctness
+//! coefficient (Sec. 5). Since the Maximum Service Flow Graph Problem is
+//! NP-complete (Theorem 1), this is inherently exponential in the number of
+//! required services; at the paper's scales (≤ ~10 required services with
+//! 2–4 instances each) it is perfectly tractable, especially with the
+//! bottleneck-based pruning below.
+
+use std::collections::BTreeMap;
+
+use sflow_graph::{algo, NodeIx};
+use sflow_net::ServiceId;
+use sflow_routing::{Bandwidth, Latency};
+
+use crate::algorithms::FederationAlgorithm;
+use crate::{FederationContext, FederationError, FlowGraph, ServiceRequirement};
+
+/// Exhaustive instance-selection search under the shortest-widest order,
+/// pruning any partial selection whose bottleneck is already strictly below
+/// the incumbent's.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GlobalOptimalAlgorithm;
+
+struct Search<'a, 'c> {
+    ctx: &'a FederationContext<'c>,
+    req: &'a ServiceRequirement,
+    order: Vec<ServiceId>,
+    /// For each position i, the requirement in-edges of order[i] whose
+    /// upstream appears earlier in `order` (all of them, by topo order).
+    in_edges: Vec<Vec<ServiceId>>,
+    candidates: Vec<Vec<NodeIx>>,
+    best: Option<(BTreeMap<ServiceId, NodeIx>, Bandwidth, Latency)>,
+}
+
+impl Search<'_, '_> {
+    fn evaluate(&self, selection: &BTreeMap<ServiceId, NodeIx>) -> Option<(Bandwidth, Latency)> {
+        let mut bw = Bandwidth::INFINITE;
+        for (a, b) in self.req.edges() {
+            let q = self.ctx.qos(selection[&a], selection[&b])?;
+            bw = bw.bottleneck(q.bandwidth);
+        }
+        let g = self.req.graph();
+        let src = self.req.node_of(self.req.source())?;
+        let dist = algo::dag_longest_paths(g, src, |e| {
+            let (a, b) = (*g.node(e.from), *g.node(e.to));
+            self.ctx
+                .qos(selection[&a], selection[&b])
+                .expect("checked above")
+                .latency
+                .as_micros()
+        })
+        .ok()?;
+        let lat = self
+            .req
+            .sinks()
+            .iter()
+            .filter_map(|s| dist[self.req.node_of(*s)?.index()])
+            .max()
+            .map(Latency::from_micros)
+            .unwrap_or(Latency::ZERO);
+        Some((bw, lat))
+    }
+
+    fn dfs(
+        &mut self,
+        pos: usize,
+        selection: &mut BTreeMap<ServiceId, NodeIx>,
+        partial_bw: Bandwidth,
+    ) {
+        if pos == self.order.len() {
+            if let Some((bw, lat)) = self.evaluate(selection) {
+                let better = match &self.best {
+                    None => true,
+                    Some((_, bbw, blat)) => bw > *bbw || (bw == *bbw && lat < *blat),
+                };
+                if better {
+                    self.best = Some((selection.clone(), bw, lat));
+                }
+            }
+            return;
+        }
+        let sid = self.order[pos];
+        let cands = self.candidates[pos].clone();
+        for n in cands {
+            // Bottleneck over the in-edges this choice completes.
+            let mut bw = partial_bw;
+            let mut feasible = true;
+            for up in &self.in_edges[pos] {
+                match self.ctx.qos(selection[up], n) {
+                    Some(q) => bw = bw.bottleneck(q.bandwidth),
+                    None => {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+            if !feasible {
+                continue;
+            }
+            // Prune: a partial bottleneck strictly below the incumbent's can
+            // never win (extending only lowers it further).
+            if let Some((_, best_bw, _)) = &self.best {
+                if bw < *best_bw {
+                    continue;
+                }
+            }
+            selection.insert(sid, n);
+            self.dfs(pos + 1, selection, bw);
+            selection.remove(&sid);
+        }
+    }
+}
+
+impl FederationAlgorithm for GlobalOptimalAlgorithm {
+    fn name(&self) -> &'static str {
+        "global-optimal"
+    }
+
+    fn federate(
+        &self,
+        ctx: &FederationContext<'_>,
+        req: &ServiceRequirement,
+    ) -> Result<FlowGraph, FederationError> {
+        let order = req.topo_order();
+        let mut candidates = Vec::with_capacity(order.len());
+        let mut in_edges = Vec::with_capacity(order.len());
+        for &sid in &order {
+            if sid == req.source() {
+                candidates.push(vec![ctx.source_instance()]);
+            } else {
+                let c = ctx.overlay().instances_of(sid);
+                if c.is_empty() {
+                    return Err(FederationError::NoInstances(sid));
+                }
+                candidates.push(c.to_vec());
+            }
+            in_edges.push(req.upstream(sid));
+        }
+        let mut search = Search {
+            ctx,
+            req,
+            order,
+            in_edges,
+            candidates,
+            best: None,
+        };
+        let mut selection = BTreeMap::new();
+        search.dfs(0, &mut selection, Bandwidth::INFINITE);
+        match search.best {
+            Some((sel, _, _)) => FlowGraph::assemble(ctx, req, &sel),
+            None => Err(FederationError::NoFeasibleSelection),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{diamond_fixture, diamond_requirement, line_fixture, random_fixture};
+
+    fn brute_force_best(
+        ctx: &FederationContext<'_>,
+        req: &ServiceRequirement,
+    ) -> Option<(Bandwidth, Latency)> {
+        // Unpruned exhaustive enumeration as an oracle.
+        let order = req.topo_order();
+        let mut cands: Vec<Vec<NodeIx>> = Vec::new();
+        for &sid in &order {
+            if sid == req.source() {
+                cands.push(vec![ctx.source_instance()]);
+            } else {
+                cands.push(ctx.overlay().instances_of(sid).to_vec());
+            }
+        }
+        let mut best: Option<(Bandwidth, Latency)> = None;
+        let mut idx = vec![0usize; order.len()];
+        'outer: loop {
+            let sel: BTreeMap<ServiceId, NodeIx> = order
+                .iter()
+                .zip(&idx)
+                .map(|(&s, &i)| (s, cands[order.iter().position(|&o| o == s).unwrap()][i]))
+                .collect();
+            if let Ok(flow) = FlowGraph::assemble(ctx, req, &sel) {
+                let q = (flow.bandwidth(), flow.latency());
+                let better = match best {
+                    None => true,
+                    Some((bw, lat)) => q.0 > bw || (q.0 == bw && q.1 < lat),
+                };
+                if better {
+                    best = Some(q);
+                }
+            }
+            for i in (0..idx.len()).rev() {
+                idx[i] += 1;
+                if idx[i] < cands[i].len() {
+                    continue 'outer;
+                }
+                idx[i] = 0;
+                if i == 0 {
+                    break 'outer;
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_unpruned_brute_force_on_diamond() {
+        let fx = diamond_fixture();
+        let ctx = fx.context();
+        let req = diamond_requirement();
+        let flow = GlobalOptimalAlgorithm.federate(&ctx, &req).unwrap();
+        let oracle = brute_force_best(&ctx, &req).unwrap();
+        assert_eq!((flow.bandwidth(), flow.latency()), oracle);
+    }
+
+    #[test]
+    fn matches_unpruned_brute_force_on_random_world() {
+        let services: Vec<ServiceId> = (0..5).map(ServiceId::new).collect();
+        let req = ServiceRequirement::from_edges([
+            (services[0], services[1]),
+            (services[0], services[2]),
+            (services[1], services[3]),
+            (services[2], services[3]),
+            (services[3], services[4]),
+        ])
+        .unwrap();
+        for seed in [3u64, 17, 99] {
+            let fx = random_fixture(15, &services, 3, None, seed);
+            let ctx = fx.context();
+            let flow = GlobalOptimalAlgorithm.federate(&ctx, &req).unwrap();
+            let oracle = brute_force_best(&ctx, &req).unwrap();
+            assert_eq!((flow.bandwidth(), flow.latency()), oracle, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn optimal_on_a_chain_equals_baseline() {
+        let fx = line_fixture();
+        let ctx = fx.context();
+        let req =
+            ServiceRequirement::path(&[ServiceId::new(0), ServiceId::new(1), ServiceId::new(2)])
+                .unwrap();
+        let opt = GlobalOptimalAlgorithm.federate(&ctx, &req).unwrap();
+        let base = crate::Solver::new(&ctx).solve(&req).unwrap();
+        assert_eq!(opt.bandwidth(), base.bandwidth());
+        assert_eq!(opt.latency(), base.latency());
+    }
+
+    #[test]
+    fn missing_instances_error() {
+        let fx = line_fixture();
+        let ctx = fx.context();
+        let req = ServiceRequirement::path(&[ServiceId::new(0), ServiceId::new(9)]).unwrap();
+        assert_eq!(
+            GlobalOptimalAlgorithm.federate(&ctx, &req).unwrap_err(),
+            FederationError::NoInstances(ServiceId::new(9))
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! The federation algorithms evaluated in Sec. 5 of the paper.
+//!
+//! All algorithms implement [`FederationAlgorithm`] over the same
+//! [`FederationContext`], which keeps experiment comparisons
+//! apples-to-apples:
+//!
+//! * [`SflowAlgorithm`] — the paper's contribution: baseline + reductions
+//!   under a local-view hop horizon;
+//! * [`GlobalOptimalAlgorithm`] — exhaustive search with bottleneck pruning,
+//!   the benchmark for the correctness coefficient;
+//! * [`FixedAlgorithm`] — greedy: always the direct downstream with the
+//!   highest bandwidth;
+//! * [`RandomAlgorithm`] — uniformly random direct downstream;
+//! * [`ServicePathAlgorithm`] — the end-to-end single-path algorithm of
+//!   Gu et al. (the paper's ref \[1\]): optimal on chains, degrades to a
+//!   forced sequential path elsewhere.
+
+mod fixed;
+mod global_optimal;
+mod random_alg;
+mod service_path;
+mod sflow_alg;
+
+pub use fixed::FixedAlgorithm;
+pub use global_optimal::GlobalOptimalAlgorithm;
+pub use random_alg::RandomAlgorithm;
+pub use service_path::{sequential_latency, ServicePathAlgorithm};
+pub use sflow_alg::SflowAlgorithm;
+
+use crate::{FederationContext, FederationError, FlowGraph, ServiceRequirement};
+
+/// A service federation algorithm: selects one instance per required service
+/// and assembles the resulting service flow graph.
+pub trait FederationAlgorithm {
+    /// A short stable name for tables and logs (e.g. `"sflow"`).
+    fn name(&self) -> &'static str;
+
+    /// Federates `req` over the context's overlay.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FederationError`] when the requirement cannot be satisfied
+    /// by this algorithm over this overlay (experiments score such runs as
+    /// failures rather than aborting).
+    fn federate(
+        &self,
+        ctx: &FederationContext<'_>,
+        req: &ServiceRequirement,
+    ) -> Result<FlowGraph, FederationError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{diamond_fixture, diamond_requirement};
+
+    /// Every algorithm must produce a complete selection on the diamond
+    /// world, and the optimal algorithm must weakly dominate all others in
+    /// bandwidth.
+    #[test]
+    fn all_algorithms_complete_and_optimal_dominates() {
+        let fx = diamond_fixture();
+        let ctx = fx.context();
+        let req = diamond_requirement();
+        let algos: Vec<Box<dyn FederationAlgorithm>> = vec![
+            Box::new(SflowAlgorithm::default()),
+            Box::new(GlobalOptimalAlgorithm),
+            Box::new(FixedAlgorithm),
+            Box::new(RandomAlgorithm::with_seed(1)),
+            Box::new(ServicePathAlgorithm),
+        ];
+        let opt = GlobalOptimalAlgorithm.federate(&ctx, &req).unwrap();
+        for a in &algos {
+            match a.federate(&ctx, &req) {
+                Ok(flow) => {
+                    assert_eq!(flow.selection().len(), 4, "{}", a.name());
+                    assert!(
+                        flow.bandwidth() <= opt.bandwidth(),
+                        "{} beat the optimum",
+                        a.name()
+                    );
+                }
+                Err(e) => {
+                    // Only the service-path algorithm may fail on a DAG.
+                    assert_eq!(a.name(), "service-path", "{e}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The single service path control algorithm of Sec. 5 — "identical to the
+//! end-to-end service federation algorithm previously proposed by Gu et al."
+//! (the paper's ref [1]).
+
+use crate::algorithms::FederationAlgorithm;
+use crate::baseline::ChainSolver;
+use crate::reduction;
+use crate::{FederationContext, FederationError, FlowGraph, ServiceRequirement};
+
+/// End-to-end single-path federation.
+///
+/// On path-shaped requirements this runs the optimal baseline and matches
+/// sFlow exactly. On anything else it does what a path-only composer can:
+/// force all required services into one sequential chain (topological
+/// order) and optimise that chain — losing all parallelism, which is why the
+/// paper finds it has "the lowest success rate" and the worst latency
+/// ("fails to consider the parallel processing cases").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServicePathAlgorithm;
+
+impl FederationAlgorithm for ServicePathAlgorithm {
+    fn name(&self) -> &'static str {
+        "service-path"
+    }
+
+    fn federate(
+        &self,
+        ctx: &FederationContext<'_>,
+        req: &ServiceRequirement,
+    ) -> Result<FlowGraph, FederationError> {
+        let chain = match reduction::as_chain(req) {
+            Some(chain) => chain,
+            // Not a path: serialise every service in topological order.
+            None => req.topo_order(),
+        };
+        let pins = [(req.source(), ctx.source_instance())]
+            .into_iter()
+            .collect();
+        let sol = ChainSolver::new(ctx).with_pins(&pins).solve(&chain)?;
+        FlowGraph::assemble(ctx, req, &sol.selection)
+    }
+}
+
+/// The sequential latency this algorithm's plan actually incurs: the sum of
+/// consecutive-hop latencies along the forced chain (the flow-graph latency
+/// reported by [`FlowGraph`] reflects the *requirement's* parallel structure,
+/// which a sequential executor cannot exploit).
+///
+/// Returns `None` when some consecutive pair is disconnected.
+pub fn sequential_latency(
+    ctx: &FederationContext<'_>,
+    req: &ServiceRequirement,
+    flow: &FlowGraph,
+) -> Option<sflow_routing::Latency> {
+    let chain = reduction::as_chain(req).unwrap_or_else(|| req.topo_order());
+    let mut total = sflow_routing::Latency::ZERO;
+    for w in chain.windows(2) {
+        let (a, b) = (flow.instance_for(w[0])?, flow.instance_for(w[1])?);
+        total = total + ctx.qos(a, b)?.latency;
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::SflowAlgorithm;
+    use crate::fixtures::{diamond_fixture, diamond_requirement, line_fixture};
+    use sflow_net::ServiceId;
+
+    fn s(i: u32) -> ServiceId {
+        ServiceId::new(i)
+    }
+
+    #[test]
+    fn optimal_on_paths() {
+        let fx = line_fixture();
+        let ctx = fx.context();
+        let req = ServiceRequirement::path(&[s(0), s(1), s(2)]).unwrap();
+        let sp = ServicePathAlgorithm.federate(&ctx, &req).unwrap();
+        let sf = SflowAlgorithm::with_full_view()
+            .federate(&ctx, &req)
+            .unwrap();
+        assert_eq!(sp.quality(), sf.quality());
+        assert_eq!(ServicePathAlgorithm.name(), "service-path");
+    }
+
+    #[test]
+    fn serialises_dags_and_pays_for_it() {
+        let fx = diamond_fixture();
+        let ctx = fx.context();
+        let req = diamond_requirement();
+        match ServicePathAlgorithm.federate(&ctx, &req) {
+            Ok(flow) => {
+                // The forced chain visits all four services sequentially, so
+                // its sequential latency is at least the parallel flow's
+                // end-to-end latency.
+                let seq = sequential_latency(&ctx, &req, &flow).unwrap();
+                let parallel = SflowAlgorithm::with_full_view()
+                    .federate(&ctx, &req)
+                    .unwrap()
+                    .latency();
+                assert!(seq >= parallel, "sequential {seq} < parallel {parallel}");
+            }
+            Err(e) => {
+                // Serialisation may simply be infeasible — also a valid
+                // manifestation of "can only handle the simplest requirements".
+                assert_eq!(e, FederationError::NoFeasibleSelection);
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The sFlow algorithm (Sec. 4 of the paper), as a [`FederationAlgorithm`].
+
+use crate::algorithms::FederationAlgorithm;
+use crate::{FederationContext, FederationError, FlowGraph, ServiceRequirement, Solver};
+
+/// The paper's contribution: reduce the requirement (path reduction,
+/// split-and-merge), solve each piece with the optimal single-path baseline,
+/// and restrict every hand-off to the hop horizon a distributed node can see.
+///
+/// The default horizon is **2 overlay hops**, matching the paper's assumption
+/// that "all service nodes are aware of the portion of the overall overlay
+/// graph within a two-hop vicinity". Use [`SflowAlgorithm::with_full_view`]
+/// for the idealised variant with global knowledge (useful in ablations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SflowAlgorithm {
+    hop_limit: Option<usize>,
+}
+
+impl SflowAlgorithm {
+    /// sFlow with an explicit hop horizon.
+    pub fn with_hop_limit(limit: usize) -> Self {
+        SflowAlgorithm {
+            hop_limit: Some(limit),
+        }
+    }
+
+    /// sFlow with global overlay knowledge (no horizon).
+    pub fn with_full_view() -> Self {
+        SflowAlgorithm { hop_limit: None }
+    }
+
+    /// The configured horizon, if any.
+    pub fn hop_limit(&self) -> Option<usize> {
+        self.hop_limit
+    }
+}
+
+impl Default for SflowAlgorithm {
+    /// The paper's two-hop local views.
+    fn default() -> Self {
+        SflowAlgorithm { hop_limit: Some(2) }
+    }
+}
+
+impl FederationAlgorithm for SflowAlgorithm {
+    fn name(&self) -> &'static str {
+        "sflow"
+    }
+
+    fn federate(
+        &self,
+        ctx: &FederationContext<'_>,
+        req: &ServiceRequirement,
+    ) -> Result<FlowGraph, FederationError> {
+        let solver = match self.hop_limit {
+            Some(limit) => Solver::new(ctx).with_hop_limit(limit),
+            None => Solver::new(ctx),
+        };
+        solver.solve(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{diamond_fixture, diamond_requirement};
+    use sflow_routing::Bandwidth;
+
+    #[test]
+    fn default_uses_two_hops() {
+        assert_eq!(SflowAlgorithm::default().hop_limit(), Some(2));
+        assert_eq!(SflowAlgorithm::with_full_view().hop_limit(), None);
+        assert_eq!(SflowAlgorithm::with_hop_limit(3).hop_limit(), Some(3));
+    }
+
+    #[test]
+    fn federates_the_diamond() {
+        let fx = diamond_fixture();
+        let ctx = fx.context();
+        let flow = SflowAlgorithm::default()
+            .federate(&ctx, &diamond_requirement())
+            .unwrap();
+        assert_eq!(flow.bandwidth(), Bandwidth::kbps(80));
+        assert_eq!(SflowAlgorithm::default().name(), "sflow");
+    }
+}

@@ -1,0 +1,108 @@
+//! The shared inputs every federation algorithm operates on.
+
+use sflow_graph::NodeIx;
+use sflow_net::{OverlayGraph, ServiceInstance};
+use sflow_routing::{AllPairs, Qos};
+
+/// Everything a federation algorithm needs besides the requirement itself:
+/// the overlay, its all-pairs shortest-widest table, and the pinned source
+/// instance the consumer delivered the requirement to.
+///
+/// The all-pairs table corresponds to the link-state knowledge the paper
+/// assumes ("based on link states", Sec. 2.2); building it once and sharing
+/// it across algorithms keeps experiment comparisons apples-to-apples.
+#[derive(Clone, Debug)]
+pub struct FederationContext<'a> {
+    overlay: &'a OverlayGraph,
+    all_pairs: &'a AllPairs,
+    source_instance: NodeIx,
+}
+
+impl<'a> FederationContext<'a> {
+    /// Creates a context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source_instance` is not a node of `overlay`.
+    pub fn new(
+        overlay: &'a OverlayGraph,
+        all_pairs: &'a AllPairs,
+        source_instance: NodeIx,
+    ) -> Self {
+        assert!(
+            overlay.graph().contains_node(source_instance),
+            "source instance must be an overlay node"
+        );
+        FederationContext {
+            overlay,
+            all_pairs,
+            source_instance,
+        }
+    }
+
+    /// The overlay graph.
+    pub fn overlay(&self) -> &'a OverlayGraph {
+        self.overlay
+    }
+
+    /// All-pairs shortest-widest paths over the overlay.
+    pub fn all_pairs(&self) -> &'a AllPairs {
+        self.all_pairs
+    }
+
+    /// The overlay node the consumer delivered the requirement to.
+    pub fn source_instance(&self) -> NodeIx {
+        self.source_instance
+    }
+
+    /// The source instance's (service, host) pair.
+    pub fn source(&self) -> ServiceInstance {
+        self.overlay.instance(self.source_instance)
+    }
+
+    /// Shortest-widest QoS between two overlay instances (`None` if
+    /// disconnected).
+    pub fn qos(&self, from: NodeIx, to: NodeIx) -> Option<Qos> {
+        if from == to {
+            Some(Qos::IDENTITY)
+        } else {
+            self.all_pairs.qos(from, to)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sflow_net::{Compatibility, Placement, ServiceId, UnderlyingNetwork};
+    use sflow_routing::{Bandwidth, Latency};
+
+    #[test]
+    fn context_exposes_source() {
+        let mut b = UnderlyingNetwork::builder();
+        let h = b.add_hosts(2);
+        b.link(
+            h[0],
+            h[1],
+            Qos::new(Bandwidth::kbps(5), Latency::from_micros(1)),
+        );
+        let net = b.build();
+        let mut p = Placement::new();
+        let s0 = ServiceId::new(0);
+        let s1 = ServiceId::new(1);
+        p.add(ServiceInstance::new(s0, h[0]));
+        p.add(ServiceInstance::new(s1, h[1]));
+        let ov = OverlayGraph::build(&net, &p, &Compatibility::from_pairs([(s0, s1)])).unwrap();
+        let ap = ov.all_pairs();
+        let src = ov.instances_of(s0)[0];
+        let ctx = FederationContext::new(&ov, &ap, src);
+        assert_eq!(ctx.source().service, s0);
+        assert_eq!(ctx.source_instance(), src);
+        let dst = ov.instances_of(s1)[0];
+        assert_eq!(
+            ctx.qos(src, dst),
+            Some(Qos::new(Bandwidth::kbps(5), Latency::from_micros(1)))
+        );
+        assert_eq!(ctx.qos(src, src), Some(Qos::IDENTITY));
+    }
+}

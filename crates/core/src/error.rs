@@ -1,0 +1,87 @@
+//! Error types for federation.
+
+use std::error::Error;
+use std::fmt;
+
+use sflow_net::ServiceId;
+
+/// Why a federation attempt failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FederationError {
+    /// The overlay has no instance of a required service.
+    NoInstances(ServiceId),
+    /// No joint instance selection satisfies the requirement (some selected
+    /// pair of instances has no connecting overlay path, for every choice the
+    /// algorithm explored).
+    NoFeasibleSelection,
+    /// The configured source instance does not provide the requirement's
+    /// source service.
+    SourceMismatch {
+        /// What the requirement asks for.
+        required: ServiceId,
+        /// What the configured source instance provides.
+        provided: ServiceId,
+    },
+    /// A selected instance pair is not connected in the overlay (can occur
+    /// when a heuristic commits to instances greedily).
+    SelectionUnreachable {
+        /// Upstream service of the broken edge.
+        from: ServiceId,
+        /// Downstream service of the broken edge.
+        to: ServiceId,
+    },
+}
+
+impl fmt::Display for FederationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FederationError::NoInstances(s) => {
+                write!(f, "no instance of required service {s} in the overlay")
+            }
+            FederationError::NoFeasibleSelection => {
+                write!(
+                    f,
+                    "no feasible instance selection satisfies the requirement"
+                )
+            }
+            FederationError::SourceMismatch { required, provided } => write!(
+                f,
+                "source instance provides {provided} but the requirement starts at {required}"
+            ),
+            FederationError::SelectionUnreachable { from, to } => write!(
+                f,
+                "selected instances for {from} → {to} are not connected in the overlay"
+            ),
+        }
+    }
+}
+
+impl Error for FederationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let s = ServiceId::new;
+        assert!(FederationError::NoInstances(s(2))
+            .to_string()
+            .contains("s2"));
+        assert!(FederationError::NoFeasibleSelection
+            .to_string()
+            .contains("feasible"));
+        assert!(FederationError::SourceMismatch {
+            required: s(0),
+            provided: s(1)
+        }
+        .to_string()
+        .contains("s0"));
+        assert!(FederationError::SelectionUnreachable {
+            from: s(1),
+            to: s(2)
+        }
+        .to_string()
+        .contains("s1 → s2"));
+    }
+}

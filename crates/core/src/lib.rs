@@ -1,0 +1,67 @@
+//! `sflow-core` — service requirements, abstract graphs, flow graphs and the
+//! federation algorithms of the sFlow paper (Wang, Li & Li, ICDCS 2004).
+//!
+//! # The model in one paragraph
+//!
+//! A consumer asks for a *federated service* by submitting a
+//! [`ServiceRequirement`] — a DAG of service identifiers with one source and
+//! at least one sink. The overlay (from `sflow-net`) hosts multiple
+//! *instances* of each service. Federation selects exactly one instance per
+//! required service so that the resulting [`FlowGraph`] is **resource
+//! efficient**: maximal bottleneck bandwidth, then minimal end-to-end
+//! latency (shortest-widest order). Finding the optimal flow graph for
+//! general requirements is NP-complete (Theorem 1; executable in
+//! `sflow-sat`), so sFlow composes the optimal single-path
+//! [`baseline`] algorithm with the [`reduction`] strategies of Sec. 3.4.
+//!
+//! # Algorithms
+//!
+//! [`algorithms`] provides the paper's four contenders plus the benchmark:
+//!
+//! | paper name | type |
+//! |---|---|
+//! | sFlow | [`algorithms::SflowAlgorithm`] |
+//! | global optimal | [`algorithms::GlobalOptimalAlgorithm`] |
+//! | fixed | [`algorithms::FixedAlgorithm`] |
+//! | random | [`algorithms::RandomAlgorithm`] |
+//! | service path (Gu et al.) | [`algorithms::ServicePathAlgorithm`] |
+//!
+//! # Example
+//!
+//! ```
+//! use sflow_core::algorithms::{FederationAlgorithm, SflowAlgorithm};
+//! use sflow_core::fixtures::{diamond_fixture, diamond_requirement};
+//!
+//! let fx = diamond_fixture();
+//! let ctx = fx.context();
+//! let flow = SflowAlgorithm::default().federate(&ctx, &diamond_requirement())?;
+//! println!("{flow}");
+//! assert_eq!(flow.selection().len(), 4);
+//! # Ok::<(), sflow_core::FederationError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod abstract_graph;
+pub mod algorithms;
+pub mod baseline;
+mod context;
+mod error;
+pub mod fixtures;
+mod flow_graph;
+pub mod metrics;
+pub mod reduction;
+pub mod repair;
+mod requirement;
+mod solver;
+
+pub use abstract_graph::{AbstractGraph, AbstractInstance};
+pub use context::FederationContext;
+pub use error::FederationError;
+pub use flow_graph::{FlowEdge, FlowGraph, FlowQuality};
+pub use requirement::{
+    ParseRequirementError, RequirementBuilder, RequirementError, RequirementShape,
+    ServiceRequirement,
+};
+pub use solver::{Selection, Solver};

@@ -1,0 +1,68 @@
+//! Evaluation metrics (Sec. 5 of the paper).
+
+use crate::FlowGraph;
+
+/// The correctness coefficient: "the ratio between the number of matching
+/// nodes in the two service flow graphs and the total number of nodes in the
+/// global optimal graph". 1.0 means the candidate selected exactly the
+/// optimal instances.
+///
+/// # Panics
+///
+/// Panics if `optimal` has an empty selection (a validated flow graph never
+/// does).
+pub fn correctness_coefficient(candidate: &FlowGraph, optimal: &FlowGraph) -> f64 {
+    let total = optimal.selection().len();
+    assert!(
+        total > 0,
+        "optimal flow graph must select at least one node"
+    );
+    let matching = optimal
+        .selection()
+        .iter()
+        .filter(|(sid, n)| candidate.instance_for(**sid) == Some(**n))
+        .count();
+    matching as f64 / total as f64
+}
+
+/// Relative bandwidth: candidate bottleneck over optimal bottleneck, in
+/// `[0, 1]` for any correct optimum (candidates cannot beat it).
+pub fn bandwidth_ratio(candidate: &FlowGraph, optimal: &FlowGraph) -> f64 {
+    let opt = optimal.bandwidth().as_kbps();
+    if opt == 0 {
+        return 1.0;
+    }
+    candidate.bandwidth().as_kbps() as f64 / opt as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{FederationAlgorithm, GlobalOptimalAlgorithm, SflowAlgorithm};
+    use crate::fixtures::{diamond_fixture, diamond_requirement};
+
+    #[test]
+    fn coefficient_is_one_for_identical_graphs() {
+        let fx = diamond_fixture();
+        let ctx = fx.context();
+        let opt = GlobalOptimalAlgorithm
+            .federate(&ctx, &diamond_requirement())
+            .unwrap();
+        assert_eq!(correctness_coefficient(&opt, &opt), 1.0);
+        assert_eq!(bandwidth_ratio(&opt, &opt), 1.0);
+    }
+
+    #[test]
+    fn coefficient_counts_matching_services() {
+        let fx = diamond_fixture();
+        let ctx = fx.context();
+        let req = diamond_requirement();
+        let opt = GlobalOptimalAlgorithm.federate(&ctx, &req).unwrap();
+        let sf = SflowAlgorithm::default().federate(&ctx, &req).unwrap();
+        let c = correctness_coefficient(&sf, &opt);
+        assert!((0.0..=1.0).contains(&c));
+        // Source is always pinned identically, so at least 1/4 matches.
+        assert!(c >= 0.25);
+        assert!(bandwidth_ratio(&sf, &opt) <= 1.0);
+    }
+}

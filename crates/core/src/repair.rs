@@ -1,0 +1,195 @@
+//! Agile federation: repairing a flow graph after instance failures.
+//!
+//! The paper's title promises *agile* service federation; this module makes
+//! the property concrete. When service instances fail, a previously
+//! federated flow graph may lose selected nodes or the streams between them.
+//! [`repair`] re-federates the requirement over the degraded overlay while
+//! **pinning every surviving selection**, so only the broken parts of the
+//! federation move — the minimal-disruption policy a deployed system wants
+//! (sessions on surviving instances keep their state).
+//!
+//! If the pinned re-solve is infeasible (the survivors corner the solver),
+//! repair falls back to a full re-federation and reports how much moved.
+//!
+//! # Example
+//!
+//! ```
+//! use sflow_core::algorithms::{FederationAlgorithm, SflowAlgorithm};
+//! use sflow_core::fixtures::{diamond_fixture, diamond_requirement};
+//! use sflow_core::{repair, FederationContext};
+//!
+//! let fx = diamond_fixture();
+//! let ctx = fx.context();
+//! let req = diamond_requirement();
+//! let flow = SflowAlgorithm::default().federate(&ctx, &req)?;
+//!
+//! // Fail the selected instance of service 1 and repair.
+//! let s1 = sflow_net::ServiceId::new(1);
+//! let failed = [*flow.instances().get(&s1).unwrap()];
+//! let degraded = fx.overlay.without_instances(&failed);
+//! let ap = degraded.all_pairs();
+//! let source = degraded.node_of(fx.overlay.instance(fx.source)).unwrap();
+//! let ctx2 = FederationContext::new(&degraded, &ap, source);
+//!
+//! let outcome = repair::repair(&ctx2, &req, &flow)?;
+//! assert!(outcome.reselected.contains(&s1));
+//! # Ok::<(), sflow_core::FederationError>(())
+//! ```
+
+use std::collections::BTreeMap;
+
+use sflow_net::{ServiceId, ServiceInstance};
+
+use crate::{FederationContext, FederationError, FlowGraph, Selection, ServiceRequirement, Solver};
+
+/// The result of a repair.
+#[derive(Clone, Debug)]
+pub struct RepairOutcome {
+    /// The repaired flow graph over the degraded overlay.
+    pub flow: FlowGraph,
+    /// Services whose instance changed (failed, or moved by the fallback).
+    pub reselected: Vec<ServiceId>,
+    /// Services whose previous instance was preserved.
+    pub preserved: Vec<ServiceId>,
+    /// `true` if the pin-preserving solve failed and a full re-federation
+    /// was required.
+    pub full_refederation: bool,
+}
+
+/// Repairs `previous` over the degraded overlay in `ctx`.
+///
+/// `ctx` must be built over the post-failure overlay (see
+/// [`sflow_net::OverlayGraph::without_instances`]); its source instance is
+/// where the consumer re-issues the requirement — usually the old source,
+/// which survives unless the failure took it out.
+///
+/// Surviving selections are translated into the degraded overlay by their
+/// `(service, host)` identity and pinned; only vanished services are
+/// re-solved. On infeasibility the repair falls back to a clean solve.
+///
+/// # Errors
+///
+/// Propagates [`FederationError`] if even the fallback cannot federate the
+/// requirement over the degraded overlay.
+pub fn repair(
+    ctx: &FederationContext<'_>,
+    req: &ServiceRequirement,
+    previous: &FlowGraph,
+) -> Result<RepairOutcome, FederationError> {
+    let overlay = ctx.overlay();
+    // Translate surviving selections into the degraded overlay.
+    let mut pins: Selection = BTreeMap::new();
+    pins.insert(req.source(), ctx.source_instance());
+    for (&sid, &inst) in previous.instances() {
+        if sid == req.source() {
+            continue;
+        }
+        if let Some(node) = overlay.node_of(inst) {
+            pins.insert(sid, node);
+        }
+    }
+
+    let solver = Solver::new(ctx);
+    let pinned_attempt = solver.solve_pinned(req, &pins);
+    let (flow, full_refederation) = match pinned_attempt {
+        Ok(flow) => (flow, false),
+        Err(_) => (solver.solve(req)?, true),
+    };
+
+    let mut reselected = Vec::new();
+    let mut preserved = Vec::new();
+    for (&sid, &inst) in flow.instances() {
+        let was: Option<ServiceInstance> = previous.instances().get(&sid).copied();
+        if was == Some(inst) {
+            preserved.push(sid);
+        } else {
+            reselected.push(sid);
+        }
+    }
+    Ok(RepairOutcome {
+        flow,
+        reselected,
+        preserved,
+        full_refederation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{FederationAlgorithm, SflowAlgorithm};
+    use crate::fixtures::{diamond_fixture, diamond_requirement, random_fixture};
+    use sflow_net::ServiceId;
+
+    fn s(i: u32) -> ServiceId {
+        ServiceId::new(i)
+    }
+
+    #[test]
+    fn repair_moves_only_the_failed_service() {
+        let fx = diamond_fixture();
+        let ctx = fx.context();
+        let req = diamond_requirement();
+        let flow = SflowAlgorithm::default().federate(&ctx, &req).unwrap();
+        let failed = [flow.instances()[&s(1)]];
+        let degraded = fx.overlay.without_instances(&failed);
+        let ap = degraded.all_pairs();
+        let source = degraded.node_of(fx.overlay.instance(fx.source)).unwrap();
+        let ctx2 = crate::FederationContext::new(&degraded, &ap, source);
+
+        let outcome = repair(&ctx2, &req, &flow).unwrap();
+        assert!(!outcome.full_refederation);
+        assert_eq!(outcome.reselected, vec![s(1)]);
+        assert_eq!(outcome.preserved.len(), 3);
+        // The repaired selection is complete and avoids the failed instance.
+        assert_eq!(outcome.flow.selection().len(), 4);
+        assert_ne!(outcome.flow.instances()[&s(1)], failed[0]);
+    }
+
+    #[test]
+    fn repair_with_no_failures_changes_nothing() {
+        let fx = diamond_fixture();
+        let ctx = fx.context();
+        let req = diamond_requirement();
+        let flow = SflowAlgorithm::default().federate(&ctx, &req).unwrap();
+        let outcome = repair(&ctx, &req, &flow).unwrap();
+        assert!(outcome.reselected.is_empty());
+        assert_eq!(outcome.preserved.len(), 4);
+        assert_eq!(outcome.flow.instances(), flow.instances());
+    }
+
+    #[test]
+    fn repair_survives_multi_failures_on_random_worlds() {
+        let services: Vec<ServiceId> = (0..5).map(ServiceId::new).collect();
+        let req = ServiceRequirement::from_edges([
+            (s(0), s(1)),
+            (s(0), s(2)),
+            (s(1), s(3)),
+            (s(2), s(3)),
+            (s(3), s(4)),
+        ])
+        .unwrap();
+        for seed in 0..6u64 {
+            let fx = random_fixture(20, &services, 3, None, 600 + seed);
+            let ctx = fx.context();
+            let Ok(flow) = SflowAlgorithm::default().federate(&ctx, &req) else {
+                continue;
+            };
+            // Fail the selected instances of two services at once.
+            let failed = [flow.instances()[&s(1)], flow.instances()[&s(3)]];
+            let degraded = fx.overlay.without_instances(&failed);
+            let ap = degraded.all_pairs();
+            let Some(source) = degraded.node_of(fx.overlay.instance(fx.source)) else {
+                continue;
+            };
+            let ctx2 = crate::FederationContext::new(&degraded, &ap, source);
+            let outcome = repair(&ctx2, &req, &flow).unwrap();
+            assert_eq!(outcome.flow.selection().len(), 5, "seed {seed}");
+            for f in failed {
+                assert!(!outcome.flow.instances().values().any(|&i| i == f));
+            }
+            assert!(outcome.reselected.iter().any(|&x| x == s(1)));
+            assert!(outcome.reselected.iter().any(|&x| x == s(3)));
+        }
+    }
+}

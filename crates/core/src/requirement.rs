@@ -1,0 +1,713 @@
+//! Service requirements — the DAG of services a consumer asks for.
+//!
+//! A *service requirement* `R(V_R, E_R)` (Sec. 2.2 of the paper) consists of
+//! all required services — one **source** service, at least one **sink**
+//! service and any number of intermediates — with edges giving the order in
+//! which services must be performed and the direction of the service flow.
+//!
+//! Requirements range from a single [`RequirementShape::Path`] (the paper's
+//! Fig. 1), through trees and disjoint parallel paths (Fig. 3), to general
+//! DAGs with splitting and merging service streams (Fig. 5).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use sflow_graph::{algo, DiGraph, NodeIx};
+use sflow_net::ServiceId;
+
+/// Why a requirement failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequirementError {
+    /// A requirement needs at least one edge (hence two services).
+    TooSmall,
+    /// The service graph contains a cycle through the given service.
+    Cyclic(ServiceId),
+    /// No service has in-degree zero (implies a cycle) or the builder was
+    /// empty.
+    NoSource,
+    /// More than one service has in-degree zero; the paper's model has a
+    /// single source service.
+    MultipleSources(Vec<ServiceId>),
+    /// Some service is not reachable from the source.
+    Disconnected(ServiceId),
+}
+
+impl fmt::Display for RequirementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequirementError::TooSmall => {
+                write!(f, "requirement needs at least two services and one edge")
+            }
+            RequirementError::Cyclic(s) => write!(f, "requirement has a cycle through {s}"),
+            RequirementError::NoSource => write!(f, "requirement has no source service"),
+            RequirementError::MultipleSources(s) => {
+                write!(f, "requirement has multiple sources: ")?;
+                for (i, sid) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{sid}")?;
+                }
+                Ok(())
+            }
+            RequirementError::Disconnected(s) => {
+                write!(f, "service {s} is not reachable from the source")
+            }
+        }
+    }
+}
+
+impl Error for RequirementError {}
+
+/// Structural classification of a requirement (Sec. 2.1 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequirementShape {
+    /// A single chain of services (Fig. 1).
+    Path,
+    /// Multiple service paths disjoint except for the shared source and sink
+    /// (Fig. 3).
+    DisjointPaths,
+    /// Every service has at most one upstream (a service multicast tree).
+    Tree,
+    /// The general case: splitting and merging service streams (Fig. 5).
+    Dag,
+}
+
+/// A validated service requirement.
+///
+/// Construct via [`ServiceRequirement::builder`] or the convenience
+/// constructors [`ServiceRequirement::path`] / [`ServiceRequirement::from_edges`].
+///
+/// # Example
+///
+/// ```
+/// use sflow_core::ServiceRequirement;
+/// use sflow_net::ServiceId;
+///
+/// let s: Vec<ServiceId> = (0..4).map(ServiceId::new).collect();
+/// // A diamond: 0 → {1, 2} → 3.
+/// let req = ServiceRequirement::from_edges([
+///     (s[0], s[1]),
+///     (s[0], s[2]),
+///     (s[1], s[3]),
+///     (s[2], s[3]),
+/// ])
+/// .unwrap();
+/// assert_eq!(req.source(), s[0]);
+/// assert_eq!(req.sinks(), vec![s[3]]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ServiceRequirement {
+    graph: DiGraph<ServiceId, ()>,
+    node_of: HashMap<ServiceId, NodeIx>,
+    source: ServiceId,
+    sinks: Vec<ServiceId>,
+}
+
+impl ServiceRequirement {
+    /// Starts building a requirement.
+    pub fn builder() -> RequirementBuilder {
+        RequirementBuilder::default()
+    }
+
+    /// Builds a single-path requirement through `services`, in order.
+    ///
+    /// # Errors
+    ///
+    /// Fails if fewer than two services are given or a service repeats.
+    pub fn path(services: &[ServiceId]) -> Result<Self, RequirementError> {
+        let mut b = Self::builder();
+        for w in services.windows(2) {
+            b.edge(w[0], w[1]);
+        }
+        b.build()
+    }
+
+    /// Builds a requirement from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`RequirementError`] from validation.
+    pub fn from_edges(
+        edges: impl IntoIterator<Item = (ServiceId, ServiceId)>,
+    ) -> Result<Self, RequirementError> {
+        let mut b = Self::builder();
+        for (a, c) in edges {
+            b.edge(a, c);
+        }
+        b.build()
+    }
+
+    /// The unique source service.
+    pub fn source(&self) -> ServiceId {
+        self.source
+    }
+
+    /// The sink services (no downstream), in index order.
+    pub fn sinks(&self) -> Vec<ServiceId> {
+        self.sinks.clone()
+    }
+
+    /// All required services, in insertion order.
+    pub fn services(&self) -> Vec<ServiceId> {
+        self.graph.nodes().map(|(_, &s)| s).collect()
+    }
+
+    /// Number of required services.
+    pub fn len(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Requirements are never empty (validation requires ≥ 2 services); this
+    /// exists for API completeness and always returns `false`.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// `true` if `service` is required.
+    pub fn contains(&self, service: ServiceId) -> bool {
+        self.node_of.contains_key(&service)
+    }
+
+    /// The requirement edges as (upstream, downstream) service pairs.
+    pub fn edges(&self) -> Vec<(ServiceId, ServiceId)> {
+        self.graph
+            .edges()
+            .map(|e| (*self.graph.node(e.from), *self.graph.node(e.to)))
+            .collect()
+    }
+
+    /// Number of requirement edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// The services directly downstream of `service`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service` is not part of this requirement.
+    pub fn downstream(&self, service: ServiceId) -> Vec<ServiceId> {
+        let n = self.node_of[&service];
+        self.graph
+            .successors(n)
+            .map(|m| *self.graph.node(m))
+            .collect()
+    }
+
+    /// The services directly upstream of `service`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service` is not part of this requirement.
+    pub fn upstream(&self, service: ServiceId) -> Vec<ServiceId> {
+        let n = self.node_of[&service];
+        self.graph
+            .predecessors(n)
+            .map(|m| *self.graph.node(m))
+            .collect()
+    }
+
+    /// The underlying DAG (service ids on nodes).
+    pub fn graph(&self) -> &DiGraph<ServiceId, ()> {
+        &self.graph
+    }
+
+    /// The graph node carrying `service`, if required.
+    pub fn node_of(&self, service: ServiceId) -> Option<NodeIx> {
+        self.node_of.get(&service).copied()
+    }
+
+    /// Services in a deterministic topological order (source first).
+    pub fn topo_order(&self) -> Vec<ServiceId> {
+        algo::topo_sort(&self.graph)
+            .expect("validated requirement is acyclic")
+            .into_iter()
+            .map(|n| *self.graph.node(n))
+            .collect()
+    }
+
+    /// `true` if the requirement is a single chain.
+    pub fn is_path(&self) -> bool {
+        self.shape() == RequirementShape::Path
+    }
+
+    /// Classifies the requirement's structure.
+    pub fn shape(&self) -> RequirementShape {
+        let g = &self.graph;
+        let path = g
+            .node_ids()
+            .all(|n| g.in_degree(n) <= 1 && g.out_degree(n) <= 1);
+        if path {
+            return RequirementShape::Path;
+        }
+        if g.node_ids().all(|n| g.in_degree(n) <= 1) {
+            return RequirementShape::Tree;
+        }
+        // Disjoint paths: one sink, and every intermediate has in = out = 1.
+        if self.sinks.len() == 1 {
+            let src = self.node_of[&self.source];
+            let sink = self.node_of[&self.sinks[0]];
+            let inner_ok = g
+                .node_ids()
+                .filter(|&n| n != src && n != sink)
+                .all(|n| g.in_degree(n) == 1 && g.out_degree(n) == 1);
+            if inner_ok && g.out_degree(src) == g.in_degree(sink) {
+                return RequirementShape::DisjointPaths;
+            }
+        }
+        RequirementShape::Dag
+    }
+
+    /// The sub-requirement rooted at `service`: the induced DAG over the
+    /// services reachable from it. This is what a `sfederate` message carries
+    /// downstream once the sender's own service "does not include service on
+    /// this node itself" (Sec. 4).
+    ///
+    /// Returns `None` if `service` is not required, or is a sink (the
+    /// residual would have no edges).
+    pub fn subrequirement_from(&self, service: ServiceId) -> Option<ServiceRequirement> {
+        let root = self.node_of(service)?;
+        let keep = algo::descendants(&self.graph, root);
+        if keep.len() < 2 {
+            return None;
+        }
+        let (sub, mapping) = algo::induced_subgraph(&self.graph, &keep);
+        let mut b = ServiceRequirement::builder();
+        for e in sub.edges() {
+            b.edge(
+                *self.graph.node(mapping[e.from.index()]),
+                *self.graph.node(mapping[e.to.index()]),
+            );
+        }
+        Some(
+            b.build()
+                .expect("descendant-induced subgraph of a valid requirement is valid"),
+        )
+    }
+
+    /// Normalises the requirement by transitive reduction: drops every edge
+    /// implied by a longer service chain (e.g. a direct `A → C` when
+    /// `A → B → C` is also required — the data reaches C through B anyway,
+    /// so the extra stream only wastes resources). Returns `self` unchanged
+    /// if nothing is redundant.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sflow_core::ServiceRequirement;
+    /// use sflow_net::ServiceId;
+    /// let s = ServiceId::new;
+    /// let req = ServiceRequirement::from_edges([
+    ///     (s(0), s(1)), (s(1), s(2)), (s(0), s(2)),
+    /// ]).unwrap();
+    /// let reduced = req.transitive_reduction();
+    /// assert_eq!(reduced.edge_count(), 2);
+    /// assert!(reduced.is_path());
+    /// ```
+    #[must_use]
+    pub fn transitive_reduction(&self) -> ServiceRequirement {
+        let redundant: std::collections::HashSet<_> = algo::redundant_edges(&self.graph)
+            .expect("validated requirement is acyclic")
+            .into_iter()
+            .collect();
+        if redundant.is_empty() {
+            return self.clone();
+        }
+        let mut b = ServiceRequirement::builder();
+        for e in self.graph.edges() {
+            if !redundant.contains(&e.id) {
+                b.edge(*self.graph.node(e.from), *self.graph.node(e.to));
+            }
+        }
+        b.build()
+            .expect("transitive reduction preserves reachability")
+    }
+
+    /// Renders the requirement as Graphviz DOT.
+    pub fn to_dot(&self) -> String {
+        sflow_graph::dot::to_dot(
+            &self.graph,
+            &sflow_graph::dot::DotOptions {
+                name: "requirement".into(),
+                ..Default::default()
+            },
+            |_, sid| sid.to_string(),
+            |_| String::new(),
+        )
+    }
+
+    /// End-to-end check that a per-edge property holds; used by flow-graph
+    /// assembly. Iterates edges as service pairs.
+    pub(crate) fn edge_pairs(&self) -> impl Iterator<Item = (ServiceId, ServiceId)> + '_ {
+        self.graph
+            .edges()
+            .map(|e| (*self.graph.node(e.from), *self.graph.node(e.to)))
+    }
+}
+
+impl fmt::Display for ServiceRequirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "requirement {{ {} services, {}", self.len(), self.source)?;
+        write!(f, " ⇝ [")?;
+        for (i, s) in self.sinks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "] }}")
+    }
+}
+
+/// Why parsing a requirement string failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseRequirementError {
+    /// A token was not a numeric service id.
+    BadServiceId(String),
+    /// A chain expression had no `>` (a lone service constrains nothing).
+    LoneService(String),
+    /// The parsed edges did not form a valid requirement.
+    Invalid(RequirementError),
+}
+
+impl fmt::Display for ParseRequirementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseRequirementError::BadServiceId(t) => write!(f, "bad service id {t:?}"),
+            ParseRequirementError::LoneService(t) => {
+                write!(f, "chain {t:?} needs at least one '>'")
+            }
+            ParseRequirementError::Invalid(e) => write!(f, "invalid requirement: {e}"),
+        }
+    }
+}
+
+impl Error for ParseRequirementError {}
+
+impl std::str::FromStr for ServiceRequirement {
+    type Err = ParseRequirementError;
+
+    /// Parses a requirement from chain expressions like
+    /// `"0>1>3, 0>2>3"`: comma-separated chains of numeric service ids
+    /// joined by `>` (whitespace ignored).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sflow_core::ServiceRequirement;
+    /// let req: ServiceRequirement = "0>1>3, 0>2>3".parse()?;
+    /// assert_eq!(req.len(), 4);
+    /// assert_eq!(req.sinks().len(), 1);
+    /// # Ok::<(), sflow_core::ParseRequirementError>(())
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut b = ServiceRequirement::builder();
+        for chain in s.split(',') {
+            let chain = chain.trim();
+            if chain.is_empty() {
+                continue;
+            }
+            let ids: Vec<ServiceId> = chain
+                .split('>')
+                .map(|tok| {
+                    let tok = tok.trim();
+                    tok.parse::<u32>()
+                        .map(ServiceId::new)
+                        .map_err(|_| ParseRequirementError::BadServiceId(tok.to_string()))
+                })
+                .collect::<Result<_, _>>()?;
+            if ids.len() < 2 {
+                return Err(ParseRequirementError::LoneService(chain.to_string()));
+            }
+            for w in ids.windows(2) {
+                b.edge(w[0], w[1]);
+            }
+        }
+        b.build().map_err(ParseRequirementError::Invalid)
+    }
+}
+
+/// Incremental builder for [`ServiceRequirement`].
+#[derive(Clone, Debug, Default)]
+pub struct RequirementBuilder {
+    graph: DiGraph<ServiceId, ()>,
+    node_of: HashMap<ServiceId, NodeIx>,
+}
+
+impl RequirementBuilder {
+    /// Ensures `service` is part of the requirement (idempotent) and returns
+    /// the builder for chaining.
+    pub fn service(&mut self, service: ServiceId) -> &mut Self {
+        self.node(service);
+        self
+    }
+
+    fn node(&mut self, service: ServiceId) -> NodeIx {
+        if let Some(&n) = self.node_of.get(&service) {
+            return n;
+        }
+        let n = self.graph.add_node(service);
+        self.node_of.insert(service, n);
+        n
+    }
+
+    /// Adds the requirement edge `from → to` (services are created as
+    /// needed; duplicate edges are ignored).
+    pub fn edge(&mut self, from: ServiceId, to: ServiceId) -> &mut Self {
+        let f = self.node(from);
+        let t = self.node(to);
+        if !self.graph.contains_edge(f, t) {
+            self.graph.add_edge(f, t, ());
+        }
+        self
+    }
+
+    /// Validates and builds the requirement.
+    ///
+    /// # Errors
+    ///
+    /// * [`RequirementError::TooSmall`] — fewer than two services / no edge;
+    /// * [`RequirementError::Cyclic`] — the service graph has a cycle;
+    /// * [`RequirementError::NoSource`] / [`RequirementError::MultipleSources`];
+    /// * [`RequirementError::Disconnected`] — a service unreachable from the
+    ///   source.
+    pub fn build(&self) -> Result<ServiceRequirement, RequirementError> {
+        if self.graph.node_count() < 2 || self.graph.edge_count() == 0 {
+            return Err(RequirementError::TooSmall);
+        }
+        if let Err(e) = algo::topo_sort(&self.graph) {
+            return Err(RequirementError::Cyclic(*self.graph.node(e.node)));
+        }
+        let sources = algo::sources(&self.graph);
+        let source = match sources.as_slice() {
+            [] => return Err(RequirementError::NoSource),
+            [one] => *self.graph.node(*one),
+            many => {
+                return Err(RequirementError::MultipleSources(
+                    many.iter().map(|&n| *self.graph.node(n)).collect(),
+                ))
+            }
+        };
+        let reach = algo::descendants(&self.graph, self.node_of[&source]);
+        if let Some(lost) = self.graph.node_ids().find(|n| !reach.contains(n)) {
+            return Err(RequirementError::Disconnected(*self.graph.node(lost)));
+        }
+        let sinks = algo::sinks(&self.graph)
+            .into_iter()
+            .map(|n| *self.graph.node(n))
+            .collect();
+        Ok(ServiceRequirement {
+            graph: self.graph.clone(),
+            node_of: self.node_of.clone(),
+            source,
+            sinks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> ServiceId {
+        ServiceId::new(i)
+    }
+
+    #[test]
+    fn path_requirement() {
+        let req = ServiceRequirement::path(&[s(0), s(1), s(2)]).unwrap();
+        assert_eq!(req.source(), s(0));
+        assert_eq!(req.sinks(), vec![s(2)]);
+        assert_eq!(req.shape(), RequirementShape::Path);
+        assert!(req.is_path());
+        assert_eq!(req.len(), 3);
+        assert!(!req.is_empty());
+        assert_eq!(req.topo_order(), vec![s(0), s(1), s(2)]);
+        assert_eq!(req.downstream(s(0)), vec![s(1)]);
+        assert_eq!(req.upstream(s(2)), vec![s(1)]);
+        assert!(req.contains(s(1)));
+        assert!(!req.contains(s(7)));
+        assert_eq!(req.edge_count(), 2);
+    }
+
+    #[test]
+    fn diamond_is_disjoint_paths() {
+        // The plain diamond is a bundle of two parallel chains.
+        let req = ServiceRequirement::from_edges([
+            (s(0), s(1)),
+            (s(0), s(2)),
+            (s(1), s(3)),
+            (s(2), s(3)),
+        ])
+        .unwrap();
+        assert_eq!(req.shape(), RequirementShape::DisjointPaths);
+        assert!(!req.is_path());
+        assert_eq!(req.sinks(), vec![s(3)]);
+    }
+
+    #[test]
+    fn interleaved_requirement_is_dag() {
+        // Fig. 5 shape: stream splits at 0 and 1, crosses at 2 → 3, merges
+        // at 4 — intermediates violate in = out = 1.
+        let req = ServiceRequirement::from_edges([
+            (s(0), s(1)),
+            (s(0), s(2)),
+            (s(1), s(3)),
+            (s(2), s(3)),
+            (s(1), s(4)),
+            (s(3), s(4)),
+        ])
+        .unwrap();
+        assert_eq!(req.shape(), RequirementShape::Dag);
+    }
+
+    #[test]
+    fn disjoint_paths_shape() {
+        // Fig. 3: three parallel chains source → … → sink.
+        let req = ServiceRequirement::from_edges([
+            (s(0), s(1)),
+            (s(1), s(5)),
+            (s(0), s(2)),
+            (s(2), s(5)),
+            (s(0), s(3)),
+            (s(3), s(4)),
+            (s(4), s(5)),
+        ])
+        .unwrap();
+        assert_eq!(req.shape(), RequirementShape::DisjointPaths);
+    }
+
+    #[test]
+    fn tree_shape() {
+        let req =
+            ServiceRequirement::from_edges([(s(0), s(1)), (s(0), s(2)), (s(1), s(3))]).unwrap();
+        assert_eq!(req.shape(), RequirementShape::Tree);
+        assert_eq!(req.sinks(), vec![s(2), s(3)]);
+    }
+
+    #[test]
+    fn too_small_rejected() {
+        assert_eq!(
+            ServiceRequirement::path(&[s(0)]).unwrap_err(),
+            RequirementError::TooSmall
+        );
+        assert_eq!(
+            ServiceRequirement::builder().build().unwrap_err(),
+            RequirementError::TooSmall
+        );
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let err = ServiceRequirement::from_edges([(s(0), s(1)), (s(1), s(0))]).unwrap_err();
+        assert!(matches!(err, RequirementError::Cyclic(_)));
+    }
+
+    #[test]
+    fn multiple_sources_rejected() {
+        let err = ServiceRequirement::from_edges([(s(0), s(2)), (s(1), s(2))]).unwrap_err();
+        assert_eq!(err, RequirementError::MultipleSources(vec![s(0), s(1)]));
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduped() {
+        let req =
+            ServiceRequirement::from_edges([(s(0), s(1)), (s(0), s(1)), (s(1), s(2))]).unwrap();
+        assert_eq!(req.edge_count(), 2);
+    }
+
+    #[test]
+    fn subrequirement_from_intermediate() {
+        let req = ServiceRequirement::from_edges([
+            (s(0), s(1)),
+            (s(1), s(2)),
+            (s(1), s(3)),
+            (s(2), s(4)),
+            (s(3), s(4)),
+        ])
+        .unwrap();
+        let sub = req.subrequirement_from(s(1)).unwrap();
+        assert_eq!(sub.source(), s(1));
+        assert_eq!(sub.len(), 4);
+        assert!(!sub.contains(s(0)));
+        // Sinks yield no residual.
+        assert!(req.subrequirement_from(s(4)).is_none());
+        // Unknown services yield none.
+        assert!(req.subrequirement_from(s(9)).is_none());
+    }
+
+    #[test]
+    fn parses_chain_expressions() {
+        let req: ServiceRequirement = "0>1>3, 0>2>3".parse().unwrap();
+        assert_eq!(req.source(), s(0));
+        assert_eq!(req.sinks(), vec![s(3)]);
+        assert_eq!(req.edge_count(), 4);
+        // Whitespace and duplicate edges are tolerated.
+        let req2: ServiceRequirement = " 0 > 1 , 0>1, 1>2 ".parse().unwrap();
+        assert_eq!(req2.edge_count(), 2);
+    }
+
+    #[test]
+    fn parse_errors_are_specific() {
+        assert!(matches!(
+            "0>x".parse::<ServiceRequirement>().unwrap_err(),
+            ParseRequirementError::BadServiceId(t) if t == "x"
+        ));
+        assert!(matches!(
+            "0>1, 2".parse::<ServiceRequirement>().unwrap_err(),
+            ParseRequirementError::LoneService(_)
+        ));
+        assert!(matches!(
+            "0>1, 1>0".parse::<ServiceRequirement>().unwrap_err(),
+            ParseRequirementError::Invalid(RequirementError::Cyclic(_))
+        ));
+        assert!(ParseRequirementError::BadServiceId("x".into())
+            .to_string()
+            .contains('x'));
+    }
+
+    #[test]
+    fn transitive_reduction_drops_implied_streams() {
+        let req = ServiceRequirement::from_edges([
+            (s(0), s(1)),
+            (s(1), s(2)),
+            (s(2), s(3)),
+            (s(0), s(3)), // implied by the chain
+            (s(0), s(2)), // implied too
+        ])
+        .unwrap();
+        let reduced = req.transitive_reduction();
+        assert_eq!(reduced.edge_count(), 3);
+        assert!(reduced.is_path());
+        // Idempotent on already-reduced requirements.
+        let again = reduced.transitive_reduction();
+        assert_eq!(again.edge_count(), 3);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let req = ServiceRequirement::path(&[s(0), s(1)]).unwrap();
+        let rendered = req.to_string();
+        assert!(rendered.contains("2 services"));
+        assert!(rendered.contains("s0"));
+        assert!(rendered.contains("s1"));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(RequirementError::TooSmall
+            .to_string()
+            .contains("two services"));
+        assert!(RequirementError::Cyclic(s(1)).to_string().contains("s1"));
+        assert!(RequirementError::NoSource.to_string().contains("source"));
+        assert!(RequirementError::MultipleSources(vec![s(1), s(2)])
+            .to_string()
+            .contains("s1, s2"));
+        assert!(RequirementError::Disconnected(s(3))
+            .to_string()
+            .contains("s3"));
+    }
+}

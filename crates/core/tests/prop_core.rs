@@ -1,0 +1,240 @@
+//! Property tests for the core federation machinery.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use sflow_core::algorithms::{FederationAlgorithm, GlobalOptimalAlgorithm, SflowAlgorithm};
+use sflow_core::baseline::ChainSolver;
+use sflow_core::fixtures::{random_fixture, Fixture};
+use sflow_core::reduction::{chain_cover, Plan};
+use sflow_core::{FlowGraph, RequirementError, ServiceRequirement};
+use sflow_graph::NodeIx;
+use sflow_net::ServiceId;
+use sflow_routing::Qos;
+
+fn sid(i: u32) -> ServiceId {
+    ServiceId::new(i)
+}
+
+/// Brute-force optimal chain QoS: enumerate every instance combination.
+fn brute_force_chain(fx: &Fixture, chain: &[ServiceId]) -> Option<Qos> {
+    let ctx = fx.context();
+    let cands: Vec<Vec<NodeIx>> = chain
+        .iter()
+        .map(|&s| fx.overlay.instances_of(s).to_vec())
+        .collect();
+    if cands.iter().any(Vec::is_empty) {
+        return None;
+    }
+    let mut best: Option<Qos> = None;
+    let mut idx = vec![0usize; chain.len()];
+    'outer: loop {
+        let mut qos = Some(Qos::IDENTITY);
+        for w in 0..chain.len() - 1 {
+            let (a, b) = (cands[w][idx[w]], cands[w + 1][idx[w + 1]]);
+            qos = match (qos, ctx.qos(a, b)) {
+                (Some(acc), Some(link)) => Some(acc.then(link)),
+                _ => None,
+            };
+        }
+        if let Some(q) = qos {
+            if best.map_or(true, |b| q.is_better_than(&b)) {
+                best = Some(q);
+            }
+        }
+        for i in (0..idx.len()).rev() {
+            idx[i] += 1;
+            if idx[i] < cands[i].len() {
+                continue 'outer;
+            }
+            idx[i] = 0;
+            if i == 0 {
+                break 'outer;
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The Pareto-DP chain solver is exactly optimal under the
+    /// shortest-widest order (Table 1's optimality claim).
+    #[test]
+    fn chain_solver_matches_brute_force(
+        n_services in 3usize..6,
+        per_service in 1usize..4,
+        seed in 0u64..300,
+    ) {
+        let services: Vec<ServiceId> = (0..n_services as u32).map(sid).collect();
+        let fx = random_fixture(12, &services, per_service, None, seed);
+        let ctx = fx.context();
+        let oracle = brute_force_chain(&fx, &services);
+        match ChainSolver::new(&ctx).solve(&services) {
+            Ok(sol) => prop_assert_eq!(Some(sol.qos), oracle),
+            Err(_) => prop_assert_eq!(oracle, None),
+        }
+    }
+
+    /// Requirement construction: any forward-edge list over a rooted DAG
+    /// validates; reversing an edge that creates a second source fails.
+    #[test]
+    fn requirement_builder_validates(
+        n in 3u32..8,
+        extra in proptest::collection::vec((0u32..8, 0u32..8), 0..10),
+    ) {
+        let mut b = ServiceRequirement::builder();
+        for i in 1..n {
+            b.edge(sid((i - 1) / 2), sid(i)); // binary-tree spine: rooted
+        }
+        for (a, c) in extra {
+            let (a, c) = (a % n, c % n);
+            if a < c {
+                b.edge(sid(a), sid(c));
+            }
+        }
+        let req = b.build();
+        prop_assert!(req.is_ok(), "{:?}", req.err());
+        let req = req.unwrap();
+        prop_assert_eq!(req.source(), sid(0));
+        prop_assert!(!req.sinks().is_empty());
+        // Topological order starts at the source and covers everything.
+        let order = req.topo_order();
+        prop_assert_eq!(order[0], sid(0));
+        prop_assert_eq!(order.len(), req.len());
+    }
+
+    /// Cycles are always rejected.
+    #[test]
+    fn cyclic_requirements_rejected(n in 2u32..6) {
+        let mut b = ServiceRequirement::builder();
+        for i in 0..n {
+            b.edge(sid(i), sid((i + 1) % n));
+        }
+        prop_assert!(matches!(b.build(), Err(RequirementError::Cyclic(_))));
+    }
+
+    /// The chain cover really covers every requirement edge.
+    #[test]
+    fn chain_cover_covers_all_edges(
+        n in 4usize..8,
+        mask in proptest::collection::vec(any::<bool>(), 64),
+    ) {
+        let mut b = ServiceRequirement::builder();
+        for i in 1..n {
+            b.edge(sid((i as u32) - 1), sid(i as u32));
+        }
+        let mut k = 0;
+        for i in 0..n {
+            for j in (i + 2)..n {
+                if mask.get(k).copied().unwrap_or(false) {
+                    b.edge(sid(i as u32), sid(j as u32));
+                }
+                k += 1;
+            }
+        }
+        let req = b.build().unwrap();
+        let chains = chain_cover(&req);
+        for (a, c) in req.edges() {
+            prop_assert!(
+                chains.iter().any(|ch| ch.windows(2).any(|w| w[0] == a && w[1] == c)),
+                "edge {}→{} uncovered", a, c
+            );
+        }
+        // And every chain runs source → some sink.
+        for ch in &chains {
+            prop_assert_eq!(ch[0], req.source());
+            prop_assert!(req.sinks().contains(ch.last().unwrap()));
+        }
+    }
+
+    /// Plan analysis terminates and produces solvable structure for any
+    /// valid requirement (executed via the solver on a random world).
+    #[test]
+    fn plans_execute(
+        n in 4usize..7,
+        mask in proptest::collection::vec(any::<bool>(), 32),
+        seed in 0u64..200,
+    ) {
+        let mut b = ServiceRequirement::builder();
+        for i in 1..n {
+            b.edge(sid(0), sid(i as u32));
+        }
+        let mut k = 0;
+        for i in 1..n {
+            for j in (i + 1)..n {
+                if mask.get(k).copied().unwrap_or(false) {
+                    b.edge(sid(i as u32), sid(j as u32));
+                }
+                k += 1;
+            }
+        }
+        let req = b.build().unwrap();
+        let _plan = Plan::analyze(&req); // must not panic / loop
+        let services: Vec<ServiceId> = req.services();
+        let fx = random_fixture(10, &services, 2, None, seed);
+        let ctx = fx.context();
+        if let Ok(flow) = SflowAlgorithm::with_full_view().federate(&ctx, &req) {
+            prop_assert_eq!(flow.selection().len(), req.len());
+        }
+    }
+
+    /// Assembling any *complete* selection over a universal-compatibility
+    /// world succeeds, and the reported bottleneck equals the min over
+    /// streams.
+    #[test]
+    fn assemble_reports_min_bottleneck(
+        seed in 0u64..200,
+        picks in proptest::collection::vec(0usize..3, 4),
+    ) {
+        let services: Vec<ServiceId> = (0..4).map(sid).collect();
+        let req = ServiceRequirement::from_edges([
+            (sid(0), sid(1)),
+            (sid(0), sid(2)),
+            (sid(1), sid(3)),
+            (sid(2), sid(3)),
+        ]).unwrap();
+        let fx = random_fixture(12, &services, 3, None, seed);
+        let ctx = fx.context();
+        let mut sel: BTreeMap<ServiceId, NodeIx> = BTreeMap::new();
+        sel.insert(sid(0), fx.source);
+        for (i, &svc) in services.iter().enumerate().skip(1) {
+            let cands = fx.overlay.instances_of(svc);
+            sel.insert(svc, cands[picks[i] % cands.len()]);
+        }
+        if let Ok(flow) = FlowGraph::assemble(&ctx, &req, &sel) {
+            let min_bw = flow.edges().iter().map(|e| e.qos.bandwidth).min().unwrap();
+            prop_assert_eq!(flow.bandwidth(), min_bw);
+            // Latency is at least the slowest single stream on any
+            // source→sink path, and at most the sum of all streams.
+            let sum: u64 = flow.edges().iter().map(|e| e.qos.latency.as_micros()).sum();
+            prop_assert!(flow.latency().as_micros() <= sum);
+        }
+    }
+
+    /// Global-optimal pruning is sound: with pruning disabled (simulated by
+    /// comparing against sFlow-full-view on chains where both are optimal).
+    #[test]
+    fn optimal_at_least_as_wide_as_sflow(seed in 0u64..150) {
+        let services: Vec<ServiceId> = (0..5).map(sid).collect();
+        let req = ServiceRequirement::from_edges([
+            (sid(0), sid(1)),
+            (sid(0), sid(2)),
+            (sid(1), sid(3)),
+            (sid(2), sid(4)),
+            (sid(3), sid(4)),
+        ]).unwrap();
+        let fx = random_fixture(14, &services, 2, None, seed);
+        let ctx = fx.context();
+        let opt = GlobalOptimalAlgorithm.federate(&ctx, &req);
+        let sf = SflowAlgorithm::with_full_view().federate(&ctx, &req);
+        if let (Ok(opt), Ok(sf)) = (opt, sf) {
+            prop_assert!(opt.bandwidth() >= sf.bandwidth());
+            if opt.bandwidth() == sf.bandwidth() {
+                // Under equal bandwidth, the optimum is no slower.
+                prop_assert!(opt.latency() <= sf.latency());
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Serialization tests: federation results export cleanly to JSON.
+
+use sflow_core::algorithms::{FederationAlgorithm, SflowAlgorithm};
+use sflow_core::fixtures::{diamond_fixture, diamond_requirement};
+
+#[test]
+fn flow_graph_serializes_with_expected_fields() {
+    let fx = diamond_fixture();
+    let ctx = fx.context();
+    let flow = SflowAlgorithm::default()
+        .federate(&ctx, &diamond_requirement())
+        .unwrap();
+    let json = serde_json::to_value(&flow).unwrap();
+    // Top-level shape.
+    assert!(json.get("selection").is_some());
+    assert!(json.get("instances").is_some());
+    assert!(json.get("edges").is_some());
+    assert!(json.get("quality").is_some());
+    // Quality carries both metrics.
+    let q = &json["quality"];
+    assert!(q.get("bandwidth").is_some());
+    assert!(q.get("latency").is_some());
+    // One edge per requirement stream, each with an overlay path.
+    let edges = json["edges"].as_array().unwrap();
+    assert_eq!(edges.len(), 4);
+    for e in edges {
+        assert!(e["overlay_path"].as_array().unwrap().len() >= 1);
+        assert!(e.get("qos").is_some());
+    }
+}
+
+#[test]
+fn quality_json_is_compact_numbers() {
+    let fx = diamond_fixture();
+    let ctx = fx.context();
+    let flow = SflowAlgorithm::default()
+        .federate(&ctx, &diamond_requirement())
+        .unwrap();
+    let s = serde_json::to_string(&flow.quality()).unwrap();
+    // Newtype wrappers serialize transparently as integers.
+    assert_eq!(
+        s,
+        format!(
+            "{{\"bandwidth\":{},\"latency\":{}}}",
+            flow.bandwidth().as_kbps(),
+            flow.latency().as_micros()
+        )
+    );
+}

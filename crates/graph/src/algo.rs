@@ -1,0 +1,609 @@
+//! Graph algorithms used by the sflow constructions.
+//!
+//! Everything here operates on [`DiGraph`] and is written for the graph sizes
+//! the paper evaluates (tens to low hundreds of nodes); asymptotics are noted
+//! per function.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::{CycleError, DiGraph, NodeIx};
+
+/// Computes a topological order of `g` using Kahn's algorithm in `O(V + E)`.
+///
+/// Ties (multiple ready nodes) are broken by node index, making the order
+/// deterministic.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if `g` contains a directed cycle.
+///
+/// # Example
+///
+/// ```
+/// use sflow_graph::{DiGraph, algo};
+/// let mut g: DiGraph<(), ()> = DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// g.add_edge(a, b, ());
+/// assert_eq!(algo::topo_sort(&g).unwrap(), vec![a, b]);
+/// ```
+pub fn topo_sort<N, E>(g: &DiGraph<N, E>) -> Result<Vec<NodeIx>, CycleError> {
+    let mut in_deg: Vec<usize> = g.node_ids().map(|n| g.in_degree(n)).collect();
+    // A BinaryHeap of Reverse would also work; with the small graphs here a
+    // sorted ready-queue scan is simpler and deterministic.
+    let mut ready: Vec<NodeIx> = g.node_ids().filter(|n| in_deg[n.index()] == 0).collect();
+    ready.sort();
+    let mut ready: VecDeque<NodeIx> = ready.into();
+    let mut order = Vec::with_capacity(g.node_count());
+
+    while let Some(n) = ready.pop_front() {
+        order.push(n);
+        let mut newly_ready = Vec::new();
+        for succ in g.successors(n) {
+            in_deg[succ.index()] -= 1;
+            if in_deg[succ.index()] == 0 {
+                newly_ready.push(succ);
+            }
+        }
+        newly_ready.sort();
+        ready.extend(newly_ready);
+    }
+
+    if order.len() == g.node_count() {
+        Ok(order)
+    } else {
+        // Any node with residual in-degree participates in (or is downstream
+        // of) a cycle; report the smallest for determinism.
+        let node = g
+            .node_ids()
+            .find(|n| in_deg[n.index()] > 0)
+            .expect("cycle implies a node with residual in-degree");
+        Err(CycleError { node })
+    }
+}
+
+/// Returns `true` if `g` contains no directed cycle. `O(V + E)`.
+pub fn is_acyclic<N, E>(g: &DiGraph<N, E>) -> bool {
+    topo_sort(g).is_ok()
+}
+
+/// Direction selector for traversals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Follow edges from tail to head.
+    Forward,
+    /// Follow edges from head to tail.
+    Backward,
+    /// Ignore edge orientation.
+    Both,
+}
+
+/// Breadth-first search from `start`, following edges in `dir`, visiting
+/// nodes at distance at most `max_hops` (in hops). `O(V + E)`.
+///
+/// The returned map contains each reached node with its hop distance;
+/// `start` is included with distance 0.
+pub fn bfs_within<N, E>(
+    g: &DiGraph<N, E>,
+    start: NodeIx,
+    dir: Direction,
+    max_hops: usize,
+) -> HashMap<NodeIx, usize> {
+    let mut dist = HashMap::new();
+    dist.insert(start, 0);
+    let mut queue = VecDeque::new();
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        let d = dist[&n];
+        if d == max_hops {
+            continue;
+        }
+        let nexts: Vec<NodeIx> = match dir {
+            Direction::Forward => g.successors(n).collect(),
+            Direction::Backward => g.predecessors(n).collect(),
+            Direction::Both => g.successors(n).chain(g.predecessors(n)).collect(),
+        };
+        for nx in nexts {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(nx) {
+                e.insert(d + 1);
+                queue.push_back(nx);
+            }
+        }
+    }
+    dist
+}
+
+/// Set of all nodes reachable from `start` (inclusive) following edge
+/// direction. `O(V + E)`.
+pub fn descendants<N, E>(g: &DiGraph<N, E>, start: NodeIx) -> HashSet<NodeIx> {
+    bfs_within(g, start, Direction::Forward, usize::MAX)
+        .into_keys()
+        .collect()
+}
+
+/// Set of all nodes that can reach `end` (inclusive). `O(V + E)`.
+pub fn ancestors<N, E>(g: &DiGraph<N, E>, end: NodeIx) -> HashSet<NodeIx> {
+    bfs_within(g, end, Direction::Backward, usize::MAX)
+        .into_keys()
+        .collect()
+}
+
+/// Returns `true` if a directed path `from ⇝ to` exists. `O(V + E)`.
+pub fn has_path<N, E>(g: &DiGraph<N, E>, from: NodeIx, to: NodeIx) -> bool {
+    descendants(g, from).contains(&to)
+}
+
+/// Nodes with no incoming edges, in index order.
+pub fn sources<N, E>(g: &DiGraph<N, E>) -> Vec<NodeIx> {
+    g.node_ids().filter(|&n| g.in_degree(n) == 0).collect()
+}
+
+/// Nodes with no outgoing edges, in index order.
+pub fn sinks<N, E>(g: &DiGraph<N, E>) -> Vec<NodeIx> {
+    g.node_ids().filter(|&n| g.out_degree(n) == 0).collect()
+}
+
+/// Enumerates every simple directed path `from ⇝ to`, up to `limit` paths.
+///
+/// Exponential in the worst case — intended for requirement DAGs, which the
+/// paper keeps small (tens of services). Paths are produced in DFS order with
+/// successor ties broken by insertion order, so the output is deterministic.
+pub fn all_simple_paths<N, E>(
+    g: &DiGraph<N, E>,
+    from: NodeIx,
+    to: NodeIx,
+    limit: usize,
+) -> Vec<Vec<NodeIx>> {
+    let mut out = Vec::new();
+    let mut stack = vec![from];
+    let mut on_path: HashSet<NodeIx> = HashSet::new();
+    on_path.insert(from);
+    dfs_paths(g, to, limit, &mut stack, &mut on_path, &mut out);
+    out
+}
+
+fn dfs_paths<N, E>(
+    g: &DiGraph<N, E>,
+    to: NodeIx,
+    limit: usize,
+    stack: &mut Vec<NodeIx>,
+    on_path: &mut HashSet<NodeIx>,
+    out: &mut Vec<Vec<NodeIx>>,
+) {
+    if out.len() >= limit {
+        return;
+    }
+    let cur = *stack.last().expect("stack starts non-empty");
+    if cur == to {
+        out.push(stack.clone());
+        return;
+    }
+    let succs: Vec<NodeIx> = g.successors(cur).collect();
+    for s in succs {
+        if on_path.contains(&s) {
+            continue;
+        }
+        stack.push(s);
+        on_path.insert(s);
+        dfs_paths(g, to, limit, stack, on_path, out);
+        on_path.remove(&s);
+        stack.pop();
+    }
+}
+
+/// Extracts the sub-graph induced by the nodes within `hops` of `center`
+/// (ignoring edge orientation, as the paper's "two-hop vicinity" does).
+///
+/// Returns the new graph plus the mapping `new handle → old handle`. Node and
+/// edge weights are cloned. `O(V + E)`.
+pub fn k_hop_subgraph<N: Clone, E: Clone>(
+    g: &DiGraph<N, E>,
+    center: NodeIx,
+    hops: usize,
+) -> (DiGraph<N, E>, Vec<NodeIx>) {
+    let keep: HashSet<NodeIx> = bfs_within(g, center, Direction::Both, hops)
+        .into_keys()
+        .collect();
+    induced_subgraph(g, &keep)
+}
+
+/// Extracts the sub-graph induced by `keep`: all kept nodes plus every edge
+/// whose endpoints are both kept.
+///
+/// Returns the new graph plus the mapping `new handle → old handle`. Nodes
+/// are emitted in old-index order, so the mapping is sorted.
+pub fn induced_subgraph<N: Clone, E: Clone>(
+    g: &DiGraph<N, E>,
+    keep: &HashSet<NodeIx>,
+) -> (DiGraph<N, E>, Vec<NodeIx>) {
+    let mut old_of_new: Vec<NodeIx> = keep.iter().copied().collect();
+    old_of_new.sort();
+    let mut new_of_old: HashMap<NodeIx, NodeIx> = HashMap::new();
+    let mut sub = DiGraph::with_capacity(old_of_new.len(), 0);
+    for &old in &old_of_new {
+        let new = sub.add_node(g.node(old).clone());
+        new_of_old.insert(old, new);
+    }
+    for e in g.edges() {
+        if let (Some(&f), Some(&t)) = (new_of_old.get(&e.from), new_of_old.get(&e.to)) {
+            sub.add_edge(f, t, e.weight.clone());
+        }
+    }
+    (sub, old_of_new)
+}
+
+/// Tarjan's strongly-connected-components algorithm (iterative). `O(V + E)`.
+///
+/// Components are returned in reverse topological order of the condensation
+/// (callees before callers), each sorted by node index.
+pub fn tarjan_scc<N, E>(g: &DiGraph<N, E>) -> Vec<Vec<NodeIx>> {
+    #[derive(Clone, Copy)]
+    struct Meta {
+        index: u32,
+        lowlink: u32,
+        on_stack: bool,
+        visited: bool,
+    }
+    let n = g.node_count();
+    let mut meta = vec![
+        Meta {
+            index: 0,
+            lowlink: 0,
+            on_stack: false,
+            visited: false,
+        };
+        n
+    ];
+    let mut next_index = 0u32;
+    let mut stack: Vec<NodeIx> = Vec::new();
+    let mut comps: Vec<Vec<NodeIx>> = Vec::new();
+
+    // Explicit DFS stack: (node, iterator position over successors).
+    for root in g.node_ids() {
+        if meta[root.index()].visited {
+            continue;
+        }
+        let mut call: Vec<(NodeIx, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            if *pos == 0 {
+                let m = &mut meta[v.index()];
+                m.visited = true;
+                m.index = next_index;
+                m.lowlink = next_index;
+                m.on_stack = true;
+                next_index += 1;
+                stack.push(v);
+            }
+            let succs: Vec<NodeIx> = g.successors(v).collect();
+            if *pos < succs.len() {
+                let w = succs[*pos];
+                *pos += 1;
+                if !meta[w.index()].visited {
+                    call.push((w, 0));
+                } else if meta[w.index()].on_stack {
+                    meta[v.index()].lowlink = meta[v.index()].lowlink.min(meta[w.index()].index);
+                }
+            } else {
+                if meta[v.index()].lowlink == meta[v.index()].index {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("scc stack underflow");
+                        meta[w.index()].on_stack = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    comps.push(comp);
+                }
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    meta[parent.index()].lowlink =
+                        meta[parent.index()].lowlink.min(meta[v.index()].lowlink);
+                }
+            }
+        }
+    }
+    comps
+}
+
+/// The redundant edges of a DAG under transitive reduction: an edge `u → v`
+/// is redundant iff some other `u ⇝ v` path of length ≥ 2 exists (the edge
+/// adds no ordering constraint). `O(E · (V + E))`.
+///
+/// Parallel edges between the same endpoints are all reported (each is made
+/// redundant by its twin).
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if `g` is not acyclic (transitive reduction is
+/// only unique for DAGs).
+pub fn redundant_edges<N, E>(g: &DiGraph<N, E>) -> Result<Vec<crate::EdgeIx>, CycleError> {
+    topo_sort(g)?; // cycle check
+    let mut redundant = Vec::new();
+    for e in g.edges() {
+        // Is `e.to` reachable from `e.from` without using edge `e`?
+        let mut seen: HashSet<NodeIx> = HashSet::new();
+        let mut stack = vec![e.from];
+        seen.insert(e.from);
+        let mut found = false;
+        while let Some(n) = stack.pop() {
+            for out in g.out_edges(n) {
+                if out.id == e.id {
+                    continue;
+                }
+                if out.to == e.to {
+                    found = true;
+                    break;
+                }
+                if seen.insert(out.to) {
+                    stack.push(out.to);
+                }
+            }
+            if found {
+                break;
+            }
+        }
+        if found {
+            redundant.push(e.id);
+        }
+    }
+    Ok(redundant)
+}
+
+/// Longest-path distances from `start` over a DAG, where each edge's length
+/// is supplied by `len`. Unreachable nodes are `None`. `O(V + E)`.
+///
+/// Used to compute end-to-end latency of a service flow graph: the delivered
+/// service is only complete once the *slowest* branch has arrived.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if `g` is not acyclic.
+pub fn dag_longest_paths<N, E>(
+    g: &DiGraph<N, E>,
+    start: NodeIx,
+    mut len: impl FnMut(crate::EdgeRef<'_, E>) -> u64,
+) -> Result<Vec<Option<u64>>, CycleError> {
+    let order = topo_sort(g)?;
+    let mut dist: Vec<Option<u64>> = vec![None; g.node_count()];
+    dist[start.index()] = Some(0);
+    for n in order {
+        let Some(d) = dist[n.index()] else { continue };
+        for e in g.out_edges(n) {
+            let cand = d.saturating_add(len(e));
+            let slot = &mut dist[e.to.index()];
+            if slot.map_or(true, |cur| cand > cur) {
+                *slot = Some(cand);
+            }
+        }
+    }
+    Ok(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> DiGraph<usize, ()> {
+        let mut g = DiGraph::new();
+        let nodes: Vec<_> = (0..n).map(|i| g.add_node(i)).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1], ());
+        }
+        g
+    }
+
+    #[test]
+    fn topo_sort_chain() {
+        let g = chain(5);
+        let order = topo_sort(&g).unwrap();
+        assert_eq!(order.len(), 5);
+        for w in order.windows(2) {
+            assert!(g.contains_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn topo_sort_detects_cycle() {
+        let mut g = chain(3);
+        let ids: Vec<_> = g.node_ids().collect();
+        g.add_edge(ids[2], ids[0], ());
+        assert!(matches!(topo_sort(&g), Err(CycleError { .. })));
+        assert!(!is_acyclic(&g));
+    }
+
+    #[test]
+    fn topo_sort_is_deterministic_on_antichain() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        for _ in 0..4 {
+            g.add_node(());
+        }
+        let order = topo_sort(&g).unwrap();
+        assert_eq!(order, g.node_ids().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bfs_within_respects_hop_limit() {
+        let g = chain(6);
+        let ids: Vec<_> = g.node_ids().collect();
+        let d = bfs_within(&g, ids[0], Direction::Forward, 2);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[&ids[2]], 2);
+        let d = bfs_within(&g, ids[3], Direction::Both, 1);
+        assert_eq!(d.len(), 3); // node 2, 3, 4
+    }
+
+    #[test]
+    fn bfs_backward_follows_predecessors() {
+        let g = chain(5);
+        let ids: Vec<_> = g.node_ids().collect();
+        let d = bfs_within(&g, ids[3], Direction::Backward, 2);
+        assert_eq!(d.len(), 3); // nodes 1, 2, 3
+        assert_eq!(d[&ids[1]], 2);
+        assert!(!d.contains_key(&ids[4]));
+        // Zero hops: only the start node.
+        let d0 = bfs_within(&g, ids[3], Direction::Both, 0);
+        assert_eq!(d0.len(), 1);
+    }
+
+    #[test]
+    fn descendants_and_ancestors() {
+        let g = chain(4);
+        let ids: Vec<_> = g.node_ids().collect();
+        assert_eq!(descendants(&g, ids[1]).len(), 3);
+        assert_eq!(ancestors(&g, ids[1]).len(), 2);
+        assert!(has_path(&g, ids[0], ids[3]));
+        assert!(!has_path(&g, ids[3], ids[0]));
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let g = chain(3);
+        let ids: Vec<_> = g.node_ids().collect();
+        assert_eq!(sources(&g), vec![ids[0]]);
+        assert_eq!(sinks(&g), vec![ids[2]]);
+    }
+
+    #[test]
+    fn all_simple_paths_diamond() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, a, ());
+        g.add_edge(s, b, ());
+        g.add_edge(a, t, ());
+        g.add_edge(b, t, ());
+        let paths = all_simple_paths(&g, s, t, usize::MAX);
+        assert_eq!(paths, vec![vec![s, a, t], vec![s, b, t]]);
+        assert_eq!(all_simple_paths(&g, s, t, 1).len(), 1);
+        assert!(all_simple_paths(&g, t, s, usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn all_simple_paths_trivial() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let s = g.add_node(());
+        assert_eq!(all_simple_paths(&g, s, s, usize::MAX), vec![vec![s]]);
+    }
+
+    #[test]
+    fn k_hop_subgraph_keeps_local_edges() {
+        let g = chain(6);
+        let ids: Vec<_> = g.node_ids().collect();
+        let (sub, mapping) = k_hop_subgraph(&g, ids[2], 2);
+        assert_eq!(sub.node_count(), 5); // nodes 0..=4
+        assert_eq!(sub.edge_count(), 4);
+        assert_eq!(mapping, vec![ids[0], ids[1], ids[2], ids[3], ids[4]]);
+    }
+
+    #[test]
+    fn induced_subgraph_drops_crossing_edges() {
+        let g = chain(4);
+        let ids: Vec<_> = g.node_ids().collect();
+        let keep: HashSet<_> = [ids[0], ids[1], ids[3]].into_iter().collect();
+        let (sub, mapping) = induced_subgraph(&g, &keep);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 1); // only 0→1 survives
+        assert_eq!(mapping, vec![ids[0], ids[1], ids[3]]);
+    }
+
+    #[test]
+    fn scc_on_dag_is_singletons() {
+        let g = chain(4);
+        let comps = tarjan_scc(&g);
+        assert_eq!(comps.len(), 4);
+        assert!(comps.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn scc_finds_cycle() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        g.add_edge(c, a, ());
+        g.add_edge(c, d, ());
+        let comps = tarjan_scc(&g);
+        assert_eq!(comps.len(), 2);
+        assert!(comps.contains(&vec![a, b, c]));
+        assert!(comps.contains(&vec![d]));
+    }
+
+    #[test]
+    fn redundant_edges_found_and_kept_edges_preserve_order() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        let shortcut = g.add_edge(a, c, ()); // implied by a→b→c
+        let red = redundant_edges(&g).unwrap();
+        assert_eq!(red, vec![shortcut]);
+        // A pure chain has no redundancy.
+        assert!(redundant_edges(&chain(4)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn redundant_edges_rejects_cycles() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        assert!(redundant_edges(&g).is_err());
+    }
+
+    #[test]
+    fn parallel_edges_are_mutually_redundant() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let e1 = g.add_edge(a, b, ());
+        let e2 = g.add_edge(a, b, ());
+        let red = redundant_edges(&g).unwrap();
+        assert_eq!(red, vec![e1, e2]);
+    }
+
+    #[test]
+    fn dag_longest_paths_picks_slowest_branch() {
+        let mut g: DiGraph<(), u64> = DiGraph::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, a, 1);
+        g.add_edge(s, b, 10);
+        g.add_edge(a, t, 1);
+        g.add_edge(b, t, 1);
+        let d = dag_longest_paths(&g, s, |e| *e.weight).unwrap();
+        assert_eq!(d[t.index()], Some(11));
+        assert_eq!(d[s.index()], Some(0));
+    }
+
+    #[test]
+    fn dag_longest_paths_unreachable_is_none() {
+        let mut g: DiGraph<(), u64> = DiGraph::new();
+        let s = g.add_node(());
+        let lone = g.add_node(());
+        let d = dag_longest_paths(&g, s, |e| *e.weight).unwrap();
+        assert_eq!(d[lone.index()], None);
+    }
+
+    #[test]
+    fn dag_longest_paths_rejects_cycles() {
+        let mut g: DiGraph<(), u64> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1);
+        g.add_edge(b, a, 1);
+        assert!(dag_longest_paths(&g, a, |e| *e.weight).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Graphviz DOT export.
+//!
+//! Rendering overlays, requirements and flow graphs is the quickest way to
+//! debug a federation; every higher-level type exposes a `to_dot` built on
+//! [`to_dot`] here.
+
+use std::fmt::Write as _;
+
+use crate::{DiGraph, EdgeRef, NodeIx};
+
+/// Options controlling DOT output.
+#[derive(Clone, Debug)]
+pub struct DotOptions {
+    /// The graph name emitted after `digraph`.
+    pub name: String,
+    /// Rank direction, e.g. `"LR"` (left-to-right) or `"TB"`.
+    pub rankdir: String,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "g".into(),
+            rankdir: "LR".into(),
+        }
+    }
+}
+
+/// Renders `g` as a Graphviz `digraph`, labelling nodes and edges with the
+/// given closures. Nodes may return an empty label (the node id is used);
+/// edges may return an empty label (no label attribute emitted).
+///
+/// Labels are escaped for double-quoted DOT strings.
+///
+/// # Example
+///
+/// ```
+/// use sflow_graph::{dot, DiGraph};
+/// let mut g: DiGraph<&str, u32> = DiGraph::new();
+/// let a = g.add_node("in");
+/// let b = g.add_node("out");
+/// g.add_edge(a, b, 7);
+/// let rendered = dot::to_dot(&g, &dot::DotOptions::default(),
+///     |_, n| n.to_string(), |e| e.weight.to_string());
+/// assert!(rendered.contains("digraph g"));
+/// assert!(rendered.contains("\"in\""));
+/// assert!(rendered.contains("n0 -> n1"));
+/// ```
+pub fn to_dot<N, E>(
+    g: &DiGraph<N, E>,
+    options: &DotOptions,
+    mut node_label: impl FnMut(NodeIx, &N) -> String,
+    mut edge_label: impl FnMut(EdgeRef<'_, E>) -> String,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", escape_id(&options.name));
+    let _ = writeln!(out, "  rankdir={};", escape_id(&options.rankdir));
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for (n, w) in g.nodes() {
+        let label = node_label(n, w);
+        if label.is_empty() {
+            let _ = writeln!(out, "  n{};", n.index());
+        } else {
+            let _ = writeln!(out, "  n{} [label=\"{}\"];", n.index(), escape(&label));
+        }
+    }
+    for e in g.edges() {
+        let label = edge_label(e);
+        if label.is_empty() {
+            let _ = writeln!(out, "  n{} -> n{};", e.from.index(), e.to.index());
+        } else {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{}\"];",
+                e.from.index(),
+                e.to.index(),
+                escape(&label)
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_id(s: &str) -> String {
+    // Identifiers: keep alphanumerics and underscores, replace the rest.
+    s.chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DiGraph<String, u32> {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a \"quoted\"".to_string());
+        let b = g.add_node(String::new());
+        g.add_edge(a, b, 3);
+        g.add_edge(b, a, 0);
+        g
+    }
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let g = sample();
+        let s = to_dot(
+            &g,
+            &DotOptions::default(),
+            |_, n| n.clone(),
+            |e| {
+                if *e.weight == 0 {
+                    String::new()
+                } else {
+                    e.weight.to_string()
+                }
+            },
+        );
+        assert!(s.starts_with("digraph g {"));
+        assert!(s.contains("rankdir=LR;"));
+        assert!(s.contains(r#"n0 [label="a \"quoted\""];"#));
+        assert!(s.contains("n1;")); // empty label → bare node
+        assert!(s.contains(r#"n0 -> n1 [label="3"];"#));
+        assert!(s.contains("n1 -> n0;")); // empty edge label
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_identifiers() {
+        let g = sample();
+        let opts = DotOptions {
+            name: "my graph; bad".into(),
+            rankdir: "TB".into(),
+        };
+        let s = to_dot(&g, &opts, |_, _| String::new(), |_| String::new());
+        assert!(s.contains("digraph my_graph__bad"));
+        assert!(s.contains("rankdir=TB;"));
+    }
+}

@@ -1,0 +1,38 @@
+//! Error types for graph algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeIx;
+
+/// Returned by algorithms that require a directed *acyclic* graph when the
+/// input contains a cycle.
+///
+/// Carries one node known to participate in a cycle so callers can report a
+/// useful diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CycleError {
+    /// A node that lies on some cycle of the offending graph.
+    pub node: NodeIx,
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph contains a cycle through {:?}", self.node)
+    }
+}
+
+impl Error for CycleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_node() {
+        let e = CycleError {
+            node: NodeIx::from_index(3),
+        };
+        assert_eq!(e.to_string(), "graph contains a cycle through n3");
+    }
+}

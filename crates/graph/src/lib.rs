@@ -1,0 +1,47 @@
+//! Directed-graph substrate for the `sflow` workspace.
+//!
+//! Every other crate in the workspace — the underlying-network simulator, the
+//! service overlay model, the QoS routing algorithms and the sFlow federation
+//! algorithms — is built on top of the [`DiGraph`] type defined here. The crate
+//! is deliberately self-contained (no external graph dependency) so that the
+//! entire algorithmic substrate of the reproduction is auditable.
+//!
+//! # Design
+//!
+//! [`DiGraph<N, E>`] is an index-based adjacency-list directed multigraph:
+//! nodes and edges are stored in arenas and addressed by the copyable handles
+//! [`NodeIx`] and [`EdgeIx`]. Handles stay valid for the lifetime of the graph
+//! (there is no removal API; the sflow algorithms only ever *build* graphs).
+//!
+//! The [`algo`] module contains the graph algorithms the paper's constructions
+//! need: topological sorting, cycle detection, reachability, source→sink path
+//! enumeration, k-hop neighbourhood extraction and strongly connected
+//! components.
+//!
+//! # Example
+//!
+//! ```
+//! use sflow_graph::{DiGraph, algo};
+//!
+//! let mut g: DiGraph<&str, u32> = DiGraph::new();
+//! let a = g.add_node("a");
+//! let b = g.add_node("b");
+//! let c = g.add_node("c");
+//! g.add_edge(a, b, 1);
+//! g.add_edge(b, c, 2);
+//!
+//! assert!(algo::is_acyclic(&g));
+//! let order = algo::topo_sort(&g).unwrap();
+//! assert_eq!(order, vec![a, b, c]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+mod digraph;
+pub mod dot;
+mod error;
+
+pub use digraph::{DiGraph, EdgeIx, EdgeRef, NodeIx};
+pub use error::CycleError;

@@ -1,0 +1,140 @@
+//! Property-based tests for the graph substrate.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use sflow_graph::{algo, DiGraph, NodeIx};
+
+/// Builds a random DAG: `n` nodes, each candidate edge (i, j) with i < j is
+/// included according to the boolean mask.
+fn dag_from_mask(n: usize, mask: &[bool]) -> DiGraph<usize, u64> {
+    let mut g = DiGraph::new();
+    let nodes: Vec<_> = (0..n).map(|i| g.add_node(i)).collect();
+    let mut k = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if mask.get(k).copied().unwrap_or(false) {
+                g.add_edge(nodes[i], nodes[j], (i * n + j) as u64);
+            }
+            k += 1;
+        }
+    }
+    g
+}
+
+fn dag_strategy() -> impl Strategy<Value = DiGraph<usize, u64>> {
+    (2usize..10).prop_flat_map(|n| {
+        let m = n * (n - 1) / 2;
+        proptest::collection::vec(any::<bool>(), m).prop_map(move |mask| dag_from_mask(n, &mask))
+    })
+}
+
+proptest! {
+    #[test]
+    fn topo_sort_respects_all_edges(g in dag_strategy()) {
+        let order = algo::topo_sort(&g).expect("forward-only construction is acyclic");
+        prop_assert_eq!(order.len(), g.node_count());
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; g.node_count()];
+            for (i, n) in order.iter().enumerate() { pos[n.index()] = i; }
+            pos
+        };
+        for e in g.edges() {
+            prop_assert!(pos[e.from.index()] < pos[e.to.index()]);
+        }
+    }
+
+    #[test]
+    fn dag_scc_is_all_singletons(g in dag_strategy()) {
+        let comps = algo::tarjan_scc(&g);
+        prop_assert_eq!(comps.len(), g.node_count());
+        prop_assert!(comps.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn adding_back_edge_creates_cycle(g in dag_strategy()) {
+        let order = algo::topo_sort(&g).unwrap();
+        // Connect last to first in topological order: guaranteed cycle as long
+        // as a path first ⇝ last exists; otherwise still acyclic.
+        let (first, last) = (order[0], order[order.len() - 1]);
+        let had_path = algo::has_path(&g, first, last);
+        let mut g2 = g;
+        g2.add_edge(last, first, 0);
+        prop_assert_eq!(algo::is_acyclic(&g2), !had_path);
+    }
+
+    #[test]
+    fn descendants_equal_path_reachability(g in dag_strategy()) {
+        let ids: Vec<NodeIx> = g.node_ids().collect();
+        let start = ids[0];
+        let desc = algo::descendants(&g, start);
+        for &n in &ids {
+            prop_assert_eq!(desc.contains(&n), algo::has_path(&g, start, n));
+        }
+    }
+
+    #[test]
+    fn ancestors_mirror_descendants(g in dag_strategy()) {
+        let ids: Vec<NodeIx> = g.node_ids().collect();
+        for &a in &ids {
+            let desc = algo::descendants(&g, a);
+            for &b in &ids {
+                let anc = algo::ancestors(&g, b);
+                prop_assert_eq!(desc.contains(&b), anc.contains(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn all_simple_paths_are_simple_and_valid(g in dag_strategy()) {
+        let ids: Vec<NodeIx> = g.node_ids().collect();
+        let (s, t) = (ids[0], ids[ids.len() - 1]);
+        for path in algo::all_simple_paths(&g, s, t, 500) {
+            prop_assert_eq!(path[0], s);
+            prop_assert_eq!(*path.last().unwrap(), t);
+            let uniq: HashSet<_> = path.iter().collect();
+            prop_assert_eq!(uniq.len(), path.len());
+            for w in path.windows(2) {
+                prop_assert!(g.contains_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn k_hop_subgraph_node_weights_survive(g in dag_strategy()) {
+        let center = g.node_ids().next().unwrap();
+        let (sub, mapping) = algo::k_hop_subgraph(&g, center, 2);
+        prop_assert_eq!(sub.node_count(), mapping.len());
+        for (new, &old) in mapping.iter().enumerate() {
+            prop_assert_eq!(sub.node(NodeIx::from_index(new)), g.node(old));
+        }
+        // Edge count can never exceed the original graph's.
+        prop_assert!(sub.edge_count() <= g.edge_count());
+    }
+
+    #[test]
+    fn longest_path_dominates_every_enumerated_path(g in dag_strategy()) {
+        let ids: Vec<NodeIx> = g.node_ids().collect();
+        let (s, t) = (ids[0], ids[ids.len() - 1]);
+        let dist = algo::dag_longest_paths(&g, s, |e| *e.weight).unwrap();
+        let paths = algo::all_simple_paths(&g, s, t, 500);
+        if let Some(best) = dist[t.index()] {
+            let mut max_len = 0;
+            for p in &paths {
+                let mut len = 0u64;
+                for w in p.windows(2) {
+                    let e = g.find_edge(w[0], w[1]).unwrap();
+                    len += g.edge(e);
+                }
+                max_len = max_len.max(len);
+            }
+            // With ≤ 500 paths enumerated we may undercount, but never overcount.
+            prop_assert!(max_len <= best);
+            if paths.len() < 500 {
+                prop_assert_eq!(max_len, best);
+            }
+        } else {
+            prop_assert!(paths.is_empty());
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Error types for network and overlay construction.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ServiceInstance;
+
+/// Returned by [`crate::OverlayGraph::build`] when the inputs are
+/// inconsistent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OverlayBuildError {
+    /// An instance was placed on a host that the underlying network does not
+    /// contain.
+    UnknownHost(ServiceInstance),
+    /// The same (service, host) instance was added twice.
+    DuplicateInstance(ServiceInstance),
+}
+
+impl fmt::Display for OverlayBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverlayBuildError::UnknownHost(i) => {
+                write!(f, "instance {i} is placed on a host outside the network")
+            }
+            OverlayBuildError::DuplicateInstance(i) => {
+                write!(f, "instance {i} was placed more than once")
+            }
+        }
+    }
+}
+
+impl Error for OverlayBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HostId, ServiceId};
+
+    #[test]
+    fn display_is_informative() {
+        let i = ServiceInstance::new(ServiceId::new(1), HostId::new(2));
+        assert!(OverlayBuildError::UnknownHost(i)
+            .to_string()
+            .contains("s1/h2"));
+        assert!(OverlayBuildError::DuplicateInstance(i)
+            .to_string()
+            .contains("more than once"));
+    }
+}

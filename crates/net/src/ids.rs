@@ -1,0 +1,125 @@
+//! Identifier vocabulary: service identifiers, host (node) identifiers, and
+//! service instances.
+//!
+//! Sec. 2.2 of the paper: "we assign each node in the underlying network a
+//! unique node identifier (NID). Instead of distinguishing services by their
+//! names, we assign each service a service identifier (SID). A service may
+//! have multiple service instances," each being an (SID, NID) pair.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A service identifier (SID): names a service *type* such as "Hotel" or
+/// "Currency", independent of where it runs.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ServiceId(u32);
+
+impl ServiceId {
+    /// Creates a service identifier from its raw number.
+    pub const fn new(id: u32) -> Self {
+        ServiceId(id)
+    }
+
+    /// The raw number.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u32> for ServiceId {
+    fn from(v: u32) -> Self {
+        ServiceId(v)
+    }
+}
+
+/// A host / node identifier (NID): names a physical node of the underlying
+/// network.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct HostId(u32);
+
+impl HostId {
+    /// Creates a host identifier from its raw number.
+    pub const fn new(id: u32) -> Self {
+        HostId(id)
+    }
+
+    /// The raw number.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+impl From<u32> for HostId {
+    fn from(v: u32) -> Self {
+        HostId(v)
+    }
+}
+
+/// A service instance: one concrete deployment of a service on a host.
+///
+/// Displayed as `SID/NID` (e.g. `s3/h7`) to match the labels in the paper's
+/// figures. Instances of the same service share the SID and are distinguished
+/// by their NIDs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServiceInstance {
+    /// Which service this instance provides.
+    pub service: ServiceId,
+    /// Which host it runs on.
+    pub host: HostId,
+}
+
+impl ServiceInstance {
+    /// Creates a service instance.
+    pub const fn new(service: ServiceId, host: HostId) -> Self {
+        ServiceInstance { service, host }
+    }
+}
+
+impl fmt::Display for ServiceInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.service, self.host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let i = ServiceInstance::new(ServiceId::new(3), HostId::new(7));
+        assert_eq!(i.to_string(), "s3/h7");
+        assert_eq!(ServiceId::new(3).to_string(), "s3");
+        assert_eq!(HostId::new(7).to_string(), "h7");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(ServiceId::from(9).as_u32(), 9);
+        assert_eq!(HostId::from(4).as_u32(), 4);
+    }
+
+    #[test]
+    fn instances_order_by_service_then_host() {
+        let a = ServiceInstance::new(ServiceId::new(1), HostId::new(9));
+        let b = ServiceInstance::new(ServiceId::new(2), HostId::new(0));
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,600 @@
+//! The service overlay graph (layer 2 of the paper's Fig. 4).
+//!
+//! Nodes of the overlay are [`ServiceInstance`]s; a directed *service link*
+//! connects instance `a` to instance `b` whenever service `a.service` is
+//! compatible with (can feed) service `b.service` and a path between their
+//! hosts exists in the underlying network. Each service link is labelled with
+//! the QoS of the shortest-widest underlying path.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sflow_graph::{algo, DiGraph, NodeIx};
+use sflow_routing::{shortest_widest, AllPairs, Qos};
+
+use crate::{HostId, OverlayBuildError, ServiceId, ServiceInstance, UnderlyingNetwork};
+
+/// The service compatibility relation: `allows(a, b)` means the output of
+/// service `a` matches the input requirements of service `b` (Sec. 2.2).
+///
+/// [`Compatibility::universal`] makes every ordered pair of distinct services
+/// compatible; [`Compatibility::from_pairs`] restricts to an explicit set
+/// (typically the edge set of the requirement at hand, which is how the
+/// evaluation keeps overlays sparse and local views meaningful).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Compatibility {
+    universal: bool,
+    pairs: HashSet<(ServiceId, ServiceId)>,
+}
+
+impl Compatibility {
+    /// Every ordered pair of distinct services is compatible.
+    pub fn universal() -> Self {
+        Compatibility {
+            universal: true,
+            pairs: HashSet::new(),
+        }
+    }
+
+    /// Only the listed ordered pairs are compatible.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (ServiceId, ServiceId)>) -> Self {
+        Compatibility {
+            universal: false,
+            pairs: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Adds one compatible pair.
+    pub fn allow(&mut self, from: ServiceId, to: ServiceId) {
+        self.pairs.insert((from, to));
+    }
+
+    /// Returns `true` if service `from` may feed service `to`.
+    pub fn allows(&self, from: ServiceId, to: ServiceId) -> bool {
+        if from == to {
+            return false;
+        }
+        self.universal || self.pairs.contains(&(from, to))
+    }
+}
+
+/// Where service instances live: the set of (service, host) pairs.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    instances: Vec<ServiceInstance>,
+}
+
+impl Placement {
+    /// Creates an empty placement.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one instance. Duplicates are detected at overlay build time.
+    pub fn add(&mut self, instance: ServiceInstance) -> &mut Self {
+        self.instances.push(instance);
+        self
+    }
+
+    /// The placed instances, in insertion order.
+    pub fn instances(&self) -> &[ServiceInstance] {
+        &self.instances
+    }
+
+    /// Number of placed instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// `true` if nothing has been placed.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Places `per_service` instances of each service on hosts drawn without
+    /// replacement per service (a host never runs two instances of the *same*
+    /// service, but may run several different services).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_service` exceeds the number of hosts.
+    pub fn random(
+        net: &UnderlyingNetwork,
+        services: &[ServiceId],
+        per_service: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let hosts: Vec<HostId> = net.hosts().collect();
+        assert!(
+            per_service <= hosts.len(),
+            "cannot place {per_service} instances on {} hosts",
+            hosts.len()
+        );
+        let mut p = Placement::new();
+        for &sid in services {
+            let mut pool = hosts.clone();
+            pool.shuffle(rng);
+            for &host in pool.iter().take(per_service) {
+                p.add(ServiceInstance::new(sid, host));
+            }
+        }
+        p
+    }
+}
+
+impl FromIterator<ServiceInstance> for Placement {
+    fn from_iter<T: IntoIterator<Item = ServiceInstance>>(iter: T) -> Self {
+        Placement {
+            instances: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Options controlling overlay construction.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverlayOptions {
+    /// If set, each instance keeps only its best `k` outgoing service links
+    /// *per downstream service* (ranked shortest-widest). This models the
+    /// cost-effective sparse service meshes of Xu et al. that the paper cites,
+    /// and is what makes the 2-hop local views of the distributed algorithm
+    /// meaningfully partial. `None` keeps the full mesh.
+    pub max_links_per_service: Option<usize>,
+}
+
+/// The service overlay graph.
+#[derive(Clone, Debug)]
+pub struct OverlayGraph {
+    graph: DiGraph<ServiceInstance, Qos>,
+    by_service: HashMap<ServiceId, Vec<NodeIx>>,
+}
+
+impl OverlayGraph {
+    /// Builds the overlay over `net` with the full service mesh (every
+    /// compatible, connected instance pair gets a link).
+    ///
+    /// # Errors
+    ///
+    /// See [`OverlayGraph::build_with`].
+    pub fn build(
+        net: &UnderlyingNetwork,
+        placement: &Placement,
+        compat: &Compatibility,
+    ) -> Result<Self, OverlayBuildError> {
+        Self::build_with(net, placement, compat, &OverlayOptions::default())
+    }
+
+    /// Builds the overlay with explicit [`OverlayOptions`].
+    ///
+    /// Service-link QoS is the shortest-widest path QoS between the two hosts
+    /// in the underlying network; co-located instances get [`Qos::IDENTITY`]
+    /// links (no network traversal).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayBuildError::UnknownHost`] if an instance is placed on
+    /// a host outside `net`, and [`OverlayBuildError::DuplicateInstance`] if
+    /// the same (service, host) pair is placed twice.
+    pub fn build_with(
+        net: &UnderlyingNetwork,
+        placement: &Placement,
+        compat: &Compatibility,
+        options: &OverlayOptions,
+    ) -> Result<Self, OverlayBuildError> {
+        let mut seen = HashSet::new();
+        for &inst in placement.instances() {
+            if !net.contains_host(inst.host) {
+                return Err(OverlayBuildError::UnknownHost(inst));
+            }
+            if !seen.insert(inst) {
+                return Err(OverlayBuildError::DuplicateInstance(inst));
+            }
+        }
+
+        let host_paths = net.all_pairs();
+        let mut graph = DiGraph::with_capacity(placement.len(), 0);
+        let mut by_service: HashMap<ServiceId, Vec<NodeIx>> = HashMap::new();
+        for &inst in placement.instances() {
+            let n = graph.add_node(inst);
+            by_service.entry(inst.service).or_default().push(n);
+        }
+
+        let ids: Vec<NodeIx> = graph.node_ids().collect();
+        for &from in &ids {
+            let fi = *graph.node(from);
+            // Candidate links grouped by downstream service so the optional
+            // per-service cap can rank within each group.
+            let mut per_service: HashMap<ServiceId, Vec<(NodeIx, Qos)>> = HashMap::new();
+            for &to in &ids {
+                let ti = *graph.node(to);
+                if from == to || !compat.allows(fi.service, ti.service) {
+                    continue;
+                }
+                let qos = if fi.host == ti.host {
+                    Some(Qos::IDENTITY)
+                } else {
+                    host_paths.qos(net.node_of(fi.host), net.node_of(ti.host))
+                };
+                if let Some(qos) = qos {
+                    per_service.entry(ti.service).or_default().push((to, qos));
+                }
+            }
+            let mut services: Vec<ServiceId> = per_service.keys().copied().collect();
+            services.sort(); // deterministic edge order
+            for sid in services {
+                let mut cands = per_service.remove(&sid).expect("key from map");
+                cands.sort_by(|a, b| b.1.cmp_shortest_widest(&a.1).then_with(|| a.0.cmp(&b.0)));
+                let keep = options.max_links_per_service.unwrap_or(usize::MAX);
+                for (to, qos) in cands.into_iter().take(keep) {
+                    graph.add_edge(from, to, qos);
+                }
+            }
+        }
+
+        Ok(OverlayGraph { graph, by_service })
+    }
+
+    /// The overlay graph itself: instances on nodes, service-link QoS on
+    /// edges.
+    pub fn graph(&self) -> &DiGraph<ServiceInstance, Qos> {
+        &self.graph
+    }
+
+    /// Number of service instances.
+    pub fn instance_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of service links.
+    pub fn link_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// The instance at overlay node `node`.
+    pub fn instance(&self, node: NodeIx) -> ServiceInstance {
+        *self.graph.node(node)
+    }
+
+    /// The overlay nodes carrying instances of `service` (possibly empty).
+    pub fn instances_of(&self, service: ServiceId) -> &[NodeIx] {
+        self.by_service
+            .get(&service)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The overlay node of a specific instance, if placed.
+    pub fn node_of(&self, instance: ServiceInstance) -> Option<NodeIx> {
+        self.instances_of(instance.service)
+            .iter()
+            .copied()
+            .find(|&n| self.instance(n) == instance)
+    }
+
+    /// All distinct services present in the overlay, sorted.
+    pub fn services(&self) -> Vec<ServiceId> {
+        let mut s: Vec<ServiceId> = self.by_service.keys().copied().collect();
+        s.sort();
+        s
+    }
+
+    /// Exact all-pairs shortest-widest paths *over the overlay* (between
+    /// service instances, through service links).
+    pub fn all_pairs(&self) -> AllPairs {
+        shortest_widest::all_pairs(&self.graph)
+    }
+
+    /// Renders the overlay as Graphviz DOT: instances as `SID/NID` boxes,
+    /// service links labelled with their QoS.
+    pub fn to_dot(&self) -> String {
+        sflow_graph::dot::to_dot(
+            &self.graph,
+            &sflow_graph::dot::DotOptions {
+                name: "overlay".into(),
+                ..Default::default()
+            },
+            |_, inst| inst.to_string(),
+            |e| e.weight.to_string(),
+        )
+    }
+
+    /// Rebuilds the overlay with the given instances removed — the substrate
+    /// for failure injection and repair ("agile" federation). Service links
+    /// between surviving instances keep their QoS.
+    pub fn without_instances(&self, failed: &[ServiceInstance]) -> OverlayGraph {
+        let keep: Vec<NodeIx> = self
+            .graph
+            .node_ids()
+            .filter(|&n| !failed.contains(&self.instance(n)))
+            .collect();
+        let keep_set: std::collections::HashSet<NodeIx> = keep.iter().copied().collect();
+        let (graph, _mapping) = algo::induced_subgraph(&self.graph, &keep_set);
+        let mut by_service: HashMap<ServiceId, Vec<NodeIx>> = HashMap::new();
+        for (n, inst) in graph.nodes() {
+            by_service.entry(inst.service).or_default().push(n);
+        }
+        OverlayGraph { graph, by_service }
+    }
+
+    /// Extracts the local view a service node operates on: the sub-overlay
+    /// induced by all instances within `hops` overlay hops of `center`
+    /// (ignoring link direction), as in the paper's "two-hop vicinity"
+    /// assumption (Sec. 4).
+    pub fn local_view(&self, center: NodeIx, hops: usize) -> LocalView {
+        let (graph, to_parent) = algo::k_hop_subgraph(&self.graph, center, hops);
+        let mut from_parent = HashMap::new();
+        let mut by_service: HashMap<ServiceId, Vec<NodeIx>> = HashMap::new();
+        for (new_i, &old) in to_parent.iter().enumerate() {
+            let new = NodeIx::from_index(new_i);
+            from_parent.insert(old, new);
+            by_service
+                .entry(self.instance(old).service)
+                .or_default()
+                .push(new);
+        }
+        let center_local = from_parent[&center];
+        LocalView {
+            overlay: OverlayGraph { graph, by_service },
+            center: center_local,
+            to_parent,
+            from_parent,
+        }
+    }
+}
+
+/// A service node's partial knowledge of the overlay: the induced sub-overlay
+/// within a hop radius, plus the mappings to and from the full overlay.
+#[derive(Clone, Debug)]
+pub struct LocalView {
+    /// The sub-overlay (a fully functional [`OverlayGraph`]).
+    pub overlay: OverlayGraph,
+    /// The view's centre, as a node of the sub-overlay.
+    pub center: NodeIx,
+    /// Maps sub-overlay node index → full-overlay node.
+    pub to_parent: Vec<NodeIx>,
+    /// Maps full-overlay node → sub-overlay node (only for visible nodes).
+    pub from_parent: HashMap<NodeIx, NodeIx>,
+}
+
+impl LocalView {
+    /// Translates a sub-overlay node to the full overlay.
+    pub fn to_parent(&self, local: NodeIx) -> NodeIx {
+        self.to_parent[local.index()]
+    }
+
+    /// Translates a full-overlay node into this view, if visible.
+    pub fn from_parent(&self, parent: NodeIx) -> Option<NodeIx> {
+        self.from_parent.get(&parent).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sflow_routing::{Bandwidth, Latency};
+
+    fn q(bw: u64, lat: u64) -> Qos {
+        Qos::new(Bandwidth::kbps(bw), Latency::from_micros(lat))
+    }
+
+    fn sid(i: u32) -> ServiceId {
+        ServiceId::new(i)
+    }
+
+    /// 4 hosts in a line; service 0 on h0, service 1 on h1 and h2,
+    /// service 2 on h3.
+    fn line_world() -> (UnderlyingNetwork, Placement, Compatibility) {
+        let mut b = UnderlyingNetwork::builder();
+        let h = b.add_hosts(4);
+        b.link(h[0], h[1], q(10, 1))
+            .link(h[1], h[2], q(8, 1))
+            .link(h[2], h[3], q(6, 1));
+        let net = b.build();
+        let mut p = Placement::new();
+        p.add(ServiceInstance::new(sid(0), h[0]));
+        p.add(ServiceInstance::new(sid(1), h[1]));
+        p.add(ServiceInstance::new(sid(1), h[2]));
+        p.add(ServiceInstance::new(sid(2), h[3]));
+        let compat = Compatibility::from_pairs([(sid(0), sid(1)), (sid(1), sid(2))]);
+        (net, p, compat)
+    }
+
+    #[test]
+    fn build_creates_expected_links() {
+        let (net, p, compat) = line_world();
+        let ov = OverlayGraph::build(&net, &p, &compat).unwrap();
+        assert_eq!(ov.instance_count(), 4);
+        // s0→s1 (two instances) + s1→s2 (two instances) = 4 links.
+        assert_eq!(ov.link_count(), 4);
+        assert_eq!(ov.services(), vec![sid(0), sid(1), sid(2)]);
+        assert_eq!(ov.instances_of(sid(1)).len(), 2);
+        assert!(ov.instances_of(sid(9)).is_empty());
+    }
+
+    #[test]
+    fn link_qos_is_shortest_widest_of_underlay() {
+        let (net, p, compat) = line_world();
+        let ov = OverlayGraph::build(&net, &p, &compat).unwrap();
+        let s0 = ov.instances_of(sid(0))[0];
+        // s0/h0 → s1/h2 crosses two links: bottleneck 8, latency 2.
+        let far = ov
+            .instances_of(sid(1))
+            .iter()
+            .copied()
+            .find(|&n| ov.instance(n).host == HostId::new(2))
+            .unwrap();
+        let e = ov.graph().find_edge(s0, far).unwrap();
+        assert_eq!(*ov.graph().edge(e), q(8, 2));
+    }
+
+    #[test]
+    fn colocated_instances_get_identity_link() {
+        let mut b = UnderlyingNetwork::builder();
+        let h = b.add_hosts(1);
+        let net = b.build();
+        let mut p = Placement::new();
+        p.add(ServiceInstance::new(sid(0), h[0]));
+        p.add(ServiceInstance::new(sid(1), h[0]));
+        let ov =
+            OverlayGraph::build(&net, &p, &Compatibility::from_pairs([(sid(0), sid(1))])).unwrap();
+        assert_eq!(ov.link_count(), 1);
+        let e = ov.graph().edges().next().unwrap();
+        assert_eq!(*e.weight, Qos::IDENTITY);
+    }
+
+    #[test]
+    fn incompatible_or_same_service_pairs_get_no_link() {
+        let (net, p, _) = line_world();
+        let ov = OverlayGraph::build(&net, &p, &Compatibility::from_pairs([])).unwrap();
+        assert_eq!(ov.link_count(), 0);
+        // Universal compatibility never links two instances of the same SID.
+        let ov = OverlayGraph::build(&net, &p, &Compatibility::universal()).unwrap();
+        for e in ov.graph().edges() {
+            assert_ne!(ov.instance(e.from).service, ov.instance(e.to).service);
+        }
+    }
+
+    #[test]
+    fn duplicate_instance_is_rejected() {
+        let (net, mut p, compat) = line_world();
+        let dup = p.instances()[0];
+        p.add(dup);
+        assert_eq!(
+            OverlayGraph::build(&net, &p, &compat).unwrap_err(),
+            OverlayBuildError::DuplicateInstance(dup)
+        );
+    }
+
+    #[test]
+    fn unknown_host_is_rejected() {
+        let (net, mut p, compat) = line_world();
+        let bogus = ServiceInstance::new(sid(0), HostId::new(42));
+        p.add(bogus);
+        assert_eq!(
+            OverlayGraph::build(&net, &p, &compat).unwrap_err(),
+            OverlayBuildError::UnknownHost(bogus)
+        );
+    }
+
+    #[test]
+    fn max_links_per_service_keeps_the_best() {
+        let (net, p, compat) = line_world();
+        let opts = OverlayOptions {
+            max_links_per_service: Some(1),
+        };
+        let ov = OverlayGraph::build_with(&net, &p, &compat, &opts).unwrap();
+        // s0 keeps only its best s1 link (the closer instance on h1: bw 10).
+        let s0 = ov.instances_of(sid(0))[0];
+        let out: Vec<_> = ov.graph().out_edges(s0).collect();
+        assert_eq!(out.len(), 1);
+        assert_eq!(*out[0].weight, q(10, 1));
+    }
+
+    #[test]
+    fn node_of_round_trips() {
+        let (net, p, compat) = line_world();
+        let ov = OverlayGraph::build(&net, &p, &compat).unwrap();
+        for &inst in p.instances() {
+            let n = ov.node_of(inst).unwrap();
+            assert_eq!(ov.instance(n), inst);
+        }
+        assert_eq!(
+            ov.node_of(ServiceInstance::new(sid(5), HostId::new(0))),
+            None
+        );
+    }
+
+    #[test]
+    fn local_view_restricts_and_translates() {
+        let (net, p, compat) = line_world();
+        let ov = OverlayGraph::build(&net, &p, &compat).unwrap();
+        let s0 = ov.instances_of(sid(0))[0];
+        let view = ov.local_view(s0, 1);
+        // Within 1 overlay hop of s0: s0 itself plus both s1 instances.
+        assert_eq!(view.overlay.instance_count(), 3);
+        assert_eq!(view.to_parent(view.center), s0);
+        for local in view.overlay.graph().node_ids() {
+            let parent = view.to_parent(local);
+            assert_eq!(view.from_parent(parent), Some(local));
+            assert_eq!(view.overlay.instance(local), ov.instance(parent));
+        }
+        // The s2 instance is 2 hops away and must be invisible.
+        let s2 = ov.instances_of(sid(2))[0];
+        assert_eq!(view.from_parent(s2), None);
+        // A 2-hop view sees everything in this small overlay.
+        assert_eq!(ov.local_view(s0, 2).overlay.instance_count(), 4);
+    }
+
+    #[test]
+    fn random_placement_respects_per_service_distinct_hosts() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let net = crate::topology::ring(6, q(5, 1));
+        let services = [sid(0), sid(1), sid(2)];
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = Placement::random(&net, &services, 3, &mut rng);
+        assert_eq!(p.len(), 9);
+        for &s in &services {
+            let hosts: HashSet<HostId> = p
+                .instances()
+                .iter()
+                .filter(|i| i.service == s)
+                .map(|i| i.host)
+                .collect();
+            assert_eq!(hosts.len(), 3, "hosts must be distinct per service");
+        }
+    }
+
+    #[test]
+    fn to_dot_renders_instances_and_links() {
+        let (net, p, compat) = line_world();
+        let ov = OverlayGraph::build(&net, &p, &compat).unwrap();
+        let dot = ov.to_dot();
+        assert!(dot.contains("digraph overlay"));
+        assert!(dot.contains("s0/h0"));
+        assert!(dot.contains("kbps"));
+    }
+
+    #[test]
+    fn without_instances_removes_nodes_and_links() {
+        let (net, p, compat) = line_world();
+        let ov = OverlayGraph::build(&net, &p, &compat).unwrap();
+        let failed = ServiceInstance::new(sid(1), HostId::new(1));
+        let degraded = ov.without_instances(&[failed]);
+        assert_eq!(degraded.instance_count(), 3);
+        assert_eq!(degraded.instances_of(sid(1)).len(), 1);
+        assert!(degraded.node_of(failed).is_none());
+        // s0→s1@h2 and s1@h2→s2 survive.
+        assert_eq!(degraded.link_count(), 2);
+        // Removing nothing is the identity on counts.
+        let same = ov.without_instances(&[]);
+        assert_eq!(same.instance_count(), ov.instance_count());
+        assert_eq!(same.link_count(), ov.link_count());
+    }
+
+    #[test]
+    fn compatibility_semantics() {
+        let c = Compatibility::universal();
+        assert!(c.allows(sid(0), sid(1)));
+        assert!(!c.allows(sid(1), sid(1)));
+        let mut c = Compatibility::from_pairs([(sid(0), sid(1))]);
+        assert!(c.allows(sid(0), sid(1)));
+        assert!(!c.allows(sid(1), sid(0)));
+        c.allow(sid(1), sid(0));
+        assert!(c.allows(sid(1), sid(0)));
+    }
+
+    #[test]
+    fn placement_collects_from_iterator() {
+        let p: Placement = [
+            ServiceInstance::new(sid(0), HostId::new(0)),
+            ServiceInstance::new(sid(1), HostId::new(1)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert!(Placement::new().is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! QoS metrics and shortest-widest path routing for the `sflow` workspace.
+//!
+//! The sFlow paper (Wang, Li & Li, ICDCS 2004) evaluates service links and
+//! service flow graphs by two resource metrics — **bandwidth** (maximise the
+//! bottleneck) and **latency** (minimise the end-to-end sum) — and adopts the
+//! *shortest-widest* path semantics of Wang & Crowcroft (JSAC 1996): among all
+//! paths, prefer the one with the highest bottleneck bandwidth; break ties by
+//! the lowest total latency.
+//!
+//! This crate provides:
+//!
+//! * the metric newtypes [`Bandwidth`] (kbit/s) and [`Latency`] (µs) and the
+//!   combined [`Qos`] pair with the shortest-widest ordering;
+//! * [`shortest_widest`]: an **exact** shortest-widest single-source algorithm
+//!   (widest Dijkstra followed by per-bandwidth-level latency Dijkstras) and
+//!   the classic single-pass **lexicographic** Dijkstra of Wang–Crowcroft,
+//!   which is exact in bandwidth but may over-estimate latency on adversarial
+//!   topologies (the two are compared by property tests and an ablation
+//!   benchmark);
+//! * [`classic`]: plain widest and shortest (latency) Dijkstra variants used
+//!   as ablation baselines;
+//! * [`AllPairs`]: the all-pairs table the sFlow baseline algorithm (Table 1
+//!   of the paper) starts from.
+//!
+//! # Example
+//!
+//! ```
+//! use sflow_graph::DiGraph;
+//! use sflow_routing::{shortest_widest, Bandwidth, Latency, Qos};
+//!
+//! let mut g: DiGraph<(), Qos> = DiGraph::new();
+//! let a = g.add_node(());
+//! let b = g.add_node(());
+//! let c = g.add_node(());
+//! // a→b→c is wide but slow; a→c is fast but narrow.
+//! g.add_edge(a, b, Qos::new(Bandwidth::kbps(100), Latency::from_micros(5)));
+//! g.add_edge(b, c, Qos::new(Bandwidth::kbps(80), Latency::from_micros(5)));
+//! g.add_edge(a, c, Qos::new(Bandwidth::kbps(10), Latency::from_micros(1)));
+//!
+//! let tree = shortest_widest::single_source(&g, a);
+//! let qos = tree.qos_to(c).unwrap();
+//! assert_eq!(qos.bandwidth, Bandwidth::kbps(80)); // widest wins
+//! assert_eq!(tree.path_to(c).unwrap(), vec![a, b, c]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classic;
+mod metrics;
+pub mod pareto;
+pub mod shortest_widest;
+
+pub use metrics::{Bandwidth, Latency, Qos};
+pub use shortest_widest::{all_pairs, AllPairs, PathTree};

@@ -1,0 +1,282 @@
+//! The QoS metric types: bandwidth, latency, and their combination.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::Add;
+
+use serde::{Deserialize, Serialize};
+
+/// Link or path bandwidth in kbit/s.
+///
+/// For a path, the bandwidth is the **bottleneck**: the minimum over the
+/// bandwidths of its links ("the overall throughput is equivalent to the
+/// bandwidth on the bottleneck link" — Sec. 3.2 of the paper).
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// No capacity at all.
+    pub const ZERO: Bandwidth = Bandwidth(0);
+    /// Unconstrained capacity — the bottleneck identity (`min(INFINITE, b) == b`).
+    pub const INFINITE: Bandwidth = Bandwidth(u64::MAX);
+
+    /// Creates a bandwidth of `kbps` kbit/s.
+    pub const fn kbps(kbps: u64) -> Self {
+        Bandwidth(kbps)
+    }
+
+    /// Creates a bandwidth of `mbps` Mbit/s.
+    pub const fn mbps(mbps: u64) -> Self {
+        Bandwidth(mbps * 1000)
+    }
+
+    /// The value in kbit/s.
+    pub const fn as_kbps(self) -> u64 {
+        self.0
+    }
+
+    /// Bottleneck composition: the smaller of the two bandwidths.
+    #[must_use]
+    pub fn bottleneck(self, other: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Bandwidth::INFINITE {
+            write!(f, "∞ kbps")
+        } else {
+            write!(f, "{} kbps", self.0)
+        }
+    }
+}
+
+/// Link or path latency in microseconds.
+///
+/// For a path, the latency is the **sum** of the latencies of its links.
+/// Addition saturates, so [`Latency::INFINITE`] is absorbing.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Latency(u64);
+
+impl Latency {
+    /// Zero delay — the additive identity.
+    pub const ZERO: Latency = Latency(0);
+    /// Unreachable / unbounded delay. Absorbing under (saturating) addition.
+    pub const INFINITE: Latency = Latency(u64::MAX);
+
+    /// Creates a latency of `us` microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Latency(us)
+    }
+
+    /// Creates a latency of `ms` milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Latency(ms.saturating_mul(1000))
+    }
+
+    /// The value in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add for Latency {
+    type Output = Latency;
+
+    /// Saturating addition: `INFINITE + x == INFINITE`.
+    fn add(self, rhs: Latency) -> Latency {
+        Latency(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl std::iter::Sum for Latency {
+    fn sum<I: Iterator<Item = Latency>>(iter: I) -> Latency {
+        iter.fold(Latency::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Latency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Latency::INFINITE {
+            write!(f, "∞ µs")
+        } else {
+            write!(f, "{} µs", self.0)
+        }
+    }
+}
+
+/// A (bandwidth, latency) pair — the label every service link and every path
+/// carries in the paper's figures.
+///
+/// Two compositions are defined:
+///
+/// * [`Qos::then`] — serial composition along a path (bottleneck bandwidth,
+///   summed latency), with [`Qos::IDENTITY`] as the empty-path identity;
+/// * [`Qos::cmp_shortest_widest`] — the quality order: wider is better,
+///   ties broken by lower latency. `Ordering::Greater` means *better*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Qos {
+    /// Bottleneck bandwidth.
+    pub bandwidth: Bandwidth,
+    /// Accumulated latency.
+    pub latency: Latency,
+}
+
+impl Qos {
+    /// The empty path: infinite bandwidth, zero latency.
+    /// `IDENTITY.then(q) == q` for every `q`.
+    pub const IDENTITY: Qos = Qos {
+        bandwidth: Bandwidth::INFINITE,
+        latency: Latency::ZERO,
+    };
+
+    /// The unreachable path: zero bandwidth, infinite latency. Worse than
+    /// every reachable QoS under the shortest-widest order.
+    pub const UNREACHABLE: Qos = Qos {
+        bandwidth: Bandwidth::ZERO,
+        latency: Latency::INFINITE,
+    };
+
+    /// Creates a QoS pair.
+    pub const fn new(bandwidth: Bandwidth, latency: Latency) -> Self {
+        Qos { bandwidth, latency }
+    }
+
+    /// Serial composition: traversing `self` and then a link (or sub-path)
+    /// with QoS `next` yields the bottleneck bandwidth and summed latency.
+    #[must_use]
+    pub fn then(self, next: Qos) -> Qos {
+        Qos {
+            bandwidth: self.bandwidth.bottleneck(next.bandwidth),
+            latency: self.latency + next.latency,
+        }
+    }
+
+    /// The shortest-widest quality order: compare bandwidth first (more is
+    /// better), then latency (less is better). Returns `Ordering::Greater`
+    /// when `self` is strictly better than `other`.
+    pub fn cmp_shortest_widest(&self, other: &Qos) -> Ordering {
+        self.bandwidth
+            .cmp(&other.bandwidth)
+            .then_with(|| other.latency.cmp(&self.latency))
+    }
+
+    /// `true` if `self` is strictly better than `other` under
+    /// [`Qos::cmp_shortest_widest`].
+    pub fn is_better_than(&self, other: &Qos) -> bool {
+        self.cmp_shortest_widest(other) == Ordering::Greater
+    }
+
+    /// Pareto dominance: at least as wide **and** at least as fast.
+    pub fn dominates(&self, other: &Qos) -> bool {
+        self.bandwidth >= other.bandwidth && self.latency <= other.latency
+    }
+}
+
+impl fmt::Display for Qos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.bandwidth, self.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_constructors_and_display() {
+        assert_eq!(Bandwidth::mbps(2), Bandwidth::kbps(2000));
+        assert_eq!(Bandwidth::kbps(5).as_kbps(), 5);
+        assert_eq!(Bandwidth::kbps(5).to_string(), "5 kbps");
+        assert_eq!(Bandwidth::INFINITE.to_string(), "∞ kbps");
+    }
+
+    #[test]
+    fn bottleneck_takes_minimum() {
+        let a = Bandwidth::kbps(10);
+        let b = Bandwidth::kbps(3);
+        assert_eq!(a.bottleneck(b), b);
+        assert_eq!(b.bottleneck(a), b);
+        assert_eq!(Bandwidth::INFINITE.bottleneck(a), a);
+    }
+
+    #[test]
+    fn latency_addition_saturates() {
+        assert_eq!(
+            Latency::from_micros(3) + Latency::from_micros(4),
+            Latency::from_micros(7)
+        );
+        assert_eq!(
+            Latency::INFINITE + Latency::from_micros(1),
+            Latency::INFINITE
+        );
+        assert_eq!(Latency::from_millis(2), Latency::from_micros(2000));
+        assert_eq!(Latency::from_micros(9).to_string(), "9 µs");
+        assert_eq!(Latency::INFINITE.to_string(), "∞ µs");
+    }
+
+    #[test]
+    fn latency_sums() {
+        let total: Latency = [1u64, 2, 3].into_iter().map(Latency::from_micros).sum();
+        assert_eq!(total, Latency::from_micros(6));
+    }
+
+    #[test]
+    fn qos_identity_law() {
+        let q = Qos::new(Bandwidth::kbps(7), Latency::from_micros(11));
+        assert_eq!(Qos::IDENTITY.then(q), q);
+        assert_eq!(q.then(Qos::IDENTITY), q);
+    }
+
+    #[test]
+    fn qos_then_is_bottleneck_and_sum() {
+        let a = Qos::new(Bandwidth::kbps(10), Latency::from_micros(5));
+        let b = Qos::new(Bandwidth::kbps(4), Latency::from_micros(2));
+        let c = a.then(b);
+        assert_eq!(c.bandwidth, Bandwidth::kbps(4));
+        assert_eq!(c.latency, Latency::from_micros(7));
+    }
+
+    #[test]
+    fn shortest_widest_order_prefers_wide_then_fast() {
+        let wide_slow = Qos::new(Bandwidth::kbps(10), Latency::from_micros(100));
+        let narrow_fast = Qos::new(Bandwidth::kbps(5), Latency::from_micros(1));
+        assert!(wide_slow.is_better_than(&narrow_fast));
+
+        let wide_fast = Qos::new(Bandwidth::kbps(10), Latency::from_micros(1));
+        assert!(wide_fast.is_better_than(&wide_slow));
+        assert!(!wide_slow.is_better_than(&wide_slow));
+        assert_eq!(wide_slow.cmp_shortest_widest(&wide_slow), Ordering::Equal);
+    }
+
+    #[test]
+    fn unreachable_is_worst() {
+        let q = Qos::new(Bandwidth::kbps(1), Latency::from_micros(1_000_000));
+        assert!(q.is_better_than(&Qos::UNREACHABLE));
+        assert!(Qos::IDENTITY.is_better_than(&q));
+    }
+
+    #[test]
+    fn dominance_is_stronger_than_order() {
+        let a = Qos::new(Bandwidth::kbps(10), Latency::from_micros(5));
+        let b = Qos::new(Bandwidth::kbps(5), Latency::from_micros(2));
+        // a is better under SW order, but neither dominates the other.
+        assert!(a.is_better_than(&b));
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+        let c = Qos::new(Bandwidth::kbps(10), Latency::from_micros(2));
+        assert!(c.dominates(&a));
+        assert!(c.dominates(&b));
+    }
+
+    #[test]
+    fn qos_display() {
+        let q = Qos::new(Bandwidth::kbps(8), Latency::from_micros(6));
+        assert_eq!(q.to_string(), "(8 kbps, 6 µs)");
+    }
+}

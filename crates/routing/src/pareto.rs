@@ -1,0 +1,229 @@
+//! Pareto-optimal path QoS enumeration.
+//!
+//! The shortest-widest path is one point on the bandwidth/latency trade-off
+//! curve; some consumers (e.g. a federation that values latency above
+//! bottleneck bandwidth for small payloads) want the *whole* frontier. This
+//! module computes, for every node reachable from a source, the complete set
+//! of Pareto-optimal `(bandwidth, latency)` path labels — no path strictly
+//! wider **and** faster exists for any reported label.
+//!
+//! The algorithm is multi-label Dijkstra: labels are extended along edges
+//! (bandwidth can only shrink, latency only grow) and inserted into each
+//! node's frontier with dominance pruning. The number of labels per node is
+//! bounded by the number of distinct bottleneck values (≤ E), so the whole
+//! computation is `O(V · E · L)` in the worst case — fine at overlay scale.
+
+use std::collections::VecDeque;
+
+use sflow_graph::{DiGraph, NodeIx};
+
+use crate::{Bandwidth, Qos};
+
+/// The Pareto frontiers of all nodes reachable from a source.
+#[derive(Clone, Debug)]
+pub struct ParetoFrontiers {
+    source: NodeIx,
+    /// Per node: non-dominated labels, sorted by bandwidth descending
+    /// (equivalently latency ascending). Empty = unreachable.
+    frontiers: Vec<Vec<Qos>>,
+}
+
+impl ParetoFrontiers {
+    /// The source these frontiers were computed from.
+    pub fn source(&self) -> NodeIx {
+        self.source
+    }
+
+    /// The Pareto-optimal labels for `node`, widest first. Empty when the
+    /// node is unreachable; the source itself reports `[Qos::IDENTITY]`.
+    pub fn frontier(&self, node: NodeIx) -> &[Qos] {
+        &self.frontiers[node.index()]
+    }
+
+    /// The shortest-widest label (the frontier's widest point), matching
+    /// [`crate::shortest_widest::single_source`].
+    pub fn shortest_widest(&self, node: NodeIx) -> Option<Qos> {
+        self.frontiers[node.index()].first().copied()
+    }
+
+    /// The fastest label regardless of bandwidth (the frontier's last
+    /// point), matching a pure latency Dijkstra.
+    pub fn fastest(&self, node: NodeIx) -> Option<Qos> {
+        self.frontiers[node.index()].last().copied()
+    }
+
+    /// The widest label with latency at most `budget`, if any — the "best
+    /// bandwidth under a deadline" query QoS literature calls the
+    /// restricted shortest path.
+    pub fn widest_within(&self, node: NodeIx, budget: crate::Latency) -> Option<Qos> {
+        self.frontiers[node.index()]
+            .iter()
+            .copied()
+            .find(|q| q.latency <= budget)
+    }
+}
+
+/// Inserts `cand` into `frontier` with dominance pruning; returns `true` if
+/// the label was kept.
+fn insert(frontier: &mut Vec<Qos>, cand: Qos) -> bool {
+    if frontier.iter().any(|f| f.dominates(&cand)) {
+        return false;
+    }
+    frontier.retain(|f| !cand.dominates(f));
+    frontier.push(cand);
+    true
+}
+
+/// Computes all Pareto-optimal path labels from `source`.
+///
+/// # Example
+///
+/// ```
+/// use sflow_graph::DiGraph;
+/// use sflow_routing::{pareto, Bandwidth, Latency, Qos};
+/// let mut g: DiGraph<(), Qos> = DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// g.add_edge(a, b, Qos::new(Bandwidth::kbps(10), Latency::from_micros(9)));
+/// g.add_edge(a, b, Qos::new(Bandwidth::kbps(2), Latency::from_micros(1)));
+/// let fr = pareto::frontiers(&g, a);
+/// assert_eq!(fr.frontier(b).len(), 2); // both edges are Pareto-optimal
+/// ```
+pub fn frontiers<N>(g: &DiGraph<N, Qos>, source: NodeIx) -> ParetoFrontiers {
+    let mut fronts: Vec<Vec<Qos>> = vec![Vec::new(); g.node_count()];
+    fronts[source.index()].push(Qos::IDENTITY);
+    let mut queue: VecDeque<(NodeIx, Qos)> = VecDeque::new();
+    queue.push_back((source, Qos::IDENTITY));
+    while let Some((node, label)) = queue.pop_front() {
+        // Stale labels (dominated since enqueued) are skipped.
+        if !fronts[node.index()].contains(&label) {
+            continue;
+        }
+        for e in g.out_edges(node) {
+            if e.weight.bandwidth == Bandwidth::ZERO {
+                continue;
+            }
+            let cand = label.then(*e.weight);
+            if insert(&mut fronts[e.to.index()], cand) {
+                queue.push_back((e.to, cand));
+            }
+        }
+    }
+    for f in &mut fronts {
+        f.sort_by(|a, b| {
+            b.bandwidth
+                .cmp(&a.bandwidth)
+                .then(a.latency.cmp(&b.latency))
+        });
+    }
+    ParetoFrontiers {
+        source,
+        frontiers: fronts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{shortest_widest, Latency};
+
+    fn q(bw: u64, lat: u64) -> Qos {
+        Qos::new(Bandwidth::kbps(bw), Latency::from_micros(lat))
+    }
+
+    /// Two routes: wide/slow and narrow/fast — both Pareto-optimal.
+    fn two_route() -> (DiGraph<(), Qos>, NodeIx, NodeIx) {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, q(10, 50));
+        g.add_edge(b, c, q(10, 50));
+        g.add_edge(a, c, q(1, 1));
+        (g, a, c)
+    }
+
+    #[test]
+    fn keeps_both_tradeoff_points() {
+        let (g, a, c) = two_route();
+        let fr = frontiers(&g, a);
+        assert_eq!(fr.frontier(c), &[q(10, 100), q(1, 1)]);
+        assert_eq!(fr.shortest_widest(c), Some(q(10, 100)));
+        assert_eq!(fr.fastest(c), Some(q(1, 1)));
+        assert_eq!(fr.source(), a);
+    }
+
+    #[test]
+    fn widest_within_budget() {
+        let (g, a, c) = two_route();
+        let fr = frontiers(&g, a);
+        assert_eq!(
+            fr.widest_within(c, Latency::from_micros(100)),
+            Some(q(10, 100))
+        );
+        assert_eq!(fr.widest_within(c, Latency::from_micros(99)), Some(q(1, 1)));
+        assert_eq!(fr.widest_within(c, Latency::ZERO), None);
+    }
+
+    #[test]
+    fn dominated_routes_are_pruned() {
+        let mut g: DiGraph<(), Qos> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, q(10, 5));
+        g.add_edge(a, b, q(10, 9)); // dominated
+        g.add_edge(a, b, q(3, 7)); // dominated
+        let fr = frontiers(&g, a);
+        assert_eq!(fr.frontier(b), &[q(10, 5)]);
+    }
+
+    #[test]
+    fn source_and_unreachable() {
+        let (g, a, _) = two_route();
+        let fr = frontiers(&g, a);
+        assert_eq!(fr.frontier(a), &[Qos::IDENTITY]);
+        let mut g2 = g.clone();
+        let lone = g2.add_node(());
+        let fr2 = frontiers(&g2, a);
+        assert!(fr2.frontier(lone).is_empty());
+        assert_eq!(fr2.shortest_widest(lone), None);
+        assert_eq!(fr2.fastest(lone), None);
+    }
+
+    #[test]
+    fn widest_point_matches_shortest_widest_algorithm() {
+        // Cross-check against the exact shortest-widest implementation on a
+        // richer graph.
+        let mut g: DiGraph<(), Qos> = DiGraph::new();
+        let nodes: Vec<NodeIx> = (0..6).map(|_| g.add_node(())).collect();
+        let edges = [
+            (0, 1, 8, 3),
+            (0, 2, 3, 1),
+            (1, 3, 6, 2),
+            (2, 3, 3, 1),
+            (1, 4, 2, 9),
+            (3, 4, 7, 4),
+            (4, 5, 5, 5),
+            (2, 5, 1, 1),
+        ];
+        for (u, v, bw, lat) in edges {
+            g.add_edge(nodes[u], nodes[v], q(bw, lat));
+        }
+        let fr = frontiers(&g, nodes[0]);
+        let sw = shortest_widest::single_source(&g, nodes[0]);
+        for &n in &nodes {
+            assert_eq!(fr.shortest_widest(n), sw.qos_to(n), "node {n:?}");
+        }
+    }
+
+    #[test]
+    fn frontier_is_strictly_decreasing_in_both_axes() {
+        let (g, a, c) = two_route();
+        let fr = frontiers(&g, a);
+        let f = fr.frontier(c);
+        for w in f.windows(2) {
+            assert!(w[0].bandwidth > w[1].bandwidth);
+            assert!(w[0].latency > w[1].latency);
+        }
+    }
+}

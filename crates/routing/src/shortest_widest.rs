@@ -1,0 +1,541 @@
+//! Shortest-widest path computation (Wang & Crowcroft, JSAC 1996).
+//!
+//! The *shortest-widest* path from `s` to `v` is, among all paths maximising
+//! the bottleneck bandwidth, one minimising the total latency.
+//!
+//! Two algorithms are provided:
+//!
+//! * [`single_source`] — **exact**: first a widest-path Dijkstra fixes the
+//!   optimal bottleneck `B*(v)` for every node (max–min composition *is*
+//!   isotone, so Dijkstra is exact there); then, for every distinct bandwidth
+//!   level `b`, a latency Dijkstra over the subgraph of links with bandwidth
+//!   `≥ b` fixes the minimum latency for the nodes whose `B*` equals `b`.
+//! * [`single_source_lexicographic`] — the classic single-pass Dijkstra with
+//!   the lexicographic (bandwidth ↓, latency ↑) key, as commonly implemented
+//!   from the Wang–Crowcroft description. The lexicographic key is *monotone*
+//!   (extending a path never improves it) but not *isotone* (a better prefix
+//!   does not guarantee a better extension), so this variant is exact in
+//!   bandwidth but may return a path whose latency is not minimal. The
+//!   property tests in this crate exercise exactly that gap, and the
+//!   `ablation_routing` benchmark quantifies it.
+//!
+//! Complexities, with `V` nodes, `E` edges and `L ≤ V` distinct bottleneck
+//! levels: exact is `O(L · E log V)`, lexicographic `O(E log V)`. At the
+//! paper's scales (≤ a few hundred overlay nodes) both are instantaneous.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use sflow_graph::{DiGraph, EdgeIx, NodeIx};
+
+use crate::{Bandwidth, Latency, Qos};
+
+/// The result of a single-source shortest-widest computation: per-node QoS
+/// plus enough predecessor state to reconstruct one optimal path per node.
+#[derive(Clone, Debug)]
+pub struct PathTree {
+    source: NodeIx,
+    dist: Vec<Option<Qos>>,
+    /// For each node, which entry of `level_preds` its path lives in.
+    node_level: Vec<usize>,
+    /// One predecessor array per bandwidth level (a single array for the
+    /// lexicographic variant).
+    level_preds: Vec<Vec<Option<(NodeIx, EdgeIx)>>>,
+}
+
+impl PathTree {
+    /// The source this tree was computed from.
+    pub fn source(&self) -> NodeIx {
+        self.source
+    }
+
+    /// The shortest-widest QoS from the source to `node`, or `None` if the
+    /// node is unreachable. The source itself has [`Qos::IDENTITY`].
+    pub fn qos_to(&self, node: NodeIx) -> Option<Qos> {
+        self.dist[node.index()]
+    }
+
+    /// One shortest-widest path from the source to `node` (inclusive of both
+    /// endpoints), or `None` if unreachable. `path_to(source)` is `[source]`.
+    pub fn path_to(&self, node: NodeIx) -> Option<Vec<NodeIx>> {
+        self.dist[node.index()]?;
+        let preds = &self.level_preds[self.node_level[node.index()]];
+        let mut path = vec![node];
+        let mut cur = node;
+        while cur != self.source {
+            let (prev, _) =
+                preds[cur.index()].expect("reachable non-source node must have a predecessor");
+            path.push(prev);
+            cur = prev;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// The number of links on the reconstructed path to `node` (0 for the
+    /// source), or `None` if unreachable.
+    pub fn hops_to(&self, node: NodeIx) -> Option<usize> {
+        self.path_to(node).map(|p| p.len() - 1)
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct WidestEntry {
+    bandwidth: Bandwidth,
+    node: NodeIx,
+}
+
+impl Ord for WidestEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bandwidth
+            .cmp(&other.bandwidth)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for WidestEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Widest-path (max–min bandwidth) Dijkstra. Returns per-node optimal
+/// bottleneck bandwidth; the source gets [`Bandwidth::INFINITE`].
+fn widest_bandwidths<N>(g: &DiGraph<N, Qos>, source: NodeIx) -> Vec<Option<Bandwidth>> {
+    let mut best: Vec<Option<Bandwidth>> = vec![None; g.node_count()];
+    let mut done = vec![false; g.node_count()];
+    best[source.index()] = Some(Bandwidth::INFINITE);
+    let mut heap = BinaryHeap::new();
+    heap.push(WidestEntry {
+        bandwidth: Bandwidth::INFINITE,
+        node: source,
+    });
+    while let Some(WidestEntry { bandwidth, node }) = heap.pop() {
+        if done[node.index()] {
+            continue;
+        }
+        done[node.index()] = true;
+        for e in g.out_edges(node) {
+            let cand = bandwidth.bottleneck(e.weight.bandwidth);
+            if cand == Bandwidth::ZERO {
+                continue;
+            }
+            let slot = &mut best[e.to.index()];
+            if slot.map_or(true, |b| cand > b) {
+                *slot = Some(cand);
+                heap.push(WidestEntry {
+                    bandwidth: cand,
+                    node: e.to,
+                });
+            }
+        }
+    }
+    best
+}
+
+#[derive(PartialEq, Eq)]
+struct LatencyEntry {
+    latency: Latency,
+    node: NodeIx,
+}
+
+impl Ord for LatencyEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest latency.
+        other
+            .latency
+            .cmp(&self.latency)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for LatencyEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Latency Dijkstra over the subgraph of links with bandwidth ≥ `floor`.
+fn latency_dijkstra_at_level<N>(
+    g: &DiGraph<N, Qos>,
+    source: NodeIx,
+    floor: Bandwidth,
+) -> (Vec<Option<Latency>>, Vec<Option<(NodeIx, EdgeIx)>>) {
+    let mut dist: Vec<Option<Latency>> = vec![None; g.node_count()];
+    let mut pred: Vec<Option<(NodeIx, EdgeIx)>> = vec![None; g.node_count()];
+    let mut done = vec![false; g.node_count()];
+    dist[source.index()] = Some(Latency::ZERO);
+    let mut heap = BinaryHeap::new();
+    heap.push(LatencyEntry {
+        latency: Latency::ZERO,
+        node: source,
+    });
+    while let Some(LatencyEntry { latency, node }) = heap.pop() {
+        if done[node.index()] {
+            continue;
+        }
+        done[node.index()] = true;
+        for e in g.out_edges(node) {
+            if e.weight.bandwidth < floor {
+                continue;
+            }
+            let cand = latency + e.weight.latency;
+            let slot = &mut dist[e.to.index()];
+            if slot.map_or(true, |l| cand < l) {
+                *slot = Some(cand);
+                pred[e.to.index()] = Some((node, e.id));
+                heap.push(LatencyEntry {
+                    latency: cand,
+                    node: e.to,
+                });
+            }
+        }
+    }
+    (dist, pred)
+}
+
+/// Exact single-source shortest-widest paths over a graph whose edges carry
+/// [`Qos`] weights.
+///
+/// The source's QoS is [`Qos::IDENTITY`]; unreachable nodes have `None`.
+/// Links with zero bandwidth are treated as unusable.
+///
+/// # Example
+///
+/// ```
+/// use sflow_graph::DiGraph;
+/// use sflow_routing::{shortest_widest, Bandwidth, Latency, Qos};
+/// let mut g: DiGraph<(), Qos> = DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// g.add_edge(a, b, Qos::new(Bandwidth::kbps(5), Latency::from_micros(2)));
+/// let tree = shortest_widest::single_source(&g, a);
+/// assert_eq!(tree.qos_to(b).unwrap().bandwidth, Bandwidth::kbps(5));
+/// assert_eq!(tree.qos_to(a), Some(Qos::IDENTITY));
+/// ```
+pub fn single_source<N>(g: &DiGraph<N, Qos>, source: NodeIx) -> PathTree {
+    let widest = widest_bandwidths(g, source);
+
+    // Distinct bottleneck levels of non-source reachable nodes, widest first.
+    let mut levels: Vec<Bandwidth> = widest
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != source.index())
+        .filter_map(|(_, b)| *b)
+        .collect();
+    levels.sort_unstable_by(|a, b| b.cmp(a));
+    levels.dedup();
+
+    let mut dist: Vec<Option<Qos>> = vec![None; g.node_count()];
+    let mut node_level: Vec<usize> = vec![0; g.node_count()];
+    let mut level_preds: Vec<Vec<Option<(NodeIx, EdgeIx)>>> = Vec::with_capacity(levels.len());
+    dist[source.index()] = Some(Qos::IDENTITY);
+
+    for (li, &b) in levels.iter().enumerate() {
+        let (lat, pred) = latency_dijkstra_at_level(g, source, b);
+        for n in g.node_ids() {
+            if n == source || widest[n.index()] != Some(b) {
+                continue;
+            }
+            let l = lat[n.index()].expect(
+                "a node with optimal bottleneck b must be reachable over links of bandwidth ≥ b",
+            );
+            dist[n.index()] = Some(Qos::new(b, l));
+            node_level[n.index()] = li;
+        }
+        level_preds.push(pred);
+    }
+
+    if level_preds.is_empty() {
+        // No reachable nodes besides (possibly) the source.
+        level_preds.push(vec![None; g.node_count()]);
+    }
+
+    PathTree {
+        source,
+        dist,
+        node_level,
+        level_preds,
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct LexEntry {
+    qos: Qos,
+    node: NodeIx,
+}
+
+impl Ord for LexEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.qos
+            .cmp_shortest_widest(&other.qos)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for LexEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-pass Dijkstra with the lexicographic (bandwidth ↓, latency ↑) key.
+///
+/// Exact in bandwidth; latency may be over-estimated on topologies where the
+/// lowest-latency widest path to a destination runs through a node whose own
+/// lexicographically-best label is wider but slower (the key is monotone but
+/// not isotone). See the module docs and `tests/prop_routing.rs`.
+pub fn single_source_lexicographic<N>(g: &DiGraph<N, Qos>, source: NodeIx) -> PathTree {
+    let mut dist: Vec<Option<Qos>> = vec![None; g.node_count()];
+    let mut pred: Vec<Option<(NodeIx, EdgeIx)>> = vec![None; g.node_count()];
+    let mut done = vec![false; g.node_count()];
+    dist[source.index()] = Some(Qos::IDENTITY);
+    let mut heap = BinaryHeap::new();
+    heap.push(LexEntry {
+        qos: Qos::IDENTITY,
+        node: source,
+    });
+    while let Some(LexEntry { qos, node }) = heap.pop() {
+        if done[node.index()] {
+            continue;
+        }
+        done[node.index()] = true;
+        for e in g.out_edges(node) {
+            if e.weight.bandwidth == Bandwidth::ZERO {
+                continue;
+            }
+            let cand = qos.then(*e.weight);
+            let slot = &mut dist[e.to.index()];
+            if slot.map_or(true, |q| cand.is_better_than(&q)) {
+                *slot = Some(cand);
+                pred[e.to.index()] = Some((node, e.id));
+                heap.push(LexEntry {
+                    qos: cand,
+                    node: e.to,
+                });
+            }
+        }
+    }
+    PathTree {
+        source,
+        dist,
+        node_level: vec![0; g.node_count()],
+        level_preds: vec![pred],
+    }
+}
+
+/// All-pairs shortest-widest paths: one exact [`PathTree`] per node.
+///
+/// This is step 1 of the paper's baseline algorithm (Table 1): "Compute the
+/// all-pairs shortest-widest path … using the Wang-Crowcroft algorithm."
+#[derive(Clone, Debug)]
+pub struct AllPairs {
+    trees: Vec<PathTree>,
+}
+
+impl AllPairs {
+    /// The shortest-widest QoS from `from` to `to`. `None` if unreachable.
+    pub fn qos(&self, from: NodeIx, to: NodeIx) -> Option<Qos> {
+        self.trees[from.index()].qos_to(to)
+    }
+
+    /// One shortest-widest path from `from` to `to`. `None` if unreachable.
+    pub fn path(&self, from: NodeIx, to: NodeIx) -> Option<Vec<NodeIx>> {
+        self.trees[from.index()].path_to(to)
+    }
+
+    /// The tree rooted at `from`.
+    pub fn tree(&self, from: NodeIx) -> &PathTree {
+        &self.trees[from.index()]
+    }
+
+    /// Number of sources (== number of nodes in the routed graph).
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// `true` if the routed graph had no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+/// Computes exact all-pairs shortest-widest paths (`O(V · L · E log V)`).
+pub fn all_pairs<N>(g: &DiGraph<N, Qos>) -> AllPairs {
+    AllPairs {
+        trees: g.node_ids().map(|n| single_source(g, n)).collect(),
+    }
+}
+
+/// All-pairs variant built from the single-pass lexicographic Dijkstra —
+/// exact in bandwidth, possibly over-estimating latency. Used by the
+/// routing-policy ablation.
+pub fn all_pairs_lexicographic<N>(g: &DiGraph<N, Qos>) -> AllPairs {
+    AllPairs {
+        trees: g
+            .node_ids()
+            .map(|n| single_source_lexicographic(g, n))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(bw: u64, lat: u64) -> Qos {
+        Qos::new(Bandwidth::kbps(bw), Latency::from_micros(lat))
+    }
+
+    /// The classic counter-example where the lexicographic Dijkstra is
+    /// suboptimal in latency:
+    ///
+    /// s → m (bw 10, lat 1)  and  s → m (bw 3, lat 0 via n)
+    /// m → t (bw 3, lat 0)
+    ///
+    /// Widest to t is 3. Exact shortest-widest to t goes s→n→m→t with
+    /// latency 0; lexicographic settles m with the (10, 1) label and yields
+    /// latency 1.
+    fn trap() -> (DiGraph<(), Qos>, NodeIx, NodeIx) {
+        let mut g = DiGraph::new();
+        let s = g.add_node(());
+        let n = g.add_node(());
+        let m = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, m, q(10, 1));
+        g.add_edge(s, n, q(3, 0));
+        g.add_edge(n, m, q(3, 0));
+        g.add_edge(m, t, q(3, 0));
+        (g, s, t)
+    }
+
+    #[test]
+    fn exact_beats_lexicographic_on_trap() {
+        let (g, s, t) = trap();
+        let exact = single_source(&g, s);
+        let lex = single_source_lexicographic(&g, s);
+        assert_eq!(exact.qos_to(t).unwrap(), q(3, 0));
+        assert_eq!(lex.qos_to(t).unwrap(), q(3, 1));
+        // Bandwidth must agree — the lexicographic variant is widest-exact.
+        assert_eq!(
+            exact.qos_to(t).unwrap().bandwidth,
+            lex.qos_to(t).unwrap().bandwidth
+        );
+    }
+
+    #[test]
+    fn source_has_identity_and_trivial_path() {
+        let (g, s, _) = trap();
+        let tree = single_source(&g, s);
+        assert_eq!(tree.qos_to(s), Some(Qos::IDENTITY));
+        assert_eq!(tree.path_to(s), Some(vec![s]));
+        assert_eq!(tree.hops_to(s), Some(0));
+        assert_eq!(tree.source(), s);
+    }
+
+    #[test]
+    fn unreachable_nodes_are_none() {
+        let mut g: DiGraph<(), Qos> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, q(1, 1));
+        g.add_edge(c, a, q(1, 1)); // c reaches a, but a does not reach c
+        let tree = single_source(&g, a);
+        assert_eq!(tree.qos_to(c), None);
+        assert_eq!(tree.path_to(c), None);
+        assert_eq!(tree.hops_to(c), None);
+    }
+
+    #[test]
+    fn zero_bandwidth_links_are_unusable() {
+        let mut g: DiGraph<(), Qos> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, q(0, 1));
+        let tree = single_source(&g, a);
+        assert_eq!(tree.qos_to(b), None);
+        let lex = single_source_lexicographic(&g, a);
+        assert_eq!(lex.qos_to(b), None);
+    }
+
+    #[test]
+    fn widest_wins_over_shorter() {
+        let mut g: DiGraph<(), Qos> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, c, q(1, 1)); // direct but narrow
+        g.add_edge(a, b, q(10, 5));
+        g.add_edge(b, c, q(10, 5));
+        let tree = single_source(&g, a);
+        assert_eq!(tree.qos_to(c).unwrap(), q(10, 10));
+        assert_eq!(tree.path_to(c).unwrap(), vec![a, b, c]);
+        assert_eq!(tree.hops_to(c), Some(2));
+    }
+
+    #[test]
+    fn tie_on_bandwidth_breaks_by_latency() {
+        let mut g: DiGraph<(), Qos> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, c, q(5, 3)); // same bw, faster
+        g.add_edge(a, b, q(5, 5));
+        g.add_edge(b, c, q(5, 5));
+        let tree = single_source(&g, a);
+        assert_eq!(tree.qos_to(c).unwrap(), q(5, 3));
+        assert_eq!(tree.path_to(c).unwrap(), vec![a, c]);
+    }
+
+    #[test]
+    fn path_metrics_match_reported_qos() {
+        let (g, s, t) = trap();
+        let tree = single_source(&g, s);
+        for n in g.node_ids() {
+            let Some(reported) = tree.qos_to(n) else {
+                continue;
+            };
+            let path = tree.path_to(n).unwrap();
+            let mut acc = Qos::IDENTITY;
+            for w in path.windows(2) {
+                let e = g.find_edge(w[0], w[1]).unwrap();
+                acc = acc.then(*g.edge(e));
+            }
+            if n != s {
+                assert_eq!(acc, reported, "node {n:?}");
+            }
+        }
+        let _ = t;
+    }
+
+    #[test]
+    fn all_pairs_agrees_with_single_source() {
+        let (g, s, t) = trap();
+        let ap = all_pairs(&g);
+        assert_eq!(ap.len(), 4);
+        assert!(!ap.is_empty());
+        assert_eq!(ap.qos(s, t), single_source(&g, s).qos_to(t));
+        assert_eq!(ap.path(s, t), single_source(&g, s).path_to(t));
+        assert_eq!(ap.tree(s).source(), s);
+    }
+
+    #[test]
+    fn empty_graph_all_pairs() {
+        let g: DiGraph<(), Qos> = DiGraph::new();
+        let ap = all_pairs(&g);
+        assert!(ap.is_empty());
+    }
+
+    #[test]
+    fn parallel_edges_pick_the_better() {
+        let mut g: DiGraph<(), Qos> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, q(2, 10));
+        g.add_edge(a, b, q(9, 10));
+        g.add_edge(a, b, q(9, 3));
+        let tree = single_source(&g, a);
+        assert_eq!(tree.qos_to(b).unwrap(), q(9, 3));
+    }
+}

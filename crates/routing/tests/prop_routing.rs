@@ -1,0 +1,240 @@
+//! Property-based tests for the routing algorithms.
+//!
+//! The key oracle is a brute-force enumeration of all simple paths, against
+//! which the exact shortest-widest algorithm must match exactly, the
+//! lexicographic variant must match in bandwidth, and the classic policies
+//! must match in their own single metric.
+
+use proptest::prelude::*;
+use sflow_graph::{algo, DiGraph, NodeIx};
+use sflow_routing::{classic, pareto, shortest_widest, Bandwidth, Latency, Qos};
+
+fn q(bw: u64, lat: u64) -> Qos {
+    Qos::new(Bandwidth::kbps(bw), Latency::from_micros(lat))
+}
+
+/// Random directed graph with small integer QoS weights (small bandwidth
+/// domain to force plenty of bottleneck ties).
+fn graph_strategy() -> impl Strategy<Value = DiGraph<(), Qos>> {
+    (3usize..8).prop_flat_map(|n| {
+        let edges =
+            proptest::collection::vec((0..n, 0..n, 1u64..6, 0u64..10), 1..(n * (n - 1)).max(2));
+        edges.prop_map(move |es| {
+            let mut g = DiGraph::new();
+            let ids: Vec<_> = (0..n).map(|_| g.add_node(())).collect();
+            for (a, b, bw, lat) in es {
+                if a != b {
+                    g.add_edge(ids[a], ids[b], q(bw, lat));
+                }
+            }
+            g
+        })
+    })
+}
+
+/// Brute-force shortest-widest QoS between two nodes by enumerating all
+/// simple paths. (An optimal shortest-widest path is always simple: cycles
+/// only add latency and can only lower the bottleneck.)
+fn brute_force(g: &DiGraph<(), Qos>, from: NodeIx, to: NodeIx) -> Option<Qos> {
+    let paths = algo::all_simple_paths(g, from, to, usize::MAX);
+    let mut best: Option<Qos> = None;
+    for p in paths {
+        // A path may traverse any of several parallel edges; pick the best
+        // edge greedily per hop is NOT valid in general, so enumerate edge
+        // choices via per-hop best-for-this-path search: since edges between
+        // the same endpoints are interchangeable except for their weights, we
+        // enumerate all edge combinations implicitly by taking, per hop, all
+        // candidate weights, and fold over the cross-product.
+        let mut partials = vec![Qos::IDENTITY];
+        for w in p.windows(2) {
+            let weights: Vec<Qos> = g
+                .out_edges(w[0])
+                .filter(|e| e.to == w[1])
+                .map(|e| *e.weight)
+                .collect();
+            let mut next = Vec::new();
+            for pa in &partials {
+                for we in &weights {
+                    if we.bandwidth > Bandwidth::ZERO {
+                        next.push(pa.then(*we));
+                    }
+                }
+            }
+            // Prune to the Pareto frontier to keep the product small.
+            let mut frontier: Vec<Qos> = Vec::new();
+            for cand in next {
+                if frontier.iter().any(|f| f.dominates(&cand) && *f != cand) {
+                    continue;
+                }
+                frontier.retain(|f| !(cand.dominates(f) && cand != *f));
+                if !frontier.contains(&cand) {
+                    frontier.push(cand);
+                }
+            }
+            partials = frontier;
+            if partials.is_empty() {
+                break;
+            }
+        }
+        for cand in partials {
+            if best.map_or(true, |b| cand.is_better_than(&b)) {
+                best = Some(cand);
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_matches_brute_force(g in graph_strategy()) {
+        let src = g.node_ids().next().unwrap();
+        let tree = shortest_widest::single_source(&g, src);
+        for n in g.node_ids() {
+            if n == src { continue; }
+            prop_assert_eq!(tree.qos_to(n), brute_force(&g, src, n), "node {:?}", n);
+        }
+    }
+
+    #[test]
+    fn lexicographic_matches_exact_bandwidth_and_never_beats_latency(g in graph_strategy()) {
+        let src = g.node_ids().next().unwrap();
+        let exact = shortest_widest::single_source(&g, src);
+        let lex = shortest_widest::single_source_lexicographic(&g, src);
+        for n in g.node_ids() {
+            match (exact.qos_to(n), lex.qos_to(n)) {
+                (Some(e), Some(l)) => {
+                    prop_assert_eq!(e.bandwidth, l.bandwidth);
+                    prop_assert!(l.latency >= e.latency);
+                }
+                (None, None) => {}
+                (e, l) => prop_assert!(false, "reachability mismatch: {:?} vs {:?}", e, l),
+            }
+        }
+    }
+
+    #[test]
+    fn reported_qos_equals_path_qos(g in graph_strategy()) {
+        let src = g.node_ids().next().unwrap();
+        let tree = shortest_widest::single_source(&g, src);
+        for n in g.node_ids() {
+            let Some(reported) = tree.qos_to(n) else {
+                prop_assert_eq!(tree.path_to(n), None);
+                continue;
+            };
+            let path = tree.path_to(n).unwrap();
+            prop_assert_eq!(path[0], src);
+            prop_assert_eq!(*path.last().unwrap(), n);
+            if n == src { continue; }
+            // The path's best achievable QoS (over parallel-edge choices) must
+            // be at least as good as reported, and the reported value must be
+            // achievable along these nodes.
+            let mut acc = vec![Qos::IDENTITY];
+            for w in path.windows(2) {
+                let mut next = Vec::new();
+                for pa in &acc {
+                    for e in g.out_edges(w[0]).filter(|e| e.to == w[1]) {
+                        next.push(pa.then(*e.weight));
+                    }
+                }
+                acc = next;
+                prop_assert!(!acc.is_empty(), "path uses a non-edge");
+            }
+            prop_assert!(acc.contains(&reported), "reported {:?} not achievable on path", reported);
+        }
+    }
+
+    #[test]
+    fn widest_tree_is_exact_in_bandwidth(g in graph_strategy()) {
+        let src = g.node_ids().next().unwrap();
+        let wide = classic::widest(&g, src);
+        let exact = shortest_widest::single_source(&g, src);
+        for n in g.node_ids() {
+            prop_assert_eq!(
+                wide.qos_to(n).map(|x| x.bandwidth),
+                exact.qos_to(n).map(|x| x.bandwidth)
+            );
+        }
+    }
+
+    #[test]
+    fn shortest_tree_is_exact_in_latency(g in graph_strategy()) {
+        let src = g.node_ids().next().unwrap();
+        let short = classic::shortest(&g, src);
+        for n in g.node_ids() {
+            if n == src { continue; }
+            // Oracle: latency-only Dijkstra == min over simple paths of summed
+            // latency (cycles cannot help).
+            let oracle = algo::all_simple_paths(&g, src, n, usize::MAX)
+                .into_iter()
+                .map(|p| {
+                    p.windows(2)
+                        .map(|w| {
+                            g.out_edges(w[0])
+                                .filter(|e| e.to == w[1])
+                                .map(|e| e.weight.latency)
+                                .min()
+                                .unwrap()
+                        })
+                        .sum::<Latency>()
+                })
+                .min();
+            prop_assert_eq!(short.qos_to(n).map(|x| x.latency), oracle);
+        }
+    }
+
+    #[test]
+    fn pareto_widest_point_matches_exact_shortest_widest(g in graph_strategy()) {
+        let src = g.node_ids().next().unwrap();
+        let fr = pareto::frontiers(&g, src);
+        let sw = shortest_widest::single_source(&g, src);
+        for n in g.node_ids() {
+            prop_assert_eq!(fr.shortest_widest(n), sw.qos_to(n), "node {:?}", n);
+        }
+    }
+
+    #[test]
+    fn pareto_fastest_point_matches_latency_dijkstra(g in graph_strategy()) {
+        let src = g.node_ids().next().unwrap();
+        let fr = pareto::frontiers(&g, src);
+        let short = classic::shortest(&g, src);
+        for n in g.node_ids() {
+            prop_assert_eq!(
+                fr.fastest(n).map(|q| q.latency),
+                short.qos_to(n).map(|q| q.latency),
+                "node {:?}", n
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_frontier_is_mutually_non_dominated(g in graph_strategy()) {
+        let src = g.node_ids().next().unwrap();
+        let fr = pareto::frontiers(&g, src);
+        for n in g.node_ids() {
+            let f = fr.frontier(n);
+            for (i, a) in f.iter().enumerate() {
+                for (j, b) in f.iter().enumerate() {
+                    if i != j {
+                        prop_assert!(!a.dominates(b) || a == b, "node {:?}", n);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_table_consistency(g in graph_strategy()) {
+        let ap = shortest_widest::all_pairs(&g);
+        for u in g.node_ids() {
+            for v in g.node_ids() {
+                prop_assert_eq!(
+                    ap.qos(u, v),
+                    shortest_widest::single_source(&g, u).qos_to(v)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! CNF formulas, literals and assignments.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A propositional variable, 0-indexed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable by index.
+    pub const fn new(index: u32) -> Self {
+        Var(index)
+    }
+
+    /// The variable's index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Lit {
+    var: Var,
+    positive: bool,
+}
+
+impl Lit {
+    /// The positive literal `v`.
+    pub const fn pos(var: Var) -> Self {
+        Lit {
+            var,
+            positive: true,
+        }
+    }
+
+    /// The negative literal `¬v`.
+    pub const fn neg(var: Var) -> Self {
+        Lit {
+            var,
+            positive: false,
+        }
+    }
+
+    /// The literal's variable.
+    pub const fn var(self) -> Var {
+        self.var
+    }
+
+    /// `true` for `v`, `false` for `¬v`.
+    pub const fn is_positive(self) -> bool {
+        self.positive
+    }
+
+    /// The complementary literal.
+    #[must_use]
+    pub const fn negated(self) -> Self {
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// `true` if `self` and `other` are `p` and `¬p` of the same variable.
+    pub fn is_complement_of(self, other: Lit) -> bool {
+        self.var == other.var && self.positive != other.positive
+    }
+
+    /// Evaluates under `value` of its variable.
+    pub fn eval(self, value: bool) -> bool {
+        self.positive == value
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "{}", self.var)
+        } else {
+            write!(f, "¬{}", self.var)
+        }
+    }
+}
+
+/// A total truth assignment.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment(Vec<bool>);
+
+impl Assignment {
+    /// Creates an assignment from per-variable values.
+    pub fn new(values: Vec<bool>) -> Self {
+        Assignment(values)
+    }
+
+    /// The value of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn value(&self, var: Var) -> bool {
+        self.0[var.index()]
+    }
+
+    /// Number of variables covered.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if the assignment covers no variables.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// A CNF formula: a conjunction of clauses, each a disjunction of literals.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Creates a formula over `num_vars` variables with no clauses yet.
+    pub fn new(num_vars: u32) -> Self {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Adds one clause (a disjunction of the given literals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clause is empty (an empty clause is trivially
+    /// unsatisfiable; construct such formulas explicitly in tests if needed)
+    /// or mentions a variable out of range.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> &mut Self {
+        let clause: Vec<Lit> = lits.into_iter().collect();
+        assert!(!clause.is_empty(), "clauses must be non-empty");
+        for l in &clause {
+            assert!(
+                (l.var().index() as u32) < self.num_vars,
+                "literal {l} out of range"
+            );
+        }
+        self.clauses.push(clause);
+        self
+    }
+
+    /// The number of variables.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Evaluates the formula under a total assignment.
+    pub fn is_satisfied_by(&self, assignment: &Assignment) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.eval(assignment.value(l.var()))))
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "(")?;
+            for (j, l) in c.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ∨ ")?;
+                }
+                write!(f, "{l}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_algebra() {
+        let x = Var::new(0);
+        assert_eq!(Lit::pos(x).negated(), Lit::neg(x));
+        assert!(Lit::pos(x).is_complement_of(Lit::neg(x)));
+        assert!(!Lit::pos(x).is_complement_of(Lit::pos(x)));
+        assert!(!Lit::pos(x).is_complement_of(Lit::neg(Var::new(1))));
+        assert!(Lit::pos(x).eval(true));
+        assert!(!Lit::pos(x).eval(false));
+        assert!(Lit::neg(x).eval(false));
+        assert!(Lit::pos(x).is_positive());
+        assert_eq!(Lit::neg(x).to_string(), "¬x0");
+    }
+
+    #[test]
+    fn evaluation() {
+        let mut f = Cnf::new(2);
+        let (x, y) = (Var::new(0), Var::new(1));
+        f.add_clause([Lit::pos(x), Lit::neg(y)]);
+        f.add_clause([Lit::pos(y)]);
+        assert!(f.is_satisfied_by(&Assignment::new(vec![true, true])));
+        assert!(!f.is_satisfied_by(&Assignment::new(vec![false, true])));
+        assert_eq!(f.num_vars(), 2);
+        assert_eq!(f.clauses().len(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut f = Cnf::new(2);
+        f.add_clause([Lit::pos(Var::new(0)), Lit::neg(Var::new(1))]);
+        assert_eq!(f.to_string(), "(x0 ∨ ¬x1)");
+        assert_eq!(Cnf::new(0).to_string(), "⊤");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_clause_panics() {
+        Cnf::new(1).add_clause([]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_literal_panics() {
+        Cnf::new(1).add_clause([Lit::pos(Var::new(5))]);
+    }
+
+    #[test]
+    fn assignment_accessors() {
+        let a = Assignment::new(vec![true, false]);
+        assert!(a.value(Var::new(0)));
+        assert!(!a.value(Var::new(1)));
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert!(Assignment::new(vec![]).is_empty());
+    }
+}

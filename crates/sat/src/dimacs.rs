@@ -1,0 +1,172 @@
+//! DIMACS CNF interchange format.
+//!
+//! The standard textual format for SAT instances, so the Theorem 1 pipeline
+//! can be driven by externally generated formulas:
+//!
+//! ```text
+//! c an example
+//! p cnf 3 2
+//! 1 -2 0
+//! 2 3 0
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::cnf::{Cnf, Lit, Var};
+
+/// Why DIMACS parsing failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DimacsError {
+    /// No `p cnf <vars> <clauses>` header before the first clause.
+    MissingHeader,
+    /// The header line was malformed.
+    BadHeader(String),
+    /// A token was neither an integer literal nor `0`.
+    BadLiteral(String),
+    /// A literal referenced a variable beyond the header's count.
+    OutOfRange(i64),
+    /// Input ended inside a clause (no terminating `0`).
+    UnterminatedClause,
+    /// A clause was empty (just `0`) — trivially unsatisfiable, rejected to
+    /// match [`Cnf::add_clause`]'s contract.
+    EmptyClause,
+}
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimacsError::MissingHeader => write!(f, "missing 'p cnf' header"),
+            DimacsError::BadHeader(l) => write!(f, "malformed header {l:?}"),
+            DimacsError::BadLiteral(t) => write!(f, "bad literal token {t:?}"),
+            DimacsError::OutOfRange(v) => write!(f, "literal {v} out of declared range"),
+            DimacsError::UnterminatedClause => write!(f, "input ended inside a clause"),
+            DimacsError::EmptyClause => write!(f, "empty clause"),
+        }
+    }
+}
+
+impl Error for DimacsError {}
+
+/// Parses a DIMACS CNF document. Comment lines (`c …`) and `%`/`0` trailer
+/// lines common in benchmark suites are ignored; the declared clause count
+/// is not enforced (files in the wild routinely get it wrong).
+///
+/// # Errors
+///
+/// See [`DimacsError`].
+pub fn parse(input: &str) -> Result<Cnf, DimacsError> {
+    let mut cnf: Option<Cnf> = None;
+    let mut num_vars: i64 = 0;
+    let mut current: Vec<Lit> = Vec::new();
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('%') {
+            // SATLIB trailer: "%" followed by a lone "0" — stop parsing.
+            break;
+        }
+        if line.starts_with('p') {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() != 4 || parts[1] != "cnf" {
+                return Err(DimacsError::BadHeader(line.to_string()));
+            }
+            num_vars = parts[2]
+                .parse()
+                .map_err(|_| DimacsError::BadHeader(line.to_string()))?;
+            let _clauses: usize = parts[3]
+                .parse()
+                .map_err(|_| DimacsError::BadHeader(line.to_string()))?;
+            cnf = Some(Cnf::new(num_vars as u32));
+            continue;
+        }
+        let cnf_ref = cnf.as_mut().ok_or(DimacsError::MissingHeader)?;
+        for tok in line.split_whitespace() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| DimacsError::BadLiteral(tok.to_string()))?;
+            if v == 0 {
+                if current.is_empty() {
+                    return Err(DimacsError::EmptyClause);
+                }
+                cnf_ref.add_clause(current.drain(..).collect::<Vec<_>>());
+            } else {
+                if v.abs() > num_vars {
+                    return Err(DimacsError::OutOfRange(v));
+                }
+                let var = Var::new((v.unsigned_abs() - 1) as u32);
+                current.push(if v > 0 { Lit::pos(var) } else { Lit::neg(var) });
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(DimacsError::UnterminatedClause);
+    }
+    cnf.ok_or(DimacsError::MissingHeader)
+}
+
+/// Renders a formula as DIMACS CNF.
+pub fn render(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars(), cnf.clauses().len());
+    for clause in cnf.clauses() {
+        for l in clause {
+            let v = l.var().index() as i64 + 1;
+            let _ = write!(out, "{} ", if l.is_positive() { v } else { -v });
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpll;
+
+    #[test]
+    fn parses_the_classic_example() {
+        let f = parse("c demo\np cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.clauses().len(), 2);
+        assert!(dpll::solve(&f).is_some());
+    }
+
+    #[test]
+    fn round_trips() {
+        let f = parse("p cnf 4 3\n1 -2 0\n-1 3 4 0\n2 0\n").unwrap();
+        let again = parse(&render(&f)).unwrap();
+        assert_eq!(f, again);
+    }
+
+    #[test]
+    fn multi_clause_lines_and_trailers() {
+        let f = parse("p cnf 2 2\n1 0 -2 0\n%\n0\n").unwrap();
+        assert_eq!(f.clauses().len(), 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(parse("1 0"), Err(DimacsError::MissingHeader));
+        assert!(matches!(parse("p dnf 1 1"), Err(DimacsError::BadHeader(_))));
+        assert!(matches!(
+            parse("p cnf 1 1\nx 0"),
+            Err(DimacsError::BadLiteral(_))
+        ));
+        assert_eq!(parse("p cnf 1 1\n5 0"), Err(DimacsError::OutOfRange(5)));
+        assert_eq!(parse("p cnf 1 1\n1"), Err(DimacsError::UnterminatedClause));
+        assert_eq!(parse("p cnf 1 1\n0"), Err(DimacsError::EmptyClause));
+        assert!(DimacsError::OutOfRange(5).to_string().contains('5'));
+    }
+
+    #[test]
+    fn dimacs_feeds_theorem1() {
+        // An unsatisfiable core through the whole pipeline.
+        let f = parse("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        let inst = crate::reduction::sat_to_msfg(&f);
+        assert!(!crate::msfg::is_feasible(&inst));
+    }
+}

@@ -1,0 +1,228 @@
+//! A DPLL SAT solver with unit propagation and pure-literal elimination.
+//!
+//! Exponential worst case, of course — this is the *oracle* side of the
+//! NP-completeness equivalence tests, run on small formulas.
+
+use crate::cnf::{Assignment, Cnf, Lit, Var};
+
+/// Decides satisfiability; returns a satisfying total assignment if one
+/// exists (unassigned variables default to `false`).
+pub fn solve(cnf: &Cnf) -> Option<Assignment> {
+    let mut values: Vec<Option<bool>> = vec![None; cnf.num_vars() as usize];
+    if search(cnf, &mut values) {
+        Some(Assignment::new(
+            values.into_iter().map(|v| v.unwrap_or(false)).collect(),
+        ))
+    } else {
+        None
+    }
+}
+
+/// Clause status under a partial assignment.
+enum ClauseState {
+    Satisfied,
+    /// All literals false.
+    Conflict,
+    /// Exactly one literal unassigned, the rest false.
+    Unit(Lit),
+    Open,
+}
+
+fn clause_state(clause: &[Lit], values: &[Option<bool>]) -> ClauseState {
+    let mut unassigned = None;
+    let mut unassigned_count = 0;
+    for &l in clause {
+        match values[l.var().index()] {
+            Some(v) if l.eval(v) => return ClauseState::Satisfied,
+            Some(_) => {}
+            None => {
+                unassigned = Some(l);
+                unassigned_count += 1;
+            }
+        }
+    }
+    match unassigned_count {
+        0 => ClauseState::Conflict,
+        1 => ClauseState::Unit(unassigned.expect("counted one")),
+        _ => ClauseState::Open,
+    }
+}
+
+/// Applies unit propagation and pure-literal elimination to a fixpoint.
+/// Returns `false` on conflict.
+fn propagate(cnf: &Cnf, values: &mut [Option<bool>]) -> bool {
+    loop {
+        let mut changed = false;
+        // Unit propagation.
+        for clause in cnf.clauses() {
+            match clause_state(clause, values) {
+                ClauseState::Conflict => return false,
+                ClauseState::Unit(l) => {
+                    values[l.var().index()] = Some(l.is_positive());
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if changed {
+            continue;
+        }
+        // Pure literals: a variable appearing with only one polarity among
+        // unsatisfied clauses can be fixed to that polarity.
+        let n = values.len();
+        let mut pos = vec![false; n];
+        let mut neg = vec![false; n];
+        for clause in cnf.clauses() {
+            if matches!(clause_state(clause, values), ClauseState::Satisfied) {
+                continue;
+            }
+            for &l in clause {
+                if values[l.var().index()].is_none() {
+                    if l.is_positive() {
+                        pos[l.var().index()] = true;
+                    } else {
+                        neg[l.var().index()] = true;
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            if values[i].is_none() && (pos[i] ^ neg[i]) {
+                values[i] = Some(pos[i]);
+                changed = true;
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+fn search(cnf: &Cnf, values: &mut Vec<Option<bool>>) -> bool {
+    let snapshot = values.clone();
+    if !propagate(cnf, values) {
+        *values = snapshot;
+        return false;
+    }
+    // All clauses satisfied?
+    if cnf
+        .clauses()
+        .iter()
+        .all(|c| matches!(clause_state(c, values), ClauseState::Satisfied))
+    {
+        return true;
+    }
+    let Some(branch_var) = values
+        .iter()
+        .position(|v| v.is_none())
+        .map(|i| Var::new(i as u32))
+    else {
+        // Fully assigned but not all satisfied: conflict.
+        *values = snapshot;
+        return false;
+    };
+    for candidate in [true, false] {
+        let restore = values.clone();
+        values[branch_var.index()] = Some(candidate);
+        if search(cnf, values) {
+            return true;
+        }
+        *values = restore;
+    }
+    *values = snapshot;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Lit, Var};
+
+    fn v(i: u32) -> Var {
+        Var::new(i)
+    }
+
+    #[test]
+    fn satisfiable_formula() {
+        let mut f = Cnf::new(3);
+        f.add_clause([Lit::pos(v(0)), Lit::pos(v(1))]);
+        f.add_clause([Lit::neg(v(0)), Lit::pos(v(2))]);
+        f.add_clause([Lit::neg(v(1)), Lit::neg(v(2))]);
+        let a = solve(&f).expect("satisfiable");
+        assert!(f.is_satisfied_by(&a));
+    }
+
+    #[test]
+    fn unsatisfiable_formula() {
+        // (x) ∧ (¬x)
+        let mut f = Cnf::new(1);
+        f.add_clause([Lit::pos(v(0))]);
+        f.add_clause([Lit::neg(v(0))]);
+        assert!(solve(&f).is_none());
+    }
+
+    #[test]
+    fn classic_unsat_core() {
+        // (x ∨ y) ∧ (x ∨ ¬y) ∧ (¬x ∨ y) ∧ (¬x ∨ ¬y)
+        let mut f = Cnf::new(2);
+        f.add_clause([Lit::pos(v(0)), Lit::pos(v(1))]);
+        f.add_clause([Lit::pos(v(0)), Lit::neg(v(1))]);
+        f.add_clause([Lit::neg(v(0)), Lit::pos(v(1))]);
+        f.add_clause([Lit::neg(v(0)), Lit::neg(v(1))]);
+        assert!(solve(&f).is_none());
+    }
+
+    #[test]
+    fn empty_formula_is_trivially_sat() {
+        let f = Cnf::new(3);
+        let a = solve(&f).unwrap();
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn unit_propagation_chains() {
+        // x0 ∧ (¬x0 ∨ x1) ∧ (¬x1 ∨ x2)
+        let mut f = Cnf::new(3);
+        f.add_clause([Lit::pos(v(0))]);
+        f.add_clause([Lit::neg(v(0)), Lit::pos(v(1))]);
+        f.add_clause([Lit::neg(v(1)), Lit::pos(v(2))]);
+        let a = solve(&f).unwrap();
+        assert!(a.value(v(0)) && a.value(v(1)) && a.value(v(2)));
+    }
+
+    #[test]
+    fn exhaustive_agreement_on_all_small_formulas() {
+        // All 3-variable formulas with exactly two 2-literal clauses drawn
+        // from a fixed pool: DPLL must agree with truth-table enumeration.
+        let pool: Vec<(Lit, Lit)> = {
+            let lits = [
+                Lit::pos(v(0)),
+                Lit::neg(v(0)),
+                Lit::pos(v(1)),
+                Lit::neg(v(1)),
+                Lit::pos(v(2)),
+                Lit::neg(v(2)),
+            ];
+            let mut p = Vec::new();
+            for &a in &lits {
+                for &b in &lits {
+                    p.push((a, b));
+                }
+            }
+            p
+        };
+        for &(a1, b1) in &pool {
+            for &(a2, b2) in &pool {
+                let mut f = Cnf::new(3);
+                f.add_clause([a1, b1]);
+                f.add_clause([a2, b2]);
+                let truth_table_sat = (0..8u32).any(|bits| {
+                    let assignment =
+                        Assignment::new((0..3).map(|i| bits & (1 << i) != 0).collect());
+                    f.is_satisfied_by(&assignment)
+                });
+                assert_eq!(solve(&f).is_some(), truth_table_sat, "{f}");
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Executable version of the paper's NP-completeness proof (Theorem 1).
+//!
+//! Sec. 3.2 proves the **Maximum Service Flow Graph Problem** (MSFG)
+//! NP-complete by reduction from SAT: each clause becomes a group of nodes
+//! (one per literal occurrence), every cross-clause node pair is connected,
+//! complementary literals get weight-1 edges, all others weight ≥ 2, and a
+//! flow graph that selects one node per group with minimum edge weight
+//! `≥ K = 2` exists **iff** the formula is satisfiable.
+//!
+//! This crate makes the proof a tested artifact:
+//!
+//! * [`cnf`] — CNF formulas and assignments;
+//! * [`dpll`] — a DPLL SAT solver (unit propagation + pure literals);
+//! * [`msfg`] — the MSFG instance type and an exact brute-force solver;
+//! * [`reduction`] — the Theorem 1 transformation plus certificate mappings
+//!   in both directions.
+//!
+//! Property tests in `tests/prop_theorem1.rs` check, on random formulas,
+//! that `dpll(φ) = SAT ⇔ msfg(reduce(φ)) ≥ K`, and that certificates map
+//! across the reduction soundly.
+//!
+//! # Example
+//!
+//! ```
+//! use sflow_sat::cnf::{Cnf, Lit, Var};
+//! use sflow_sat::{dpll, msfg, reduction};
+//!
+//! // (x ∨ y) ∧ (¬x ∨ y) ∧ (¬y ∨ x)  — satisfiable with x = y = true.
+//! let mut f = Cnf::new(2);
+//! let (x, y) = (Var::new(0), Var::new(1));
+//! f.add_clause([Lit::pos(x), Lit::pos(y)]);
+//! f.add_clause([Lit::neg(x), Lit::pos(y)]);
+//! f.add_clause([Lit::neg(y), Lit::pos(x)]);
+//!
+//! assert!(dpll::solve(&f).is_some());
+//! let inst = reduction::sat_to_msfg(&f);
+//! let best = msfg::max_bottleneck(&inst).unwrap();
+//! assert!(best.bottleneck >= inst.k);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cnf;
+pub mod dimacs;
+pub mod dpll;
+pub mod msfg;
+pub mod reduction;

@@ -1,0 +1,212 @@
+//! The Maximum Service Flow Graph Problem (Definition 1 of the paper) and an
+//! exact brute-force solver.
+//!
+//! An instance partitions the nodes of a DAG into groups `v₁ … vₙ` (each
+//! group's nodes fully connected to the next groups' nodes, edge directions
+//! following group order) with positive integer edge weights. A *service
+//! flow graph* selects exactly one node per group; its value is the minimum
+//! weight among all edges between selected nodes. The decision problem asks
+//! for a selection with value `≥ K`.
+
+use serde::{Deserialize, Serialize};
+use sflow_graph::{DiGraph, NodeIx};
+
+/// One node of an MSFG instance: which group it belongs to and its index
+/// within the group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GroupedNode {
+    /// Group (for the Theorem 1 reduction: the clause).
+    pub group: usize,
+    /// Position within the group (for the reduction: the literal).
+    pub member: usize,
+}
+
+/// An MSFG instance.
+#[derive(Clone, Debug)]
+pub struct MsfgInstance {
+    /// The weighted DAG. Edge weights are the link bandwidths of
+    /// Definition 1.
+    pub graph: DiGraph<GroupedNode, u64>,
+    /// Node handles by group.
+    pub groups: Vec<Vec<NodeIx>>,
+    /// The decision threshold.
+    pub k: u64,
+}
+
+/// A solved selection: one node per group and the achieved bottleneck.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MsfgSolution {
+    /// Selected member index per group.
+    pub selection: Vec<usize>,
+    /// The minimum edge weight among selected nodes.
+    pub bottleneck: u64,
+}
+
+/// The bottleneck value of a concrete selection: the minimum weight over all
+/// graph edges whose endpoints are both selected. Returns `None` if some
+/// selected cross-group pair has **no** edge (treated as disconnected, i.e.
+/// an invalid flow graph).
+pub fn selection_bottleneck(inst: &MsfgInstance, selection: &[usize]) -> Option<u64> {
+    assert_eq!(selection.len(), inst.groups.len(), "one choice per group");
+    let chosen: Vec<NodeIx> = selection
+        .iter()
+        .enumerate()
+        .map(|(g, &m)| inst.groups[g][m])
+        .collect();
+    let mut bottleneck = u64::MAX;
+    for (i, &a) in chosen.iter().enumerate() {
+        for &b in chosen.iter().skip(i + 1) {
+            // Exactly one direction exists (group order); look both ways.
+            let w = inst
+                .graph
+                .find_edge(a, b)
+                .or_else(|| inst.graph.find_edge(b, a))
+                .map(|e| *inst.graph.edge(e))?;
+            bottleneck = bottleneck.min(w);
+        }
+    }
+    Some(bottleneck)
+}
+
+/// Exhaustively finds the selection with the maximum bottleneck.
+///
+/// Exponential in the number of groups — this is the NP-complete problem,
+/// solved exactly on the small instances the reduction tests use. Returns
+/// `None` only if every selection has a disconnected pair.
+pub fn max_bottleneck(inst: &MsfgInstance) -> Option<MsfgSolution> {
+    let n = inst.groups.len();
+    if n == 0 {
+        return Some(MsfgSolution {
+            selection: Vec::new(),
+            bottleneck: u64::MAX,
+        });
+    }
+    let mut best: Option<MsfgSolution> = None;
+    let mut selection = vec![0usize; n];
+    loop {
+        if let Some(b) = selection_bottleneck(inst, &selection) {
+            if best.as_ref().map_or(true, |s| b > s.bottleneck) {
+                best = Some(MsfgSolution {
+                    selection: selection.clone(),
+                    bottleneck: b,
+                });
+            }
+        }
+        // Odometer increment.
+        let mut i = n;
+        loop {
+            if i == 0 {
+                return best;
+            }
+            i -= 1;
+            selection[i] += 1;
+            if selection[i] < inst.groups[i].len() {
+                break;
+            }
+            selection[i] = 0;
+        }
+    }
+}
+
+/// Decision form: does a selection with bottleneck `≥ inst.k` exist?
+pub fn is_feasible(inst: &MsfgInstance) -> bool {
+    max_bottleneck(inst).is_some_and(|s| s.bottleneck >= inst.k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two groups of two; one cross pair has weight 1, the rest weight 2.
+    fn tiny() -> MsfgInstance {
+        let mut graph = DiGraph::new();
+        let mut groups = vec![Vec::new(), Vec::new()];
+        for g in 0..2usize {
+            for m in 0..2usize {
+                groups[g].push(graph.add_node(GroupedNode {
+                    group: g,
+                    member: m,
+                }));
+            }
+        }
+        for &a in &groups[0] {
+            for &b in &groups[1] {
+                let w = if graph.node(a).member == 0 && graph.node(b).member == 0 {
+                    1
+                } else {
+                    2
+                };
+                graph.add_edge(a, b, w);
+            }
+        }
+        MsfgInstance {
+            graph,
+            groups,
+            k: 2,
+        }
+    }
+
+    #[test]
+    fn brute_force_finds_the_wide_selection() {
+        let inst = tiny();
+        let sol = max_bottleneck(&inst).unwrap();
+        assert_eq!(sol.bottleneck, 2);
+        assert!(is_feasible(&inst));
+        // The (0, 0) selection is the weight-1 pair.
+        assert_eq!(selection_bottleneck(&inst, &[0, 0]), Some(1));
+        assert_eq!(selection_bottleneck(&inst, &sol.selection), Some(2));
+    }
+
+    #[test]
+    fn infeasible_when_k_exceeds_all_weights() {
+        let mut inst = tiny();
+        inst.k = 3;
+        assert!(!is_feasible(&inst));
+        // But a best selection still exists.
+        assert!(max_bottleneck(&inst).is_some());
+    }
+
+    #[test]
+    fn missing_edges_disconnect_selections() {
+        let mut graph = DiGraph::new();
+        let a = graph.add_node(GroupedNode {
+            group: 0,
+            member: 0,
+        });
+        let b = graph.add_node(GroupedNode {
+            group: 1,
+            member: 0,
+        });
+        let c = graph.add_node(GroupedNode {
+            group: 1,
+            member: 1,
+        });
+        graph.add_edge(a, b, 5);
+        // a—c intentionally missing.
+        let inst = MsfgInstance {
+            graph,
+            groups: vec![vec![a], vec![b, c]],
+            k: 1,
+        };
+        assert_eq!(selection_bottleneck(&inst, &[0, 0]), Some(5));
+        assert_eq!(selection_bottleneck(&inst, &[0, 1]), None);
+        assert_eq!(max_bottleneck(&inst).unwrap().bottleneck, 5);
+    }
+
+    #[test]
+    fn empty_instance_is_vacuously_feasible() {
+        let inst = MsfgInstance {
+            graph: DiGraph::new(),
+            groups: Vec::new(),
+            k: 10,
+        };
+        assert!(is_feasible(&inst));
+    }
+
+    #[test]
+    #[should_panic(expected = "one choice per group")]
+    fn wrong_arity_panics() {
+        let inst = tiny();
+        let _ = selection_bottleneck(&inst, &[0]);
+    }
+}

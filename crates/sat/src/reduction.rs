@@ -1,0 +1,209 @@
+//! The Theorem 1 transformation: SAT → Maximum Service Flow Graph.
+//!
+//! Given CNF `C = {c₁ … cₙ}` over `U = {u₁ … uₘ}`:
+//!
+//! * each clause `cᵢ` becomes a group of nodes, one per literal occurrence;
+//! * every pair of nodes from *different* clauses is joined by an edge,
+//!   directed from the lower-indexed clause to the higher (making `v₁` the
+//!   source side and `vₙ` the sink side of a DAG);
+//! * the edge weight is **1** when the two literals are complementary
+//!   (`p` and `¬p`), and **2** otherwise;
+//! * the threshold is `K = 2`.
+//!
+//! A selection of one node per group with minimum edge weight `≥ K` picks
+//! one literal per clause avoiding all complementary pairs — exactly a
+//! satisfying assignment, and vice versa.
+
+use sflow_graph::DiGraph;
+
+use crate::cnf::{Assignment, Cnf, Lit};
+use crate::msfg::{GroupedNode, MsfgInstance};
+
+/// Edge weight for a complementary literal pair ("the darker edges").
+pub const COMPLEMENT_WEIGHT: u64 = 1;
+/// Edge weight for all other pairs (`w(e) ≥ 2` in the paper).
+pub const NORMAL_WEIGHT: u64 = 2;
+/// The decision threshold `K`.
+pub const K: u64 = 2;
+
+/// Transforms a CNF formula into an MSFG instance (polynomial time:
+/// `O((Σ|cᵢ|)²)` edges).
+///
+/// # Panics
+///
+/// Panics if the formula has an empty clause (Theorem 1's construction
+/// requires at least one literal per clause; SAT instances with empty
+/// clauses are trivially unsatisfiable).
+pub fn sat_to_msfg(cnf: &Cnf) -> MsfgInstance {
+    let mut graph = DiGraph::new();
+    let mut groups = Vec::with_capacity(cnf.clauses().len());
+    for (ci, clause) in cnf.clauses().iter().enumerate() {
+        assert!(!clause.is_empty(), "clauses must be non-empty");
+        let group: Vec<_> = (0..clause.len())
+            .map(|mi| {
+                graph.add_node(GroupedNode {
+                    group: ci,
+                    member: mi,
+                })
+            })
+            .collect();
+        groups.push(group);
+    }
+    for i in 0..groups.len() {
+        for j in (i + 1)..groups.len() {
+            for (a_m, &a) in groups[i].iter().enumerate() {
+                for (b_m, &b) in groups[j].iter().enumerate() {
+                    let la: Lit = cnf.clauses()[i][a_m];
+                    let lb: Lit = cnf.clauses()[j][b_m];
+                    let w = if la.is_complement_of(lb) {
+                        COMPLEMENT_WEIGHT
+                    } else {
+                        NORMAL_WEIGHT
+                    };
+                    graph.add_edge(a, b, w);
+                }
+            }
+        }
+    }
+    MsfgInstance {
+        graph,
+        groups,
+        k: K,
+    }
+}
+
+/// Maps a feasible MSFG selection back to a satisfying assignment (the
+/// forward direction of Theorem 1's correctness argument): chosen literals
+/// are made true, all other variables default to `false`.
+///
+/// Returns `None` if the selection picks complementary literals (bottleneck
+/// below `K` — not a witness).
+pub fn selection_to_assignment(cnf: &Cnf, selection: &[usize]) -> Option<Assignment> {
+    let chosen: Vec<Lit> = selection
+        .iter()
+        .enumerate()
+        .map(|(ci, &mi)| cnf.clauses()[ci][mi])
+        .collect();
+    for (i, &a) in chosen.iter().enumerate() {
+        for &b in chosen.iter().skip(i + 1) {
+            if a.is_complement_of(b) {
+                return None;
+            }
+        }
+    }
+    let mut values = vec![false; cnf.num_vars() as usize];
+    for l in chosen {
+        values[l.var().index()] = l.is_positive();
+    }
+    Some(Assignment::new(values))
+}
+
+/// Maps a satisfying assignment to a feasible MSFG selection (the converse
+/// direction): from each clause, pick the first literal the assignment makes
+/// true.
+///
+/// Returns `None` if the assignment does not satisfy the formula.
+pub fn assignment_to_selection(cnf: &Cnf, assignment: &Assignment) -> Option<Vec<usize>> {
+    cnf.clauses()
+        .iter()
+        .map(|clause| {
+            clause
+                .iter()
+                .position(|l| l.eval(assignment.value(l.var())))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Var;
+    use crate::{dpll, msfg};
+
+    fn v(i: u32) -> Var {
+        Var::new(i)
+    }
+
+    /// The paper's Fig. 7 example, with the negations chosen definitively
+    /// (the published scan loses overbars): U = {x, y, z, w},
+    /// C = {{x, ¬y, z, w}, {¬x, y, ¬z}, {x, ¬y, ¬w}, {y, z}}.
+    fn fig7() -> Cnf {
+        let (x, y, z, w) = (v(0), v(1), v(2), v(3));
+        let mut f = Cnf::new(4);
+        f.add_clause([Lit::pos(x), Lit::neg(y), Lit::pos(z), Lit::pos(w)]);
+        f.add_clause([Lit::neg(x), Lit::pos(y), Lit::neg(z)]);
+        f.add_clause([Lit::pos(x), Lit::neg(y), Lit::neg(w)]);
+        f.add_clause([Lit::pos(y), Lit::pos(z)]);
+        f
+    }
+
+    #[test]
+    fn fig7_shape_matches_the_paper() {
+        let f = fig7();
+        let inst = sat_to_msfg(&f);
+        // 4 + 3 + 3 + 2 = 12 nodes.
+        assert_eq!(inst.graph.node_count(), 12);
+        // All cross-clause pairs: 4·3 + 4·3 + 4·2 + 3·3 + 3·2 + 3·2 = 53.
+        assert_eq!(inst.graph.edge_count(), 53);
+        assert_eq!(inst.k, 2);
+        // Edges are directed from earlier to later clauses.
+        for e in inst.graph.edges() {
+            assert!(inst.graph.node(e.from).group < inst.graph.node(e.to).group);
+        }
+    }
+
+    #[test]
+    fn fig7_feasible_iff_satisfiable() {
+        let f = fig7();
+        let sat = dpll::solve(&f);
+        assert!(sat.is_some(), "the Fig. 7 instance is satisfiable");
+        let inst = sat_to_msfg(&f);
+        let sol = msfg::max_bottleneck(&inst).unwrap();
+        assert!(sol.bottleneck >= inst.k);
+        // The feasible selection maps to a satisfying assignment.
+        let a = selection_to_assignment(&f, &sol.selection).unwrap();
+        assert!(f.is_satisfied_by(&a));
+        // And the satisfying assignment maps back to a feasible selection.
+        let sel = assignment_to_selection(&f, &sat.unwrap()).unwrap();
+        assert!(msfg::selection_bottleneck(&inst, &sel).unwrap() >= inst.k);
+    }
+
+    #[test]
+    fn unsat_formula_is_infeasible() {
+        // (x) ∧ (¬x): the only selection picks complementary literals.
+        let mut f = Cnf::new(1);
+        f.add_clause([Lit::pos(v(0))]);
+        f.add_clause([Lit::neg(v(0))]);
+        let inst = sat_to_msfg(&f);
+        assert!(!msfg::is_feasible(&inst));
+        assert_eq!(selection_to_assignment(&f, &[0, 0]), None);
+    }
+
+    #[test]
+    fn complement_edges_get_weight_one() {
+        let mut f = Cnf::new(1);
+        f.add_clause([Lit::pos(v(0))]);
+        f.add_clause([Lit::neg(v(0))]);
+        let inst = sat_to_msfg(&f);
+        assert_eq!(inst.graph.edge_count(), 1);
+        let e = inst.graph.edges().next().unwrap();
+        assert_eq!(*e.weight, COMPLEMENT_WEIGHT);
+    }
+
+    #[test]
+    fn assignment_to_selection_rejects_non_witnesses() {
+        let mut f = Cnf::new(1);
+        f.add_clause([Lit::pos(v(0))]);
+        let bad = Assignment::new(vec![false]);
+        assert_eq!(assignment_to_selection(&f, &bad), None);
+    }
+
+    #[test]
+    fn same_clause_nodes_are_never_linked() {
+        let f = fig7();
+        let inst = sat_to_msfg(&f);
+        for e in inst.graph.edges() {
+            assert_ne!(inst.graph.node(e.from).group, inst.graph.node(e.to).group);
+        }
+    }
+}

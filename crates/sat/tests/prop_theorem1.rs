@@ -1,0 +1,106 @@
+//! Property tests for Theorem 1: over random CNF formulas, satisfiability
+//! (decided by DPLL, cross-checked by truth tables) coincides with the
+//! feasibility of the reduced Maximum Service Flow Graph instance.
+
+use proptest::prelude::*;
+use sflow_sat::cnf::{Assignment, Cnf, Lit, Var};
+use sflow_sat::{dpll, msfg, reduction};
+
+fn cnf_strategy() -> impl Strategy<Value = Cnf> {
+    // Up to 4 variables and 5 clauses of 1–3 literals: small enough to
+    // truth-table, varied enough to cover both SAT and UNSAT instances.
+    (1u32..=4).prop_flat_map(|nvars| {
+        let lit = (0..nvars, any::<bool>()).prop_map(|(v, pos)| {
+            if pos {
+                Lit::pos(Var::new(v))
+            } else {
+                Lit::neg(Var::new(v))
+            }
+        });
+        let clause = proptest::collection::vec(lit, 1..=3);
+        proptest::collection::vec(clause, 1..=5).prop_map(move |clauses| {
+            let mut f = Cnf::new(nvars);
+            for c in clauses {
+                f.add_clause(c);
+            }
+            f
+        })
+    })
+}
+
+fn truth_table_sat(f: &Cnf) -> bool {
+    let n = f.num_vars();
+    (0..(1u32 << n)).any(|bits| {
+        let a = Assignment::new((0..n).map(|i| bits & (1 << i) != 0).collect());
+        f.is_satisfied_by(&a)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dpll_agrees_with_truth_tables(f in cnf_strategy()) {
+        let dpll_result = dpll::solve(&f);
+        prop_assert_eq!(dpll_result.is_some(), truth_table_sat(&f));
+        if let Some(a) = dpll_result {
+            prop_assert!(f.is_satisfied_by(&a));
+        }
+    }
+
+    #[test]
+    fn theorem1_equivalence(f in cnf_strategy()) {
+        let sat = dpll::solve(&f).is_some();
+        let inst = reduction::sat_to_msfg(&f);
+        prop_assert_eq!(
+            msfg::is_feasible(&inst),
+            sat,
+            "feasibility must coincide with satisfiability for {}", f
+        );
+    }
+
+    #[test]
+    fn certificates_map_forward(f in cnf_strategy()) {
+        // Every feasible selection yields a satisfying assignment.
+        let inst = reduction::sat_to_msfg(&f);
+        if let Some(sol) = msfg::max_bottleneck(&inst) {
+            if sol.bottleneck >= inst.k {
+                let a = reduction::selection_to_assignment(&f, &sol.selection)
+                    .expect("feasible selection avoids complements");
+                prop_assert!(f.is_satisfied_by(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn certificates_map_backward(f in cnf_strategy()) {
+        // Every satisfying assignment yields a feasible selection.
+        if let Some(a) = dpll::solve(&f) {
+            let sel = reduction::assignment_to_selection(&f, &a)
+                .expect("satisfying assignment hits every clause");
+            let inst = reduction::sat_to_msfg(&f);
+            let b = msfg::selection_bottleneck(&inst, &sel)
+                .expect("full cross-group connectivity");
+            prop_assert!(b >= inst.k);
+        }
+    }
+
+    #[test]
+    fn dimacs_round_trips_any_formula(f in cnf_strategy()) {
+        use sflow_sat::dimacs;
+        let rendered = dimacs::render(&f);
+        let parsed = dimacs::parse(&rendered).expect("render produces valid DIMACS");
+        prop_assert_eq!(&f, &parsed);
+        // Satisfiability is invariant under the round trip, trivially.
+        prop_assert_eq!(dpll::solve(&f).is_some(), dpll::solve(&parsed).is_some());
+    }
+
+    #[test]
+    fn reduction_is_polynomially_sized(f in cnf_strategy()) {
+        let inst = reduction::sat_to_msfg(&f);
+        let total_lits: usize = f.clauses().iter().map(Vec::len).sum();
+        prop_assert_eq!(inst.graph.node_count(), total_lits);
+        prop_assert!(inst.graph.edge_count() <= total_lits * total_lits);
+        prop_assert_eq!(inst.groups.len(), f.clauses().len());
+    }
+}

@@ -1,0 +1,356 @@
+//! The discrete-event simulation driver for the distributed sFlow protocol.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use sflow_core::baseline::HopMatrix;
+use sflow_core::{FederationContext, FederationError, FlowGraph, Selection, ServiceRequirement};
+use sflow_graph::NodeIx;
+use sflow_routing::{Latency, Qos};
+
+use crate::protocol::{Outbound, PayloadModel, ProtocolNode, SfederateMessage, ViewModel};
+use crate::{EventQueue, SimTime};
+
+/// Simulation parameters.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Local-view horizon in overlay hops (`None` = full knowledge). The
+    /// paper assumes two hops.
+    pub hop_limit: Option<usize>,
+    /// How limited knowledge is modelled (hand-off filter vs genuine
+    /// sub-overlay views). See [`ViewModel`].
+    pub view_model: ViewModel,
+    /// Message size model for transmission delays.
+    pub payload: PayloadModel,
+    /// Fixed per-node processing delay added before outputs are sent,
+    /// standing in for the local computation time (µs).
+    pub compute_delay: Latency,
+    /// Whether sinks send a completion report back to the source (the paper
+    /// collects the overall flow graph at the source node).
+    pub report_to_source: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            hop_limit: Some(2),
+            view_model: ViewModel::HopFilter,
+            payload: PayloadModel::default(),
+            compute_delay: Latency::from_micros(50),
+            report_to_source: true,
+        }
+    }
+}
+
+/// Counters for one simulated federation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// `sfederate` messages delivered (including sink reports).
+    pub messages: usize,
+    /// Estimated bytes on the wire.
+    pub bytes: u64,
+    /// Simulated time at which the last event completed.
+    pub duration_us: u64,
+    /// Total sFlow computations across nodes (> node count at merge points).
+    pub computations: usize,
+    /// Selection conflicts observed while merging partial flow graphs.
+    pub conflicts: usize,
+    /// Number of sink completions collected.
+    pub completed_sinks: usize,
+    /// Longest protocol hop chain observed.
+    pub max_hops: u32,
+}
+
+/// The result of a distributed federation run.
+#[derive(Clone, Debug)]
+pub struct DistributedOutcome {
+    /// The assembled service flow graph.
+    pub flow: FlowGraph,
+    /// Protocol counters.
+    pub stats: SimStats,
+}
+
+enum Event {
+    Deliver { to: NodeIx, msg: SfederateMessage },
+    Report { selection: Selection },
+}
+
+/// Runs the distributed sFlow protocol over `ctx` for `req`, delivering the
+/// initial `sfederate` to the context's source instance at time zero.
+///
+/// Messages experience the link latency of the shortest-widest overlay path
+/// between sender and receiver plus a size/bandwidth transmission delay;
+/// every node adds a fixed processing delay.
+///
+/// # Errors
+///
+/// * any [`FederationError`] raised by a node's local computation;
+/// * [`FederationError::NoFeasibleSelection`] if the collected fragments do
+///   not cover the requirement (cannot happen on connected overlays, checked
+///   defensively).
+pub fn run_distributed(
+    ctx: &FederationContext<'_>,
+    req: &ServiceRequirement,
+    config: &SimConfig,
+) -> Result<DistributedOutcome, FederationError> {
+    let hop_matrix = config
+        .hop_limit
+        .map(|_| Arc::new(HopMatrix::new(ctx.overlay())));
+
+    let mut nodes: HashMap<NodeIx, ProtocolNode> = HashMap::new();
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut stats = SimStats::default();
+    let mut final_selection: Selection = BTreeMap::new();
+
+    queue.push(
+        SimTime::ZERO,
+        Event::Deliver {
+            to: ctx.source_instance(),
+            msg: SfederateMessage {
+                residual: Some(req.clone()),
+                selection: BTreeMap::new(),
+                hop: 0,
+            },
+        },
+    );
+
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::Deliver { to, msg } => {
+                stats.max_hops = stats.max_hops.max(msg.hop);
+                let node = nodes.entry(to).or_insert_with(|| {
+                    ProtocolNode::with_view_model(
+                        to,
+                        config.hop_limit,
+                        hop_matrix.clone(),
+                        config.view_model,
+                    )
+                });
+                let outputs = node.on_sfederate(ctx, &msg)?;
+                let send_at = now + config.compute_delay;
+                for out in outputs {
+                    match out {
+                        Outbound::Forward { to: next, msg } => {
+                            let qos =
+                                ctx.qos(to, next)
+                                    .ok_or(FederationError::SelectionUnreachable {
+                                        from: ctx.overlay().instance(to).service,
+                                        to: ctx.overlay().instance(next).service,
+                                    })?;
+                            let delay = transmission_delay(&config.payload, &msg, qos);
+                            stats.messages += 1;
+                            stats.bytes += config.payload.size_of(&msg);
+                            queue.push(send_at + delay, Event::Deliver { to: next, msg });
+                        }
+                        Outbound::SinkCompleted { selection } => {
+                            stats.completed_sinks += 1;
+                            if config.report_to_source {
+                                // Report travels back to the source; model its
+                                // delay with the forward-path QoS (symmetric
+                                // underlying links).
+                                let qos =
+                                    ctx.qos(ctx.source_instance(), to).unwrap_or(Qos::IDENTITY);
+                                stats.messages += 1;
+                                stats.bytes += config.payload.header_bytes
+                                    + config.payload.per_entry_bytes * selection.len() as u64;
+                                queue.push(send_at + qos.latency, Event::Report { selection });
+                            } else {
+                                merge_first_writer(&mut final_selection, &selection, &mut stats);
+                            }
+                        }
+                    }
+                }
+            }
+            Event::Report { selection } => {
+                merge_first_writer(&mut final_selection, &selection, &mut stats);
+            }
+        }
+    }
+
+    stats.duration_us = queue.now().as_micros();
+    for (_, node) in nodes {
+        let c = node.counters();
+        stats.computations += c.computations;
+        stats.conflicts += c.conflicts;
+    }
+
+    let flow = FlowGraph::assemble(ctx, req, &final_selection)?;
+    Ok(DistributedOutcome { flow, stats })
+}
+
+fn merge_first_writer(into: &mut Selection, from: &Selection, stats: &mut SimStats) {
+    for (&sid, &n) in from {
+        match into.get(&sid) {
+            Some(&existing) if existing != n => stats.conflicts += 1,
+            Some(_) => {}
+            None => {
+                into.insert(sid, n);
+            }
+        }
+    }
+}
+
+fn transmission_delay(payload: &PayloadModel, msg: &SfederateMessage, qos: Qos) -> Latency {
+    let bits = payload.size_of(msg) * 8;
+    // kbit/s → µs per bit is 1000 / kbps.
+    let tx_us = if qos.bandwidth.as_kbps() == 0 {
+        0
+    } else {
+        bits.saturating_mul(1000) / qos.bandwidth.as_kbps()
+    };
+    qos.latency + Latency::from_micros(tx_us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sflow_core::algorithms::{FederationAlgorithm, SflowAlgorithm};
+    use sflow_core::fixtures::{
+        diamond_fixture, diamond_requirement, line_fixture, random_fixture,
+    };
+    use sflow_net::ServiceId;
+
+    fn s(i: u32) -> ServiceId {
+        ServiceId::new(i)
+    }
+
+    #[test]
+    fn line_requirement_runs_to_completion() {
+        let fx = line_fixture();
+        let ctx = fx.context();
+        let req = ServiceRequirement::path(&[s(0), s(1), s(2)]).unwrap();
+        let out = run_distributed(&ctx, &req, &SimConfig::default()).unwrap();
+        assert_eq!(out.flow.selection().len(), 3);
+        assert_eq!(out.stats.completed_sinks, 1);
+        assert!(out.stats.messages >= 3); // two forwards + one report
+        assert!(out.stats.duration_us > 0);
+        assert_eq!(out.stats.max_hops, 2);
+    }
+
+    #[test]
+    fn diamond_merges_at_the_sink() {
+        let fx = diamond_fixture();
+        let ctx = fx.context();
+        let out = run_distributed(&ctx, &diamond_requirement(), &SimConfig::default()).unwrap();
+        assert_eq!(out.flow.selection().len(), 4);
+        // Two branches reach the sink.
+        assert_eq!(out.stats.completed_sinks, 2);
+        // Merge-node recomputations are visible in the counters.
+        assert!(out.stats.computations >= 3);
+    }
+
+    #[test]
+    fn distributed_matches_centralized_on_simple_worlds() {
+        let fx = diamond_fixture();
+        let ctx = fx.context();
+        let req = diamond_requirement();
+        let central = SflowAlgorithm::default().federate(&ctx, &req).unwrap();
+        let dist = run_distributed(&ctx, &req, &SimConfig::default()).unwrap();
+        assert_eq!(dist.flow.bandwidth(), central.bandwidth());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let services: Vec<ServiceId> = (0..5).map(ServiceId::new).collect();
+        let req = ServiceRequirement::from_edges([
+            (s(0), s(1)),
+            (s(0), s(2)),
+            (s(1), s(3)),
+            (s(2), s(3)),
+            (s(3), s(4)),
+        ])
+        .unwrap();
+        let fx = random_fixture(20, &services, 3, None, 21);
+        let ctx = fx.context();
+        let a = run_distributed(&ctx, &req, &SimConfig::default()).unwrap();
+        let b = run_distributed(&ctx, &req, &SimConfig::default()).unwrap();
+        assert_eq!(a.flow.selection(), b.flow.selection());
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn disabling_reports_still_collects() {
+        let fx = line_fixture();
+        let ctx = fx.context();
+        let req = ServiceRequirement::path(&[s(0), s(1), s(2)]).unwrap();
+        let cfg = SimConfig {
+            report_to_source: false,
+            ..SimConfig::default()
+        };
+        let out = run_distributed(&ctx, &req, &cfg).unwrap();
+        assert_eq!(out.flow.selection().len(), 3);
+        // No report messages.
+        assert_eq!(out.stats.messages, 2);
+    }
+
+    #[test]
+    fn local_view_model_federates_dense_worlds() {
+        let fx = diamond_fixture();
+        let ctx = fx.context();
+        let cfg = SimConfig {
+            view_model: ViewModel::LocalView,
+            ..SimConfig::default()
+        };
+        let out = run_distributed(&ctx, &diamond_requirement(), &cfg).unwrap();
+        assert_eq!(out.flow.selection().len(), 4);
+        // The dense diamond overlay fits in every 2-hop view, so the genuine
+        // local-view model matches the hop-filter model.
+        let hop = run_distributed(&ctx, &diamond_requirement(), &SimConfig::default()).unwrap();
+        assert_eq!(out.flow.bandwidth(), hop.flow.bandwidth());
+    }
+
+    #[test]
+    fn local_view_model_is_deterministic() {
+        let services: Vec<ServiceId> = (0..5).map(ServiceId::new).collect();
+        let req = ServiceRequirement::from_edges([
+            (s(0), s(1)),
+            (s(0), s(2)),
+            (s(1), s(3)),
+            (s(2), s(3)),
+            (s(3), s(4)),
+        ])
+        .unwrap();
+        let fx = random_fixture(20, &services, 3, None, 31);
+        let ctx = fx.context();
+        let cfg = SimConfig {
+            view_model: ViewModel::LocalView,
+            ..SimConfig::default()
+        };
+        match run_distributed(&ctx, &req, &cfg) {
+            Ok(a) => {
+                let b = run_distributed(&ctx, &req, &cfg).unwrap();
+                assert_eq!(a.flow.selection(), b.flow.selection());
+                assert_eq!(a.stats, b.stats);
+            }
+            Err(e) => {
+                // A genuinely partial view may make federation impossible;
+                // that is a legitimate outcome of the stricter model.
+                assert_eq!(e, FederationError::NoFeasibleSelection);
+            }
+        }
+    }
+
+    #[test]
+    fn transmission_delay_grows_with_payload() {
+        let payload = PayloadModel::default();
+        let small = SfederateMessage {
+            residual: None,
+            selection: BTreeMap::new(),
+            hop: 0,
+        };
+        let req = ServiceRequirement::path(&[s(0), s(1), s(2)]).unwrap();
+        let big = SfederateMessage {
+            residual: Some(req),
+            selection: BTreeMap::new(),
+            hop: 0,
+        };
+        let qos = Qos::new(
+            sflow_routing::Bandwidth::kbps(100),
+            Latency::from_micros(10),
+        );
+        assert!(
+            transmission_delay(&payload, &big, qos) > transmission_delay(&payload, &small, qos)
+        );
+    }
+}

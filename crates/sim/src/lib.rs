@@ -1,0 +1,45 @@
+//! Discrete-event simulation of the **distributed** sFlow algorithm.
+//!
+//! The paper evaluates sFlow with an event-driven simulation: service nodes
+//! exchange `sfederate` messages carrying the residual service requirement
+//! and the partial service flow graph; each receiving node runs the baseline
+//! + reduction computation over its local view and forwards to its chosen
+//! immediate downstream instances; sink nodes finalise and report back to
+//! the source (Sec. 4, Fig. 9).
+//!
+//! This crate reproduces that methodology deterministically:
+//!
+//! * [`EventQueue`] — a seeded, tie-stable discrete-event queue;
+//! * [`protocol`] — the per-node `sfederate` state machine, written once and
+//!   shared with the threaded actor runtime in `sflow-runtime`;
+//! * [`engine`] — the simulation driver: delivers messages with link-latency
+//!   + transmission delays, collects sink completions, assembles the final
+//!   [`sflow_core::FlowGraph`] and reports [`SimStats`].
+//!
+//! # Example
+//!
+//! ```
+//! use sflow_core::fixtures::{diamond_fixture, diamond_requirement};
+//! use sflow_sim::{engine::run_distributed, SimConfig};
+//!
+//! let fx = diamond_fixture();
+//! let ctx = fx.context();
+//! let outcome = run_distributed(&ctx, &diamond_requirement(), &SimConfig::default())?;
+//! assert_eq!(outcome.flow.selection().len(), 4);
+//! assert!(outcome.stats.messages > 0);
+//! # Ok::<(), sflow_core::FederationError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dynamics;
+pub mod engine;
+mod event;
+pub mod linkstate;
+pub mod protocol;
+mod time;
+
+pub use engine::{run_distributed, DistributedOutcome, SimConfig, SimStats};
+pub use event::EventQueue;
+pub use time::SimTime;

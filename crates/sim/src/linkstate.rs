@@ -1,0 +1,251 @@
+//! Link-state dissemination over the underlying network.
+//!
+//! The paper assumes its QoS routing operates "based on link states"
+//! (Sec. 2.2) and that every service node knows its two-hop overlay
+//! vicinity. This module supplies that substrate: each host originates a
+//! link-state advertisement (LSA) describing its adjacent links, floods it
+//! to its neighbours, and every host assembles the topology from the LSAs it
+//! has seen — classic OSPF-style flooding, simulated on the discrete-event
+//! queue with per-link latencies.
+//!
+//! The simulation reports per-host convergence (when each host learned the
+//! full topology), the total message count and the flooding traffic — the
+//! control-plane cost behind the all-pairs tables the federation algorithms
+//! consume.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+use sflow_net::{HostId, UnderlyingNetwork};
+use sflow_routing::Qos;
+
+use crate::{EventQueue, SimTime};
+
+/// One link-state advertisement: the origin host and its adjacent links.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lsa {
+    /// The advertising host.
+    pub origin: HostId,
+    /// Sequence number (bumped on re-origination).
+    pub sequence: u64,
+    /// The origin's adjacent links as `(neighbour, qos)`.
+    pub links: Vec<(HostId, Qos)>,
+}
+
+/// Statistics of one flooding round.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FloodStats {
+    /// LSA transmissions (per-link copies).
+    pub messages: usize,
+    /// Duplicate receptions that were suppressed.
+    pub duplicates: usize,
+    /// Simulated time at which the *last* host converged (µs).
+    pub converged_at_us: u64,
+    /// Per-host convergence times, indexed by host id (µs).
+    pub per_host_us: Vec<u64>,
+}
+
+/// The outcome of flooding: per-host link-state databases plus statistics.
+#[derive(Clone, Debug)]
+pub struct FloodOutcome {
+    /// For each host (by id): the set of LSAs it holds, keyed by origin.
+    pub databases: Vec<HashMap<HostId, Lsa>>,
+    /// Flooding statistics.
+    pub stats: FloodStats,
+}
+
+impl FloodOutcome {
+    /// `true` if every host's database describes the full topology.
+    pub fn all_converged(&self, net: &UnderlyingNetwork) -> bool {
+        let n = net.host_count();
+        self.databases.iter().all(|db| db.len() == n)
+    }
+}
+
+enum Event {
+    Deliver { to: HostId, lsa: Lsa },
+}
+
+/// Floods every host's LSA through `net` and returns the per-host databases
+/// and statistics.
+///
+/// Each host originates one LSA at t = 0; on first reception of an LSA a
+/// host stores it and re-floods to all neighbours except the one it came
+/// from; duplicates are suppressed. Delivery takes the link's latency.
+///
+/// # Panics
+///
+/// Panics if `net` has no hosts.
+pub fn flood_link_state(net: &UnderlyingNetwork) -> FloodOutcome {
+    let n = net.host_count();
+    assert!(n > 0, "network must have hosts");
+    let graph = net.graph();
+
+    let neighbours: Vec<Vec<(HostId, Qos)>> = (0..n)
+        .map(|i| {
+            let node = net.node_of(HostId::new(i as u32));
+            graph
+                .out_edges(node)
+                .map(|e| (net.host_of(e.to), *e.weight))
+                .collect()
+        })
+        .collect();
+
+    let mut databases: Vec<HashMap<HostId, Lsa>> = vec![HashMap::new(); n];
+    // (receiver, origin) pairs seen — duplicate suppression.
+    let mut seen: Vec<HashSet<HostId>> = vec![HashSet::new(); n];
+    let mut stats = FloodStats {
+        per_host_us: vec![0; n],
+        ..FloodStats::default()
+    };
+    let mut queue: EventQueue<Event> = EventQueue::new();
+
+    // Origination: each host installs its own LSA and sends to neighbours.
+    for i in 0..n {
+        let origin = HostId::new(i as u32);
+        let lsa = Lsa {
+            origin,
+            sequence: 1,
+            links: neighbours[i].clone(),
+        };
+        databases[i].insert(origin, lsa.clone());
+        seen[i].insert(origin);
+        for &(nbr, qos) in &neighbours[i] {
+            stats.messages += 1;
+            queue.push(
+                SimTime::ZERO + qos.latency,
+                Event::Deliver {
+                    to: nbr,
+                    lsa: lsa.clone(),
+                },
+            );
+        }
+    }
+
+    while let Some((now, Event::Deliver { to, lsa })) = queue.pop() {
+        let ti = to.as_u32() as usize;
+        if !seen[ti].insert(lsa.origin) {
+            stats.duplicates += 1;
+            continue;
+        }
+        databases[ti].insert(lsa.origin, lsa.clone());
+        if databases[ti].len() == n {
+            stats.per_host_us[ti] = now.as_micros();
+            stats.converged_at_us = stats.converged_at_us.max(now.as_micros());
+        }
+        for &(nbr, qos) in &neighbours[ti] {
+            if nbr == lsa.origin {
+                continue; // never reflect an LSA straight back to its origin
+            }
+            stats.messages += 1;
+            queue.push(
+                now + qos.latency,
+                Event::Deliver {
+                    to: nbr,
+                    lsa: lsa.clone(),
+                },
+            );
+        }
+    }
+
+    FloodOutcome { databases, stats }
+}
+
+/// Rebuilds an [`UnderlyingNetwork`]-equivalent adjacency from one host's
+/// database; returns `None` until that host has every LSA. Used to verify
+/// that flooding gives every host the information the Wang–Crowcroft tables
+/// need.
+pub fn topology_from_database(
+    db: &HashMap<HostId, Lsa>,
+    net: &UnderlyingNetwork,
+) -> Option<Vec<(HostId, HostId, Qos)>> {
+    if db.len() != net.host_count() {
+        return None;
+    }
+    let mut links = Vec::new();
+    for lsa in db.values() {
+        for &(nbr, qos) in &lsa.links {
+            if lsa.origin < nbr {
+                links.push((lsa.origin, nbr, qos));
+            }
+        }
+    }
+    links.sort_by_key(|&(a, b, _)| (a, b));
+    Some(links)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sflow_net::topology::{self, LinkProfile};
+    use sflow_routing::{Bandwidth, Latency};
+
+    fn q(bw: u64, lat: u64) -> Qos {
+        Qos::new(Bandwidth::kbps(bw), Latency::from_micros(lat))
+    }
+
+    #[test]
+    fn ring_flooding_converges_everywhere() {
+        let net = topology::ring(6, q(100, 10));
+        let out = flood_link_state(&net);
+        assert!(out.all_converged(&net));
+        // Convergence time: the farthest LSA travels ⌈n/2⌉ hops of 10 µs.
+        assert_eq!(out.stats.converged_at_us, 30);
+        assert!(out.stats.messages > 0);
+    }
+
+    #[test]
+    fn every_database_reconstructs_the_topology() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = topology::waxman(15, 0.3, 0.3, &LinkProfile::default(), &mut rng);
+        let out = flood_link_state(&net);
+        assert!(out.all_converged(&net));
+        let reference = topology_from_database(&out.databases[0], &net).unwrap();
+        assert_eq!(reference.len(), net.link_count());
+        for db in &out.databases {
+            assert_eq!(topology_from_database(db, &net).unwrap(), reference);
+        }
+    }
+
+    #[test]
+    fn incomplete_database_yields_none() {
+        let net = topology::ring(4, q(10, 1));
+        let db: HashMap<HostId, Lsa> = HashMap::new();
+        assert_eq!(topology_from_database(&db, &net), None);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_not_reflooded() {
+        // In a complete-ish graph, the same LSA reaches a node via many
+        // paths; all but the first must count as duplicates.
+        let mut rng = StdRng::seed_from_u64(9);
+        let net = topology::waxman(10, 0.9, 0.9, &LinkProfile::default(), &mut rng);
+        let out = flood_link_state(&net);
+        assert!(out.all_converged(&net));
+        assert!(out.stats.duplicates > 0);
+        // Message bound: each of the n LSAs crosses each of the 2·L directed
+        // links at most once.
+        assert!(out.stats.messages <= net.host_count() * 2 * net.link_count());
+    }
+
+    #[test]
+    fn flooding_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = topology::waxman(12, 0.3, 0.3, &LinkProfile::default(), &mut rng);
+        let a = flood_link_state(&net);
+        let b = flood_link_state(&net);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn single_host_is_trivially_converged() {
+        let mut b = sflow_net::UnderlyingNetwork::builder();
+        b.add_host();
+        let net = b.build();
+        let out = flood_link_state(&net);
+        assert!(out.all_converged(&net));
+        assert_eq!(out.stats.messages, 0);
+    }
+}

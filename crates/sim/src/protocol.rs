@@ -1,0 +1,547 @@
+//! The per-node `sfederate` protocol state machine (Sec. 4 of the paper).
+//!
+//! The state machine is transport-agnostic: it consumes an incoming
+//! [`SfederateMessage`] and returns the [`Outbound`] actions to perform. The
+//! discrete-event engine (`crate::engine`) and the threaded actor runtime
+//! (`sflow-runtime`) both drive the same code, so the algorithm's behaviour
+//! is identical under simulation and under real concurrency.
+//!
+//! ## What a node does (paper walk-through, Fig. 9)
+//!
+//! On receiving `sfederate(residual requirement, partial flow graph)`:
+//!
+//! 1. merge the carried partial selections into the node's own view
+//!    (mismatches are counted as conflicts; the earliest decision wins);
+//! 2. record itself as the selected instance of its own service;
+//! 3. if the message carries no residual requirement, the node is a sink for
+//!    this branch: emit [`Outbound::SinkCompleted`];
+//! 4. otherwise run the sFlow computation (reduction plan + baseline solver
+//!    under the hop horizon) over the residual requirement and forward a new
+//!    `sfederate` to the chosen instance of each immediate downstream
+//!    service, carrying the residual requirement rooted there — "the service
+//!    requirement that it forwards to its downstreams does not include
+//!    service on this node itself".
+//!
+//! A node forwards only on its first computation; later messages (at merging
+//! services) are folded into its pin set and counted as recomputations.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use sflow_core::baseline::{HopMatrix, VirtualEdges};
+use sflow_core::reduction::Plan;
+use sflow_core::{FederationContext, FederationError, Selection, ServiceRequirement, Solver};
+use sflow_graph::NodeIx;
+
+/// How a node's limited knowledge of the overlay is modelled.
+///
+/// * [`ViewModel::HopFilter`] — the node solves over the global routing
+///   table but may only *hand off* to instances within the horizon. Fast,
+///   and the model used by the centralized [`Solver::with_hop_limit`], so
+///   simulation and centralized results coincide.
+/// * [`ViewModel::LocalView`] — the literal model of the paper's Fig. 9:
+///   the node extracts its h-hop [`sflow_net::LocalView`] sub-overlay,
+///   truncates the residual requirement to the services visible in it, and
+///   solves entirely within that view (including the view's own routing
+///   table). Strictly less information than `HopFilter`; immediate
+///   downstream services outside the view make the federation fail, exactly
+///   as a real node with no knowledge of them would.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViewModel {
+    /// Hand-off horizon over global knowledge (default).
+    #[default]
+    HopFilter,
+    /// Genuine per-node sub-overlay views.
+    LocalView,
+}
+
+/// The `sfederate` message: the residual requirement rooted at the
+/// receiver's service plus the partial flow graph (instance selections)
+/// committed so far.
+#[derive(Clone, Debug)]
+pub struct SfederateMessage {
+    /// The requirement left to satisfy, rooted at the receiver's service.
+    /// `None` when the receiver is a sink of the branch (nothing downstream).
+    pub residual: Option<ServiceRequirement>,
+    /// Committed instance selections (service → overlay node).
+    pub selection: Selection,
+    /// How many protocol hops this branch has taken (for stats).
+    pub hop: u32,
+}
+
+/// Rough wire size of a message, for the transmission-delay model: a fixed
+/// header plus a per-entry cost for the selection map and residual edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PayloadModel {
+    /// Fixed per-message overhead, bytes.
+    pub header_bytes: u64,
+    /// Bytes per selection entry / per residual requirement edge.
+    pub per_entry_bytes: u64,
+}
+
+impl Default for PayloadModel {
+    fn default() -> Self {
+        PayloadModel {
+            header_bytes: 64,
+            per_entry_bytes: 16,
+        }
+    }
+}
+
+impl PayloadModel {
+    /// Estimated size of `msg` in bytes.
+    pub fn size_of(&self, msg: &SfederateMessage) -> u64 {
+        let entries =
+            msg.selection.len() as u64 + msg.residual.as_ref().map_or(0, |r| r.edge_count() as u64);
+        self.header_bytes + self.per_entry_bytes * entries
+    }
+}
+
+/// An action the transport must carry out on the node's behalf.
+#[derive(Clone, Debug)]
+pub enum Outbound {
+    /// Deliver `msg` to the overlay instance `to`.
+    Forward {
+        /// Destination overlay node.
+        to: NodeIx,
+        /// The message.
+        msg: SfederateMessage,
+    },
+    /// This node is a sink of the requirement; `selection` is the flow-graph
+    /// fragment accumulated along its branch. The engine merges fragments
+    /// from all sinks.
+    SinkCompleted {
+        /// Selections accumulated along the path to this sink.
+        selection: Selection,
+    },
+}
+
+/// Counters a node accumulates while participating in the protocol.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeCounters {
+    /// sFlow computations performed (first message + recomputations).
+    pub computations: usize,
+    /// Selection conflicts observed while merging carried partial flows.
+    pub conflicts: usize,
+}
+
+/// Per-node protocol state.
+#[derive(Debug)]
+pub struct ProtocolNode {
+    me: NodeIx,
+    hop_limit: Option<usize>,
+    hop_matrix: Option<Arc<HopMatrix>>,
+    view_model: ViewModel,
+    pins: Selection,
+    /// Downstream targets chosen by the first computation, with the residual
+    /// forwarded to each; pin updates from later upstream branches are
+    /// re-propagated along the same routes.
+    targets: Option<Vec<(NodeIx, Option<ServiceRequirement>)>>,
+    counters: NodeCounters,
+}
+
+impl ProtocolNode {
+    /// Creates the state machine for the overlay instance `me` with the
+    /// given local-view horizon (`None` = full knowledge), under the default
+    /// [`ViewModel::HopFilter`].
+    pub fn new(me: NodeIx, hop_limit: Option<usize>, hop_matrix: Option<Arc<HopMatrix>>) -> Self {
+        Self::with_view_model(me, hop_limit, hop_matrix, ViewModel::HopFilter)
+    }
+
+    /// Creates the state machine with an explicit [`ViewModel`].
+    pub fn with_view_model(
+        me: NodeIx,
+        hop_limit: Option<usize>,
+        hop_matrix: Option<Arc<HopMatrix>>,
+        view_model: ViewModel,
+    ) -> Self {
+        ProtocolNode {
+            me,
+            hop_limit,
+            hop_matrix,
+            view_model,
+            pins: BTreeMap::new(),
+            targets: None,
+            counters: NodeCounters::default(),
+        }
+    }
+
+    /// This node's overlay instance.
+    pub fn id(&self) -> NodeIx {
+        self.me
+    }
+
+    /// The counters accumulated so far.
+    pub fn counters(&self) -> NodeCounters {
+        self.counters
+    }
+
+    /// Solve over the global table, allowing hand-offs only within the
+    /// horizon.
+    fn compute_hop_filter(
+        &self,
+        ctx: &FederationContext<'_>,
+        residual: &ServiceRequirement,
+    ) -> Result<Selection, FederationError> {
+        let mut solver = Solver::new(ctx);
+        if let (Some(limit), Some(matrix)) = (self.hop_limit, self.hop_matrix.clone()) {
+            solver = solver.with_shared_hop_matrix(limit, matrix);
+        }
+        let plan = Plan::analyze(residual);
+        let mut work = self.pins.clone();
+        solver.solve_plan(&plan, &mut work, &VirtualEdges::new())?;
+        Ok(work)
+    }
+
+    /// Solve entirely within this node's h-hop sub-overlay (the paper's
+    /// literal local-view model): truncate the residual requirement to the
+    /// services visible in the view, build the view's own routing table,
+    /// solve, and translate the selections back into the full overlay.
+    fn compute_local_view(
+        &self,
+        ctx: &FederationContext<'_>,
+        residual: &ServiceRequirement,
+    ) -> Result<Selection, FederationError> {
+        use std::collections::{HashSet, VecDeque};
+
+        let my_service = ctx.overlay().instance(self.me).service;
+        let h = self.hop_limit.unwrap_or(usize::MAX);
+        let view = ctx.overlay().local_view(self.me, h);
+        let visible: HashSet<sflow_net::ServiceId> = view.overlay.services().into_iter().collect();
+
+        // Truncate: services reachable from mine through visible services.
+        let mut keep = HashSet::new();
+        keep.insert(my_service);
+        let mut queue = VecDeque::from([my_service]);
+        while let Some(s) = queue.pop_front() {
+            for d in residual.downstream(s) {
+                if visible.contains(&d) && keep.insert(d) {
+                    queue.push_back(d);
+                }
+            }
+        }
+        // A node that cannot even see one of its direct downstream services
+        // cannot hand off to it.
+        for d in residual.downstream(my_service) {
+            if !keep.contains(&d) {
+                return Err(FederationError::NoFeasibleSelection);
+            }
+        }
+        let mut b = ServiceRequirement::builder();
+        for (a, c) in residual.edges() {
+            if keep.contains(&a) && keep.contains(&c) {
+                b.edge(a, c);
+            }
+        }
+        let truncated = b
+            .build()
+            .map_err(|_| FederationError::NoFeasibleSelection)?;
+
+        // Solve inside the view with its own routing table.
+        let view_ap = view.overlay.all_pairs();
+        let vctx = FederationContext::new(&view.overlay, &view_ap, view.center);
+        let mut work: Selection = BTreeMap::new();
+        for (&sid, &n) in &self.pins {
+            if keep.contains(&sid) {
+                if let Some(local) = view.from_parent(n) {
+                    work.insert(sid, local);
+                }
+                // Pins to invisible instances are unknowable here; the local
+                // solve re-decides and the engine reconciles downstream.
+            }
+        }
+        work.insert(my_service, view.center);
+        let plan = Plan::analyze(&truncated);
+        Solver::new(&vctx).solve_plan(&plan, &mut work, &VirtualEdges::new())?;
+
+        Ok(work
+            .into_iter()
+            .map(|(sid, local)| (sid, view.to_parent(local)))
+            .collect())
+    }
+
+    /// Merges carried selections; returns `true` if any *new* pin was
+    /// learned (mismatches keep the incumbent and count as conflicts).
+    fn merge_selection(&mut self, incoming: &Selection) -> bool {
+        let mut changed = false;
+        for (&sid, &n) in incoming {
+            match self.pins.get(&sid) {
+                Some(&existing) if existing != n => self.counters.conflicts += 1,
+                Some(_) => {}
+                None => {
+                    self.pins.insert(sid, n);
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Processes one incoming `sfederate` message.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FederationError`] when the local computation cannot
+    /// satisfy the residual requirement (e.g. no reachable instance of a
+    /// downstream service within the horizon).
+    pub fn on_sfederate(
+        &mut self,
+        ctx: &FederationContext<'_>,
+        msg: &SfederateMessage,
+    ) -> Result<Vec<Outbound>, FederationError> {
+        let first_visit = self.pins.is_empty() && self.targets.is_none();
+        let mut changed = self.merge_selection(&msg.selection);
+        let my_service = ctx.overlay().instance(self.me).service;
+        // The sender addressed this instance: it *is* the selection for its
+        // service (overriding any tentative pick carried from elsewhere).
+        match self.pins.get(&my_service) {
+            Some(&prev) if prev != self.me => {
+                self.counters.conflicts += 1;
+                self.pins.insert(my_service, self.me);
+                changed = true;
+            }
+            Some(_) => {}
+            None => {
+                self.pins.insert(my_service, self.me);
+                changed = true;
+            }
+        }
+
+        let Some(residual) = &msg.residual else {
+            // A sink for this branch: (re-)complete whenever new pins arrive
+            // so the engine eventually sees every branch's selections.
+            return Ok(if changed || first_visit {
+                vec![Outbound::SinkCompleted {
+                    selection: self.pins.clone(),
+                }]
+            } else {
+                Vec::new()
+            });
+        };
+
+        self.counters.computations += 1;
+        if let Some(targets) = &self.targets {
+            // A merging service node already forwarded for an earlier
+            // upstream branch. If this message taught us new pins, propagate
+            // them along the established routes (the "re-computation …
+            // introduced at certain service nodes" of Fig. 10(b)); otherwise
+            // it only confirmed what we knew.
+            if !changed {
+                return Ok(Vec::new());
+            }
+            let out = targets
+                .iter()
+                .map(|(to, res)| Outbound::Forward {
+                    to: *to,
+                    msg: SfederateMessage {
+                        residual: res.clone(),
+                        selection: self.pins.clone(),
+                        hop: msg.hop + 1,
+                    },
+                })
+                .collect();
+            return Ok(out);
+        }
+
+        // The sFlow computation over the node's limited view.
+        let work = match self.view_model {
+            ViewModel::HopFilter => self.compute_hop_filter(ctx, residual)?,
+            ViewModel::LocalView => self.compute_local_view(ctx, residual)?,
+        };
+
+        let mut out = Vec::new();
+        let mut targets = Vec::new();
+        for d in residual.downstream(my_service) {
+            let to = work[&d];
+            let next_residual = residual.subrequirement_from(d);
+            let mut carried = self.pins.clone();
+            carried.insert(d, to);
+            out.push(Outbound::Forward {
+                to,
+                msg: SfederateMessage {
+                    residual: next_residual.clone(),
+                    selection: carried,
+                    hop: msg.hop + 1,
+                },
+            });
+            targets.push((to, next_residual));
+        }
+        self.targets = Some(targets);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sflow_core::fixtures::line_fixture;
+    use sflow_net::ServiceId;
+
+    fn s(i: u32) -> ServiceId {
+        ServiceId::new(i)
+    }
+
+    #[test]
+    fn source_forwards_to_one_downstream() {
+        let fx = line_fixture();
+        let ctx = fx.context();
+        let req = ServiceRequirement::path(&[s(0), s(1), s(2)]).unwrap();
+        let mut node = ProtocolNode::new(fx.source, None, None);
+        let out = node
+            .on_sfederate(
+                &ctx,
+                &SfederateMessage {
+                    residual: Some(req.clone()),
+                    selection: BTreeMap::new(),
+                    hop: 0,
+                },
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        let Outbound::Forward { to, msg } = &out[0] else {
+            panic!("source must forward");
+        };
+        assert_eq!(ctx.overlay().instance(*to).service, s(1));
+        let residual = msg.residual.as_ref().unwrap();
+        assert_eq!(residual.source(), s(1));
+        assert!(!residual.contains(s(0)));
+        assert_eq!(msg.hop, 1);
+        assert_eq!(node.counters().computations, 1);
+    }
+
+    #[test]
+    fn sink_completes_with_accumulated_selection() {
+        let fx = line_fixture();
+        let ctx = fx.context();
+        let sink = fx.overlay.instances_of(s(2))[0];
+        let mut node = ProtocolNode::new(sink, None, None);
+        let carried: Selection = [(s(0), fx.source), (s(2), sink)].into_iter().collect();
+        let out = node
+            .on_sfederate(
+                &ctx,
+                &SfederateMessage {
+                    residual: None,
+                    selection: carried,
+                    hop: 2,
+                },
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        let Outbound::SinkCompleted { selection } = &out[0] else {
+            panic!("sink must complete");
+        };
+        assert_eq!(selection[&s(2)], sink);
+        assert_eq!(selection[&s(0)], fx.source);
+        assert_eq!(node.counters().computations, 0);
+    }
+
+    #[test]
+    fn second_message_does_not_reforward() {
+        let fx = line_fixture();
+        let ctx = fx.context();
+        let req = ServiceRequirement::path(&[s(0), s(1), s(2)]).unwrap();
+        let mut node = ProtocolNode::new(fx.source, None, None);
+        let msg = SfederateMessage {
+            residual: Some(req),
+            selection: BTreeMap::new(),
+            hop: 0,
+        };
+        assert_eq!(node.on_sfederate(&ctx, &msg).unwrap().len(), 1);
+        assert!(node.on_sfederate(&ctx, &msg).unwrap().is_empty());
+        assert_eq!(node.counters().computations, 2);
+    }
+
+    #[test]
+    fn conflicting_carried_selection_is_counted() {
+        let fx = line_fixture();
+        let ctx = fx.context();
+        let sinks = fx.overlay.instances_of(s(1));
+        let (a, b) = (sinks[0], sinks[1]);
+        let mut node = ProtocolNode::new(a, None, None);
+        // Carried selection claims the *other* instance of this very service.
+        let carried: Selection = [(s(1), b)].into_iter().collect();
+        let out = node
+            .on_sfederate(
+                &ctx,
+                &SfederateMessage {
+                    residual: None,
+                    selection: carried,
+                    hop: 1,
+                },
+            )
+            .unwrap();
+        assert_eq!(node.counters().conflicts, 1);
+        let Outbound::SinkCompleted { selection } = &out[0] else {
+            panic!()
+        };
+        assert_eq!(selection[&s(1)], a, "own address wins");
+    }
+
+    #[test]
+    fn local_view_model_forwards_within_view() {
+        let fx = line_fixture();
+        let ctx = fx.context();
+        let req = ServiceRequirement::path(&[s(0), s(1), s(2)]).unwrap();
+        let mut node =
+            ProtocolNode::with_view_model(fx.source, Some(1), None, ViewModel::LocalView);
+        let out = node
+            .on_sfederate(
+                &ctx,
+                &SfederateMessage {
+                    residual: Some(req),
+                    selection: BTreeMap::new(),
+                    hop: 0,
+                },
+            )
+            .unwrap();
+        // s2 is invisible from a 1-hop view at the source, but the direct
+        // downstream s1 is visible, so the hand-off still happens.
+        assert_eq!(out.len(), 1);
+        let Outbound::Forward { to, .. } = &out[0] else {
+            panic!("expected forward")
+        };
+        assert_eq!(ctx.overlay().instance(*to).service, s(1));
+    }
+
+    #[test]
+    fn local_view_model_fails_when_blind() {
+        let fx = line_fixture();
+        let ctx = fx.context();
+        let req = ServiceRequirement::path(&[s(0), s(1), s(2)]).unwrap();
+        // A zero-hop view contains only the node itself: no downstream
+        // instance is visible, so the computation must fail.
+        let mut node =
+            ProtocolNode::with_view_model(fx.source, Some(0), None, ViewModel::LocalView);
+        let err = node
+            .on_sfederate(
+                &ctx,
+                &SfederateMessage {
+                    residual: Some(req),
+                    selection: BTreeMap::new(),
+                    hop: 0,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, FederationError::NoFeasibleSelection);
+    }
+
+    #[test]
+    fn payload_model_sizes() {
+        let m = PayloadModel::default();
+        let msg = SfederateMessage {
+            residual: None,
+            selection: BTreeMap::new(),
+            hop: 0,
+        };
+        assert_eq!(m.size_of(&msg), 64);
+        let fx = line_fixture();
+        let req = ServiceRequirement::path(&[s(0), s(1), s(2)]).unwrap();
+        let msg = SfederateMessage {
+            residual: Some(req),
+            selection: [(s(0), fx.source)].into_iter().collect(),
+            hop: 0,
+        };
+        assert_eq!(m.size_of(&msg), 64 + 16 * 3); // 1 selection + 2 edges
+    }
+}

@@ -1,0 +1,65 @@
+//! Simulated time.
+
+use std::fmt;
+use std::ops::Add;
+
+use serde::{Deserialize, Serialize};
+use sflow_routing::Latency;
+
+/// A point in simulated time, in microseconds since simulation start.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A time `us` microseconds after the epoch.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<Latency> for SimTime {
+    type Output = SimTime;
+
+    /// Advances time by a latency (saturating).
+    fn add(self, rhs: Latency) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.as_micros()))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}µs", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_by_latency() {
+        let t = SimTime::from_micros(10) + Latency::from_micros(5);
+        assert_eq!(t.as_micros(), 15);
+        assert_eq!(
+            SimTime::ZERO + Latency::INFINITE,
+            SimTime::from_micros(u64::MAX)
+        );
+        assert_eq!(t.to_string(), "t=15µs");
+    }
+
+    #[test]
+    fn orders_naturally() {
+        assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+}

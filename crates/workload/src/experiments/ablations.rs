@@ -1,0 +1,471 @@
+//! Ablations of the design choices `DESIGN.md` calls out:
+//!
+//! * **A1 horizon** — how the local-view radius (the paper fixes 2 hops)
+//!   affects correctness;
+//! * **A2 routing policy** — exact shortest-widest vs the single-pass
+//!   lexicographic Dijkstra when building the overlay routing table;
+//! * **A3 reductions** — the full reduction plan (path reduction +
+//!   split-and-merge) vs the plain chain-cover fallback;
+//! * **A4 knowledge model** — hop-filtered global tables vs literal per-node
+//!   sub-overlay views in the distributed protocol;
+//! * **A5 topology** — Waxman vs GT-ITM-style transit–stub networks.
+
+use serde::{Deserialize, Serialize};
+use sflow_core::algorithms::{FederationAlgorithm, GlobalOptimalAlgorithm, SflowAlgorithm};
+use sflow_core::baseline::VirtualEdges;
+use sflow_core::metrics::correctness_coefficient;
+use sflow_core::reduction::{chain_cover, Plan};
+use sflow_core::{FederationContext, FlowGraph, Selection, Solver};
+use sflow_routing::shortest_widest::all_pairs_lexicographic;
+
+use crate::experiments::{mean, SweepConfig};
+use crate::generator::{build_trial, build_trial_on, mixed_kind, TopologyKind};
+use crate::table::{f1, f3, Table};
+
+/// A1: mean correctness per horizon at a fixed network size.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HorizonRow {
+    /// Hop horizon (`None` = full view).
+    pub horizon: Option<usize>,
+    /// Mean correctness coefficient.
+    pub correctness: f64,
+    /// Fraction of trials that federated successfully.
+    pub success: f64,
+}
+
+/// Runs the horizon ablation at the largest configured size.
+pub fn run_horizon(cfg: &SweepConfig) -> Vec<HorizonRow> {
+    let size = *cfg.sizes.last().expect("non-empty sizes");
+    let horizons: [Option<usize>; 4] = [Some(1), Some(2), Some(3), None];
+    let mut rows = Vec::new();
+    for horizon in horizons {
+        let mut scores = Vec::new();
+        let mut successes = 0usize;
+        let mut total = 0usize;
+        for trial in 0..cfg.trials {
+            let t = build_trial(
+                size,
+                cfg.services,
+                cfg.instances_per_service,
+                mixed_kind(trial),
+                cfg.base_seed,
+                trial,
+            );
+            let ctx = t.fixture.context();
+            let Ok(opt) = GlobalOptimalAlgorithm.federate(&ctx, &t.requirement) else {
+                continue;
+            };
+            total += 1;
+            let alg = match horizon {
+                Some(h) => SflowAlgorithm::with_hop_limit(h),
+                None => SflowAlgorithm::with_full_view(),
+            };
+            match alg.federate(&ctx, &t.requirement) {
+                Ok(flow) => {
+                    successes += 1;
+                    scores.push(correctness_coefficient(&flow, &opt));
+                }
+                Err(_) => scores.push(0.0),
+            }
+        }
+        rows.push(HorizonRow {
+            horizon,
+            correctness: mean(&scores),
+            success: if total == 0 {
+                0.0
+            } else {
+                successes as f64 / total as f64
+            },
+        });
+    }
+    rows
+}
+
+/// Renders the horizon ablation.
+pub fn horizon_table(rows: &[HorizonRow]) -> Table {
+    let mut t = Table::new(
+        "A1 — local-view horizon vs correctness",
+        &["horizon", "correctness", "success"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.horizon.map_or("full".into(), |h| h.to_string()),
+            f3(r.correctness),
+            f3(r.success),
+        ]);
+    }
+    t
+}
+
+/// A2: flow quality when the routing table uses the exact vs the
+/// lexicographic shortest-widest algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RoutingPolicyRow {
+    /// Network size (hosts).
+    pub size: usize,
+    /// Mean flow latency with the exact table (µs).
+    pub exact_latency_us: f64,
+    /// Mean flow latency with the lexicographic table (µs).
+    pub lexicographic_latency_us: f64,
+    /// Mean bandwidth (identical by construction — widest is exact in both).
+    pub bandwidth_kbps: f64,
+}
+
+/// Runs the routing-policy ablation.
+pub fn run_routing_policy(cfg: &SweepConfig) -> Vec<RoutingPolicyRow> {
+    let mut rows = Vec::new();
+    for &size in &cfg.sizes {
+        let mut exact_l = Vec::new();
+        let mut lex_l = Vec::new();
+        let mut bw = Vec::new();
+        for trial in 0..cfg.trials {
+            let t = build_trial(
+                size,
+                cfg.services,
+                cfg.instances_per_service,
+                mixed_kind(trial),
+                cfg.base_seed,
+                trial,
+            );
+            let exact_ctx = t.fixture.context();
+            let lex_ap = all_pairs_lexicographic(t.fixture.overlay.graph());
+            let lex_ctx = FederationContext::new(&t.fixture.overlay, &lex_ap, t.fixture.source);
+            let alg = SflowAlgorithm::default();
+            if let (Ok(e), Ok(l)) = (
+                alg.federate(&exact_ctx, &t.requirement),
+                alg.federate(&lex_ctx, &t.requirement),
+            ) {
+                exact_l.push(e.latency().as_micros() as f64);
+                lex_l.push(l.latency().as_micros() as f64);
+                bw.push(e.bandwidth().as_kbps() as f64);
+            }
+        }
+        rows.push(RoutingPolicyRow {
+            size,
+            exact_latency_us: mean(&exact_l),
+            lexicographic_latency_us: mean(&lex_l),
+            bandwidth_kbps: mean(&bw),
+        });
+    }
+    rows
+}
+
+/// Renders the routing-policy ablation.
+pub fn routing_policy_table(rows: &[RoutingPolicyRow]) -> Table {
+    let mut t = Table::new(
+        "A2 — routing policy: exact vs lexicographic shortest-widest (latency µs)",
+        &["size", "exact", "lexicographic", "bandwidth"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.size.to_string(),
+            f1(r.exact_latency_us),
+            f1(r.lexicographic_latency_us),
+            f1(r.bandwidth_kbps),
+        ]);
+    }
+    t
+}
+
+/// A3: quality of the full reduction plan vs the chain-cover fallback.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReductionRow {
+    /// Network size (hosts).
+    pub size: usize,
+    /// Mean bandwidth with the full plan (kbit/s).
+    pub plan_kbps: f64,
+    /// Mean bandwidth with cover-only solving (kbit/s).
+    pub cover_kbps: f64,
+    /// Mean latency with the full plan (µs).
+    pub plan_latency_us: f64,
+    /// Mean latency with cover-only solving (µs).
+    pub cover_latency_us: f64,
+}
+
+fn solve_cover_only(
+    ctx: &FederationContext<'_>,
+    req: &sflow_core::ServiceRequirement,
+) -> Result<FlowGraph, sflow_core::FederationError> {
+    let solver = Solver::new(ctx).with_hop_limit(2);
+    let plan = Plan::Cover {
+        chains: chain_cover(req),
+    };
+    let mut pinned: Selection = [(req.source(), ctx.source_instance())]
+        .into_iter()
+        .collect();
+    solver.solve_plan(&plan, &mut pinned, &VirtualEdges::new())?;
+    FlowGraph::assemble(ctx, req, &pinned)
+}
+
+/// Runs the reductions ablation.
+pub fn run_reductions(cfg: &SweepConfig) -> Vec<ReductionRow> {
+    let mut rows = Vec::new();
+    for &size in &cfg.sizes {
+        let mut plan_bw = Vec::new();
+        let mut cover_bw = Vec::new();
+        let mut plan_lat = Vec::new();
+        let mut cover_lat = Vec::new();
+        for trial in 0..cfg.trials {
+            let t = build_trial(
+                size,
+                cfg.services,
+                cfg.instances_per_service,
+                mixed_kind(trial),
+                cfg.base_seed,
+                trial,
+            );
+            let ctx = t.fixture.context();
+            if let (Ok(p), Ok(c)) = (
+                SflowAlgorithm::default().federate(&ctx, &t.requirement),
+                solve_cover_only(&ctx, &t.requirement),
+            ) {
+                plan_bw.push(p.bandwidth().as_kbps() as f64);
+                cover_bw.push(c.bandwidth().as_kbps() as f64);
+                plan_lat.push(p.latency().as_micros() as f64);
+                cover_lat.push(c.latency().as_micros() as f64);
+            }
+        }
+        rows.push(ReductionRow {
+            size,
+            plan_kbps: mean(&plan_bw),
+            cover_kbps: mean(&cover_bw),
+            plan_latency_us: mean(&plan_lat),
+            cover_latency_us: mean(&cover_lat),
+        });
+    }
+    rows
+}
+
+/// Renders the reductions ablation.
+pub fn reductions_table(rows: &[ReductionRow]) -> Table {
+    let mut t = Table::new(
+        "A3 — reduction plan vs chain-cover fallback",
+        &["size", "plan bw", "cover bw", "plan lat", "cover lat"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.size.to_string(),
+            f1(r.plan_kbps),
+            f1(r.cover_kbps),
+            f1(r.plan_latency_us),
+            f1(r.cover_latency_us),
+        ]);
+    }
+    t
+}
+
+/// A4: the two models of limited knowledge in the distributed protocol —
+/// hop-filtered global tables vs genuine per-node sub-overlay views.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ViewModelRow {
+    /// Network size (hosts).
+    pub size: usize,
+    /// Success rate under the hop-filter model.
+    pub hop_filter_success: f64,
+    /// Success rate under the literal local-view model.
+    pub local_view_success: f64,
+    /// Mean bandwidth under the hop-filter model (successes only, kbit/s).
+    pub hop_filter_kbps: f64,
+    /// Mean bandwidth under the local-view model (successes only, kbit/s).
+    pub local_view_kbps: f64,
+}
+
+/// Runs the view-model ablation through the distributed simulator.
+pub fn run_view_model(cfg: &SweepConfig) -> Vec<ViewModelRow> {
+    use sflow_sim::protocol::ViewModel;
+    use sflow_sim::{run_distributed, SimConfig};
+    let mut rows = Vec::new();
+    for &size in &cfg.sizes {
+        let mut hf_ok = 0usize;
+        let mut lv_ok = 0usize;
+        let mut hf_bw = Vec::new();
+        let mut lv_bw = Vec::new();
+        for trial in 0..cfg.trials {
+            let t = build_trial(
+                size,
+                cfg.services,
+                cfg.instances_per_service,
+                mixed_kind(trial),
+                cfg.base_seed,
+                trial,
+            );
+            let ctx = t.fixture.context();
+            let hf = SimConfig::default();
+            let lv = SimConfig {
+                view_model: ViewModel::LocalView,
+                ..SimConfig::default()
+            };
+            if let Ok(out) = run_distributed(&ctx, &t.requirement, &hf) {
+                hf_ok += 1;
+                hf_bw.push(out.flow.bandwidth().as_kbps() as f64);
+            }
+            if let Ok(out) = run_distributed(&ctx, &t.requirement, &lv) {
+                lv_ok += 1;
+                lv_bw.push(out.flow.bandwidth().as_kbps() as f64);
+            }
+        }
+        let n = cfg.trials.max(1) as f64;
+        rows.push(ViewModelRow {
+            size,
+            hop_filter_success: hf_ok as f64 / n,
+            local_view_success: lv_ok as f64 / n,
+            hop_filter_kbps: mean(&hf_bw),
+            local_view_kbps: mean(&lv_bw),
+        });
+    }
+    rows
+}
+
+/// Renders the view-model ablation.
+pub fn view_model_table(rows: &[ViewModelRow]) -> Table {
+    let mut t = Table::new(
+        "A4 — knowledge model: hop filter vs literal 2-hop local views",
+        &["size", "hf success", "lv success", "hf bw", "lv bw"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.size.to_string(),
+            f3(r.hop_filter_success),
+            f3(r.local_view_success),
+            f1(r.hop_filter_kbps),
+            f1(r.local_view_kbps),
+        ]);
+    }
+    t
+}
+
+/// A5: topology sensitivity — does the Fig. 10(a) result depend on the
+/// underlying-network family?
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TopologyRow {
+    /// Which family (`"waxman"` / `"transit-stub"`).
+    pub topology: String,
+    /// Mean correctness of sFlow vs the global optimum.
+    pub sflow: f64,
+    /// Mean correctness of the fixed algorithm.
+    pub fixed: f64,
+    /// Mean correctness of the random algorithm.
+    pub random: f64,
+}
+
+/// Runs the topology-sensitivity ablation at the largest configured size.
+pub fn run_topology(cfg: &SweepConfig) -> Vec<TopologyRow> {
+    use sflow_core::metrics::correctness_coefficient;
+    let size = *cfg.sizes.last().expect("non-empty sizes");
+    let mut rows = Vec::new();
+    for (label, topo) in [
+        ("waxman", TopologyKind::Waxman),
+        ("transit-stub", TopologyKind::TransitStub),
+    ] {
+        let mut acc = [Vec::new(), Vec::new(), Vec::new()];
+        for trial in 0..cfg.trials {
+            let t = build_trial_on(
+                size,
+                cfg.services,
+                cfg.instances_per_service,
+                mixed_kind(trial),
+                topo,
+                cfg.base_seed,
+                trial,
+            );
+            let ctx = t.fixture.context();
+            let Ok(opt) = GlobalOptimalAlgorithm.federate(&ctx, &t.requirement) else {
+                continue;
+            };
+            let algos: [&dyn FederationAlgorithm; 3] = [
+                &SflowAlgorithm::default(),
+                &sflow_core::algorithms::FixedAlgorithm,
+                &sflow_core::algorithms::RandomAlgorithm::with_seed(cfg.base_seed ^ trial as u64),
+            ];
+            for (i, alg) in algos.iter().enumerate() {
+                let score = alg
+                    .federate(&ctx, &t.requirement)
+                    .map(|f| correctness_coefficient(&f, &opt))
+                    .unwrap_or(0.0);
+                acc[i].push(score);
+            }
+        }
+        rows.push(TopologyRow {
+            topology: label.into(),
+            sflow: mean(&acc[0]),
+            fixed: mean(&acc[1]),
+            random: mean(&acc[2]),
+        });
+    }
+    rows
+}
+
+/// Renders the topology-sensitivity ablation.
+pub fn topology_table(rows: &[TopologyRow]) -> Table {
+    let mut t = Table::new(
+        "A5 — topology sensitivity (correctness at the largest size)",
+        &["topology", "sflow", "fixed", "random"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.topology.clone(),
+            f3(r.sflow),
+            f3(r.fixed),
+            f3(r.random),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_families_both_run() {
+        let rows = run_topology(&SweepConfig::smoke());
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(
+                r.sflow >= r.random,
+                "{}: {} < {}",
+                r.topology,
+                r.sflow,
+                r.random
+            );
+            assert!(r.sflow > 0.5, "{}", r.topology);
+        }
+    }
+
+    #[test]
+    fn view_models_both_mostly_succeed() {
+        let rows = run_view_model(&SweepConfig::smoke());
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.hop_filter_success > 0.5);
+            // The literal model has strictly less information; it may fail
+            // more but must still usually work on these dense smoke worlds.
+            assert!(r.local_view_success > 0.0);
+            assert!(r.local_view_success <= r.hop_filter_success + 1e-9 + 0.25);
+        }
+    }
+
+    #[test]
+    fn horizon_improves_with_radius() {
+        let rows = run_horizon(&SweepConfig::smoke());
+        assert_eq!(rows.len(), 4);
+        // Full view is at least as correct as a 1-hop view.
+        let h1 = rows[0].correctness;
+        let full = rows[3].correctness;
+        assert!(full >= h1 - 1e-9, "full {full} < h1 {h1}");
+    }
+
+    #[test]
+    fn routing_policy_latency_never_improves_with_lexicographic() {
+        for r in run_routing_policy(&SweepConfig::smoke()) {
+            assert!(r.lexicographic_latency_us >= r.exact_latency_us - 1e-9);
+        }
+    }
+
+    #[test]
+    fn reductions_never_hurt_bandwidth() {
+        for r in run_reductions(&SweepConfig::smoke()) {
+            assert!(r.plan_kbps >= r.cover_kbps - 1e-9);
+        }
+    }
+}

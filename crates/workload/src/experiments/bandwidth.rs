@@ -1,0 +1,102 @@
+//! Fig. 10(d): end-to-end (bottleneck) bandwidth vs network size.
+
+use serde::{Deserialize, Serialize};
+use sflow_core::algorithms::{
+    FederationAlgorithm, FixedAlgorithm, GlobalOptimalAlgorithm, RandomAlgorithm, SflowAlgorithm,
+};
+
+use crate::experiments::{mean, SweepConfig};
+use crate::generator::{build_trial, mixed_kind};
+use crate::table::{f1, Table};
+
+/// One row of the Fig. 10(d) series: mean bottleneck bandwidth (kbit/s).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthRow {
+    /// Network size (hosts).
+    pub size: usize,
+    /// Global optimum (upper envelope of the plot).
+    pub global_optimal_kbps: f64,
+    /// sFlow.
+    pub sflow_kbps: f64,
+    /// Greedy fixed algorithm.
+    pub fixed_kbps: f64,
+    /// Random algorithm.
+    pub random_kbps: f64,
+}
+
+/// Runs the bandwidth sweep on mixed requirements. Failures score zero
+/// bandwidth (a federation that cannot be built delivers nothing).
+pub fn run(cfg: &SweepConfig) -> Vec<BandwidthRow> {
+    let mut rows = Vec::with_capacity(cfg.sizes.len());
+    for &size in &cfg.sizes {
+        let mut acc = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for trial in 0..cfg.trials {
+            let t = build_trial(
+                size,
+                cfg.services,
+                cfg.instances_per_service,
+                mixed_kind(trial),
+                cfg.base_seed,
+                trial,
+            );
+            let ctx = t.fixture.context();
+            let algos: [&dyn FederationAlgorithm; 4] = [
+                &GlobalOptimalAlgorithm,
+                &SflowAlgorithm::default(),
+                &FixedAlgorithm,
+                &RandomAlgorithm::with_seed(cfg.base_seed ^ trial as u64),
+            ];
+            for (i, alg) in algos.iter().enumerate() {
+                let bw = alg
+                    .federate(&ctx, &t.requirement)
+                    .map(|f| f.bandwidth().as_kbps() as f64)
+                    .unwrap_or(0.0);
+                acc[i].push(bw);
+            }
+        }
+        rows.push(BandwidthRow {
+            size,
+            global_optimal_kbps: mean(&acc[0]),
+            sflow_kbps: mean(&acc[1]),
+            fixed_kbps: mean(&acc[2]),
+            random_kbps: mean(&acc[3]),
+        });
+    }
+    rows
+}
+
+/// Renders the series as a table.
+pub fn to_table(rows: &[BandwidthRow]) -> Table {
+    let mut t = Table::new(
+        "Fig. 10(d) — end-to-end bandwidth vs network size (kbit/s)",
+        &["size", "global-optimal", "sflow", "fixed", "random"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.size.to_string(),
+            f1(r.global_optimal_kbps),
+            f1(r.sflow_kbps),
+            f1(r.fixed_kbps),
+            f1(r.random_kbps),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_shows_expected_ordering() {
+        let rows = run(&SweepConfig::smoke());
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            // Fig. 10(d) ordering: optimal ≥ sflow ≥ {fixed, random}.
+            assert!(r.global_optimal_kbps >= r.sflow_kbps);
+            assert!(r.sflow_kbps >= r.random_kbps);
+            assert!(r.sflow_kbps > 0.0);
+        }
+        assert_eq!(to_table(&rows).len(), 2);
+    }
+}

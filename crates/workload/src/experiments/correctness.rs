@@ -1,0 +1,119 @@
+//! Fig. 10(a): correctness coefficient vs network size.
+//!
+//! For every trial, each algorithm's flow graph is compared against the
+//! global optimum: the coefficient is the fraction of required services for
+//! which the algorithm selected the same instance as the optimum. Failures
+//! score zero.
+
+use serde::{Deserialize, Serialize};
+use sflow_core::algorithms::{
+    FederationAlgorithm, FixedAlgorithm, GlobalOptimalAlgorithm, RandomAlgorithm,
+    ServicePathAlgorithm, SflowAlgorithm,
+};
+use sflow_core::metrics::correctness_coefficient;
+
+use crate::experiments::{mean, SweepConfig};
+use crate::generator::{build_trial, mixed_kind};
+use crate::table::{f3, Table};
+
+/// One row of the Fig. 10(a) series: mean correctness per algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CorrectnessRow {
+    /// Network size (hosts).
+    pub size: usize,
+    /// sFlow (2-hop views).
+    pub sflow: f64,
+    /// Greedy fixed algorithm.
+    pub fixed: f64,
+    /// Random algorithm.
+    pub random: f64,
+    /// Single service path algorithm (Gu et al.).
+    pub service_path: f64,
+}
+
+/// Runs the correctness sweep.
+pub fn run(cfg: &SweepConfig) -> Vec<CorrectnessRow> {
+    let mut rows = Vec::with_capacity(cfg.sizes.len());
+    for &size in &cfg.sizes {
+        let mut acc = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for trial in 0..cfg.trials {
+            let t = build_trial(
+                size,
+                cfg.services,
+                cfg.instances_per_service,
+                mixed_kind(trial),
+                cfg.base_seed,
+                trial,
+            );
+            let ctx = t.fixture.context();
+            let Ok(opt) = GlobalOptimalAlgorithm.federate(&ctx, &t.requirement) else {
+                continue; // degenerate world; skip the trial entirely
+            };
+            let algos: [&dyn FederationAlgorithm; 4] = [
+                &SflowAlgorithm::default(),
+                &FixedAlgorithm,
+                &RandomAlgorithm::with_seed(cfg.base_seed ^ trial as u64),
+                &ServicePathAlgorithm,
+            ];
+            for (i, alg) in algos.iter().enumerate() {
+                let score = match alg.federate(&ctx, &t.requirement) {
+                    Ok(flow) => correctness_coefficient(&flow, &opt),
+                    Err(_) => 0.0,
+                };
+                acc[i].push(score);
+            }
+        }
+        rows.push(CorrectnessRow {
+            size,
+            sflow: mean(&acc[0]),
+            fixed: mean(&acc[1]),
+            random: mean(&acc[2]),
+            service_path: mean(&acc[3]),
+        });
+    }
+    rows
+}
+
+/// Renders the series as a table (matches the paper's Fig. 10(a) legend).
+pub fn to_table(rows: &[CorrectnessRow]) -> Table {
+    let mut t = Table::new(
+        "Fig. 10(a) — correctness coefficient vs network size",
+        &["size", "sflow", "fixed", "random", "service-path"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.size.to_string(),
+            f3(r.sflow),
+            f3(r.fixed),
+            f3(r.random),
+            f3(r.service_path),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_has_expected_ordering() {
+        let rows = run(&SweepConfig::smoke());
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.sflow));
+            // The headline claim of Fig. 10(a): sFlow dominates the controls.
+            assert!(
+                r.sflow >= r.random,
+                "sflow {} < random {}",
+                r.sflow,
+                r.random
+            );
+            assert!(r.sflow >= r.service_path);
+            // And stays close to optimal.
+            assert!(r.sflow >= 0.7, "sflow correctness too low: {}", r.sflow);
+        }
+        let table = to_table(&rows);
+        assert_eq!(table.len(), 2);
+    }
+}

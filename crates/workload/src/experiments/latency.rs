@@ -1,0 +1,139 @@
+//! Fig. 10(c): end-to-end latency vs network size.
+//!
+//! sFlow exploits parallel service streams, so its end-to-end latency is the
+//! slowest *branch*; the single service path algorithm must execute all
+//! services sequentially ("fails to consider the parallel processing
+//! cases"), so its figure is the full sequential chain latency.
+
+use serde::{Deserialize, Serialize};
+use sflow_core::algorithms::{
+    sequential_latency, FederationAlgorithm, FixedAlgorithm, RandomAlgorithm, ServicePathAlgorithm,
+    SflowAlgorithm,
+};
+
+use crate::experiments::{mean, SweepConfig};
+use crate::generator::{build_trial, mixed_kind};
+use crate::table::{f1, Table};
+
+/// One row of the Fig. 10(c) series: mean end-to-end latency (µs).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LatencyRow {
+    /// Network size (hosts).
+    pub size: usize,
+    /// sFlow (parallel branches).
+    pub sflow_us: f64,
+    /// Greedy fixed algorithm.
+    pub fixed_us: f64,
+    /// Random algorithm.
+    pub random_us: f64,
+    /// Sequential (service-path style) execution: the single service path
+    /// algorithm's chain latency where it can compose, otherwise the
+    /// serialized execution of the composed flow — either way, no stream
+    /// parallelism ("fails to consider the parallel processing cases").
+    pub service_path_us: f64,
+}
+
+/// Runs the latency sweep on mixed requirements.
+pub fn run(cfg: &SweepConfig) -> Vec<LatencyRow> {
+    let mut rows = Vec::with_capacity(cfg.sizes.len());
+    for &size in &cfg.sizes {
+        let mut acc = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for trial in 0..cfg.trials {
+            let t = build_trial(
+                size,
+                cfg.services,
+                cfg.instances_per_service,
+                mixed_kind(trial),
+                cfg.base_seed,
+                trial,
+            );
+            let ctx = t.fixture.context();
+            let sflow_flow = SflowAlgorithm::default()
+                .federate(&ctx, &t.requirement)
+                .ok();
+            if let Some(flow) = &sflow_flow {
+                acc[0].push(flow.latency().as_micros() as f64);
+            }
+            if let Ok(flow) = FixedAlgorithm.federate(&ctx, &t.requirement) {
+                acc[1].push(flow.latency().as_micros() as f64);
+            }
+            if let Ok(flow) = RandomAlgorithm::with_seed(cfg.base_seed ^ trial as u64)
+                .federate(&ctx, &t.requirement)
+            {
+                acc[2].push(flow.latency().as_micros() as f64);
+            }
+            // Sequential baseline: the path algorithm's chain where it can
+            // compose; otherwise serialize the sFlow composition (sum of all
+            // stream latencies — no parallel branches).
+            let sequential = ServicePathAlgorithm
+                .federate(&ctx, &t.requirement)
+                .ok()
+                .and_then(|flow| sequential_latency(&ctx, &t.requirement, &flow))
+                .map(|l| l.as_micros() as f64)
+                .or_else(|| {
+                    sflow_flow.as_ref().map(|flow| {
+                        flow.edges()
+                            .iter()
+                            .map(|e| e.qos.latency.as_micros() as f64)
+                            .sum()
+                    })
+                });
+            if let Some(seq) = sequential {
+                acc[3].push(seq);
+            }
+        }
+        rows.push(LatencyRow {
+            size,
+            sflow_us: mean(&acc[0]),
+            fixed_us: mean(&acc[1]),
+            random_us: mean(&acc[2]),
+            service_path_us: mean(&acc[3]),
+        });
+    }
+    rows
+}
+
+/// Renders the series as a table.
+pub fn to_table(rows: &[LatencyRow]) -> Table {
+    let mut t = Table::new(
+        "Fig. 10(c) — end-to-end latency vs network size (µs)",
+        &["size", "sflow", "fixed", "random", "service-path"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.size.to_string(),
+            f1(r.sflow_us),
+            f1(r.fixed_us),
+            f1(r.random_us),
+            f1(r.service_path_us),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_shows_sflow_advantage() {
+        let rows = run(&SweepConfig::smoke());
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.sflow_us > 0.0);
+            // Headline claims of Fig. 10(c).
+            assert!(
+                r.sflow_us <= r.random_us,
+                "sflow {} > random {}",
+                r.sflow_us,
+                r.random_us
+            );
+            assert!(
+                r.sflow_us <= r.service_path_us,
+                "sflow {} > service-path {}",
+                r.sflow_us,
+                r.service_path_us
+            );
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Experiment runners: one per figure of the paper plus the ablations.
+//!
+//! All experiments share a [`SweepConfig`]: a sweep over network sizes with
+//! several seeded trials per size, averaging each algorithm's metric.
+//! Failed federations score zero correctness / zero bandwidth and are
+//! excluded from latency averages (matching how the paper treats the
+//! service-path algorithm's failures on non-path requirements).
+
+pub mod ablations;
+pub mod bandwidth;
+pub mod churn;
+pub mod correctness;
+pub mod extensions;
+pub mod latency;
+pub mod timing;
+
+use serde::{Deserialize, Serialize};
+
+/// Sweep parameters shared by all experiments.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Underlying-network sizes (hosts), the x-axis of every Fig. 10 plot.
+    pub sizes: Vec<usize>,
+    /// Trials (seeds) per size.
+    pub trials: usize,
+    /// Required services per requirement.
+    pub services: usize,
+    /// Instances placed per service.
+    pub instances_per_service: usize,
+    /// Base seed; every (size, trial) derives its own stream from it.
+    pub base_seed: u64,
+}
+
+impl Default for SweepConfig {
+    /// The paper's sweep: networks of 10–50 nodes.
+    fn default() -> Self {
+        SweepConfig {
+            sizes: vec![10, 20, 30, 40, 50],
+            trials: 30,
+            services: 6,
+            instances_per_service: 3,
+            base_seed: 2004, // ICDCS 2004
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A reduced sweep for unit tests and smoke runs.
+    pub fn smoke() -> Self {
+        SweepConfig {
+            sizes: vec![10, 20],
+            trials: 4,
+            services: 5,
+            instances_per_service: 2,
+            base_seed: 7,
+        }
+    }
+}
+
+/// Mean of a slice, `0.0` when empty.
+pub(crate) fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_sweep() {
+        let c = SweepConfig::default();
+        assert_eq!(c.sizes, vec![10, 20, 30, 40, 50]);
+        assert!(c.trials >= 10);
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

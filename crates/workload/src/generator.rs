@@ -1,0 +1,276 @@
+//! Seeded random service-requirement and world generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sflow_core::fixtures::{fixture_over, random_fixture_with, Fixture};
+use sflow_core::ServiceRequirement;
+use sflow_net::{topology, ServiceId};
+
+/// Underlying-network families trials can be generated over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// The Waxman model (default for all Fig. 10 sweeps).
+    Waxman,
+    /// GT-ITM-style transit–stub: fast backbone, slower stub clusters.
+    TransitStub,
+}
+
+/// The requirement topologies of Sec. 2.1, for workload mixes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequirementKind {
+    /// A single chain (Fig. 1).
+    Path,
+    /// Disjoint parallel chains sharing source and sink (Fig. 3).
+    DisjointPaths,
+    /// A multicast-style tree.
+    Tree,
+    /// A general DAG with splits and merges (Fig. 5).
+    Dag,
+}
+
+/// Generates a random requirement of the given kind over `services`
+/// (in order; `services[0]` is always the source).
+///
+/// # Panics
+///
+/// Panics if fewer than 3 services are supplied (the shapes need room).
+pub fn random_requirement(
+    services: &[ServiceId],
+    kind: RequirementKind,
+    rng: &mut StdRng,
+) -> ServiceRequirement {
+    assert!(services.len() >= 3, "need at least 3 services");
+    let n = services.len();
+    match kind {
+        RequirementKind::Path => ServiceRequirement::path(services).expect("≥ 2 distinct services"),
+        RequirementKind::DisjointPaths => {
+            // Split the intermediates into 2–3 parallel chains.
+            let inner = &services[1..n - 1];
+            let branches = rng.gen_range(2..=3.min(inner.len().max(2)));
+            let mut b = ServiceRequirement::builder();
+            for (i, chunk) in chunks(inner, branches).into_iter().enumerate() {
+                let _ = i;
+                let mut prev = services[0];
+                for &s in &chunk {
+                    b.edge(prev, s);
+                    prev = s;
+                }
+                b.edge(prev, services[n - 1]);
+            }
+            b.build().expect("disjoint chains are a valid requirement")
+        }
+        RequirementKind::Tree => {
+            let mut b = ServiceRequirement::builder();
+            for i in 1..n {
+                let parent = services[rng.gen_range(0..i)];
+                b.edge(parent, services[i]);
+            }
+            b.build().expect("random tree is a valid requirement")
+        }
+        RequirementKind::Dag => {
+            let mut b = ServiceRequirement::builder();
+            for i in 1..n {
+                // Connectivity: at least one upstream from earlier services.
+                let parent = services[rng.gen_range(0..i)];
+                b.edge(parent, services[i]);
+                // Extra forward edges create merges and interleaving.
+                for j in 0..i {
+                    if services[j] != parent && rng.gen_bool(0.3) {
+                        b.edge(services[j], services[i]);
+                    }
+                }
+            }
+            b.build().expect("random DAG is a valid requirement")
+        }
+    }
+}
+
+fn chunks(items: &[ServiceId], parts: usize) -> Vec<Vec<ServiceId>> {
+    let parts = parts.min(items.len()).max(1);
+    let mut out = vec![Vec::new(); parts];
+    for (i, &s) in items.iter().enumerate() {
+        out[i % parts].push(s);
+    }
+    out.retain(|c| !c.is_empty());
+    out
+}
+
+/// The standard workload mix for the Fig. 10 experiments: requirements "of
+/// any type", cycling deterministically through the shapes per trial.
+pub fn mixed_kind(trial: usize) -> RequirementKind {
+    match trial % 4 {
+        0 => RequirementKind::Dag,
+        1 => RequirementKind::DisjointPaths,
+        2 => RequirementKind::Tree,
+        _ => RequirementKind::Dag,
+    }
+}
+
+/// One experiment trial: a world plus a requirement over its services.
+#[derive(Clone, Debug)]
+pub struct Trial {
+    /// The world (network + overlay + routing table + source).
+    pub fixture: Fixture,
+    /// The requirement to federate.
+    pub requirement: ServiceRequirement,
+}
+
+/// Builds the trial for `(hosts, trial_index)` under `base_seed`:
+/// a Waxman network of `hosts` hosts, `service_count` services with
+/// `instances_per_service` instances each (compatibility restricted to the
+/// requirement's edges), and a requirement of the given kind.
+pub fn build_trial(
+    hosts: usize,
+    service_count: usize,
+    instances_per_service: usize,
+    kind: RequirementKind,
+    base_seed: u64,
+    trial: usize,
+) -> Trial {
+    build_trial_on(
+        hosts,
+        service_count,
+        instances_per_service,
+        kind,
+        TopologyKind::Waxman,
+        base_seed,
+        trial,
+    )
+}
+
+/// [`build_trial`] with an explicit underlying-network family. For
+/// [`TopologyKind::TransitStub`], `hosts` is approximated by a 4-transit
+/// backbone with two stub clusters per transit node.
+pub fn build_trial_on(
+    hosts: usize,
+    service_count: usize,
+    instances_per_service: usize,
+    kind: RequirementKind,
+    topo: TopologyKind,
+    base_seed: u64,
+    trial: usize,
+) -> Trial {
+    let seed = base_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((hosts as u64) << 32)
+        .wrapping_add(trial as u64);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let services: Vec<ServiceId> = (0..service_count as u32).map(ServiceId::new).collect();
+    let requirement = random_requirement(&services, kind, &mut rng);
+    let pairs: Vec<(ServiceId, ServiceId)> = requirement.edges();
+    // Sparse service mesh: each instance keeps its best two links per
+    // downstream service (cf. the cost-effective mesh construction of
+    // Xu et al. that the paper cites) — this is what makes limited local
+    // views, and greedy mis-steps, observable.
+    let fixture = match topo {
+        TopologyKind::Waxman => random_fixture_with(
+            hosts,
+            &services,
+            instances_per_service,
+            Some(&pairs),
+            seed ^ 0xABCD_EF01,
+            Some(2),
+        ),
+        TopologyKind::TransitStub => {
+            let backbone = topology::LinkProfile::new(500..=2_000, 500..=2_000);
+            let access = topology::LinkProfile::new(10..=500, 2_000..=10_000);
+            // 4 transit nodes, 2 clusters each: size so that the host count
+            // approximates the requested sweep point.
+            let stub_size = ((hosts / 4).saturating_sub(1) / 2).max(1);
+            let net = topology::transit_stub(4, 2, stub_size, &backbone, &access, &mut rng);
+            fixture_over(
+                net,
+                &services,
+                instances_per_service,
+                Some(&pairs),
+                seed ^ 0xABCD_EF01,
+                Some(2),
+            )
+        }
+    };
+    Trial {
+        fixture,
+        requirement,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sflow_core::RequirementShape;
+
+    fn services(n: u32) -> Vec<ServiceId> {
+        (0..n).map(ServiceId::new).collect()
+    }
+
+    #[test]
+    fn path_kind_is_a_path() {
+        let s = services(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = random_requirement(&s, RequirementKind::Path, &mut rng);
+        assert_eq!(r.shape(), RequirementShape::Path);
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn disjoint_kind_shares_only_endpoints() {
+        let s = services(7);
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = random_requirement(&s, RequirementKind::DisjointPaths, &mut rng);
+        assert_eq!(r.shape(), RequirementShape::DisjointPaths);
+        assert_eq!(r.source(), s[0]);
+        assert_eq!(r.sinks(), vec![s[6]]);
+    }
+
+    #[test]
+    fn tree_kind_has_single_parents() {
+        let s = services(6);
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = random_requirement(&s, RequirementKind::Tree, &mut rng);
+        assert!(matches!(
+            r.shape(),
+            RequirementShape::Tree | RequirementShape::Path
+        ));
+    }
+
+    #[test]
+    fn dag_kind_is_connected_and_rooted() {
+        let s = services(8);
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = random_requirement(&s, RequirementKind::Dag, &mut rng);
+            assert_eq!(r.source(), s[0], "seed {seed}");
+            assert_eq!(r.len(), 8);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = services(6);
+        let a = random_requirement(&s, RequirementKind::Dag, &mut StdRng::seed_from_u64(9));
+        let b = random_requirement(&s, RequirementKind::Dag, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn build_trial_produces_usable_world() {
+        let t = build_trial(15, 5, 2, RequirementKind::Dag, 42, 0);
+        assert_eq!(t.fixture.net.host_count(), 15);
+        let ctx = t.fixture.context();
+        assert_eq!(ctx.source().service, ServiceId::new(0));
+        // Every required service has instances.
+        for sid in t.requirement.services() {
+            assert!(!t.fixture.overlay.instances_of(sid).is_empty());
+        }
+    }
+
+    #[test]
+    fn mixed_kind_cycles() {
+        assert_eq!(mixed_kind(0), RequirementKind::Dag);
+        assert_eq!(mixed_kind(1), RequirementKind::DisjointPaths);
+        assert_eq!(mixed_kind(2), RequirementKind::Tree);
+        assert_eq!(mixed_kind(3), RequirementKind::Dag);
+        assert_eq!(mixed_kind(4), RequirementKind::Dag);
+    }
+}

@@ -1,0 +1,22 @@
+//! Workload generators and experiment runners reproducing the paper's
+//! evaluation (Sec. 5, Fig. 10) plus the ablations listed in `DESIGN.md`.
+//!
+//! * [`generator`] — seeded random service requirements (paths, disjoint
+//!   bundles, trees, general DAGs) and experiment worlds;
+//! * [`experiments`] — one runner per figure: correctness (10a), computation
+//!   time (10b), latency (10c), bandwidth (10d), plus the horizon, routing-
+//!   policy and reduction ablations;
+//! * [`table`] — plain-text table + CSV rendering for the `fig10` binary.
+//!
+//! Regenerate every figure with:
+//!
+//! ```text
+//! cargo run --release -p sflow-workload --bin fig10 -- all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod generator;
+pub mod table;

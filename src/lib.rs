@@ -1,0 +1,64 @@
+//! # sflow
+//!
+//! A Rust reproduction of **"sFlow: Towards Resource-Efficient and Agile
+//! Service Federation in Service Overlay Networks"** (Mea Wang, Baochun Li,
+//! Zongpeng Li — ICDCS 2004).
+//!
+//! Service overlay networks host *service instances* — transcoders, proxies,
+//! caches, search engines — on ordinary nodes. Consumers ask for *federated*
+//! services: a DAG of services ("the service flow graph") through which the
+//! data must stream. This crate family implements the paper's whole stack:
+//!
+//! | layer | crate | re-exported as |
+//! |---|---|---|
+//! | graph substrate | `sflow-graph` | [`graph`] |
+//! | QoS routing (Wang–Crowcroft shortest-widest) | `sflow-routing` | [`routing`] |
+//! | underlying network + service overlay | `sflow-net` | [`net`] |
+//! | requirements, flow graphs, the sFlow algorithm + controls | `sflow-core` | [`core`] |
+//! | discrete-event simulation of the distributed protocol | `sflow-sim` | [`sim`] |
+//! | threaded actor deployment | `sflow-runtime` | [`runtime`] |
+//! | executable NP-completeness proof (Theorem 1) | `sflow-sat` | [`sat`] |
+//! | experiment harness (Fig. 10 + ablations) | `sflow-workload` | [`workload`] |
+//!
+//! The most common entry points are re-exported at the crate root.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sflow::core::algorithms::{FederationAlgorithm, SflowAlgorithm};
+//! use sflow::core::fixtures::{diamond_fixture, diamond_requirement};
+//!
+//! // A ready-made world: network, overlay, routing table, source instance.
+//! let fx = diamond_fixture();
+//! let ctx = fx.context();
+//!
+//! // Federate a diamond-shaped requirement with the sFlow algorithm.
+//! let flow = SflowAlgorithm::default().federate(&ctx, &diamond_requirement())?;
+//! println!("{flow}");
+//! # Ok::<(), sflow::core::FederationError>(())
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios (the paper's travel-agency
+//! workload, a media pipeline, and the distributed protocol under both the
+//! simulator and the actor runtime), and `DESIGN.md` / `EXPERIMENTS.md` for
+//! the reproduction inventory and measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sflow_core as core;
+pub use sflow_graph as graph;
+pub use sflow_net as net;
+pub use sflow_routing as routing;
+pub use sflow_runtime as runtime;
+pub use sflow_sat as sat;
+pub use sflow_sim as sim;
+pub use sflow_workload as workload;
+
+pub use sflow_core::{
+    FederationContext, FederationError, FlowGraph, FlowQuality, ServiceRequirement, Solver,
+};
+pub use sflow_net::{
+    Compatibility, HostId, OverlayGraph, Placement, ServiceId, ServiceInstance, UnderlyingNetwork,
+};
+pub use sflow_routing::{Bandwidth, Latency, Qos};

@@ -1,0 +1,141 @@
+//! Tests binding the implementation to the paper's concrete examples.
+
+use sflow::core::algorithms::{FederationAlgorithm, GlobalOptimalAlgorithm, SflowAlgorithm};
+use sflow::core::fixtures::paper_fig4_fixture;
+use sflow::core::reduction::{self, Plan};
+use sflow::core::{AbstractGraph, RequirementShape, ServiceRequirement};
+use sflow::{HostId, ServiceId};
+
+fn s(i: u32) -> ServiceId {
+    ServiceId::new(i)
+}
+
+/// Sec. 2.2 discusses Fig. 4: "We choose node 5 over node 7 for service 1,
+/// and node 9 over node 11 for service 2, because they offer a service flow
+/// graph with higher overall bandwidth and shorter end-to-end latency."
+#[test]
+fn fig4_selects_node5_and_node9() {
+    let fx = paper_fig4_fixture();
+    let ctx = fx.context();
+    let req = ServiceRequirement::path(&[s(0), s(1), s(2), s(3)]).unwrap();
+    let flow = SflowAlgorithm::with_full_view()
+        .federate(&ctx, &req)
+        .unwrap();
+    let host_of = |sid: u32| fx.overlay.instance(flow.instance_for(s(sid)).unwrap()).host;
+    assert_eq!(host_of(1), HostId::new(5), "service 1 → node 5");
+    assert_eq!(host_of(2), HostId::new(9), "service 2 → node 9");
+    // And that choice is globally optimal.
+    let opt = GlobalOptimalAlgorithm.federate(&ctx, &req).unwrap();
+    assert_eq!(flow.quality(), opt.quality());
+}
+
+/// Fig. 6: the abstract graph populates each required service with its
+/// instances and labels edges with overlay shortest-widest QoS.
+#[test]
+fn fig6_abstract_graph_structure() {
+    let fx = paper_fig4_fixture();
+    let ctx = fx.context();
+    let req = ServiceRequirement::path(&[s(0), s(1), s(2), s(3)]).unwrap();
+    let ag = AbstractGraph::build(&ctx, &req).unwrap();
+    // Source pinned to 1 instance; services 1 and 2 have two instances each;
+    // service 3 has one.
+    assert_eq!(ag.instances_of(s(0)).len(), 1);
+    assert_eq!(ag.instances_of(s(1)).len(), 2);
+    assert_eq!(ag.instances_of(s(2)).len(), 2);
+    assert_eq!(ag.instances_of(s(3)).len(), 1);
+    // Layered edges: 1×2 + 2×2 + 2×1 = 8 (all pairs connected — Fig. 4's
+    // network is connected).
+    assert_eq!(ag.edge_count(), 8);
+}
+
+/// Fig. 8: the example requirement decomposes by isolating the split-merge
+/// block between services 1 and 4, then path reduction.
+#[test]
+fn fig8_reduction_pipeline() {
+    let req = ServiceRequirement::from_edges([
+        (s(0), s(1)),
+        (s(1), s(2)),
+        (s(1), s(3)),
+        (s(2), s(4)),
+        (s(3), s(4)),
+        (s(4), s(5)),
+        (s(0), s(6)),
+        (s(6), s(5)),
+    ])
+    .unwrap();
+    let block = reduction::find_split_merge(&req).unwrap();
+    assert_eq!(block.split, s(1));
+    assert_eq!(block.merge, s(4));
+    // Inner is the diamond (a disjoint-paths bundle after reduction).
+    assert_eq!(block.inner.shape(), RequirementShape::DisjointPaths);
+    // Outer is two disjoint chains 0→1→4→5 and 0→6→5.
+    assert_eq!(block.outer.shape(), RequirementShape::DisjointPaths);
+    let plan = Plan::analyze(&req);
+    assert_eq!(
+        plan.describe(),
+        "split-merge(s1..s4; inner: parallel×2, outer: parallel×2)"
+    );
+}
+
+/// Figs. 1–3: the requirement taxonomy of Sec. 2.1.
+#[test]
+fn requirement_taxonomy() {
+    // Fig. 1: Travel Engine → Hotel → Currency → Agency.
+    let fig1 = ServiceRequirement::path(&[s(0), s(2), s(4), s(7)]).unwrap();
+    assert_eq!(fig1.shape(), RequirementShape::Path);
+
+    // Fig. 3: three disjoint paths.
+    let fig3 = ServiceRequirement::from_edges([
+        (s(0), s(1)),
+        (s(1), s(4)),
+        (s(4), s(7)),
+        (s(0), s(2)),
+        (s(2), s(7)),
+        (s(0), s(3)),
+        (s(3), s(5)),
+        (s(5), s(7)),
+    ])
+    .unwrap();
+    assert_eq!(fig3.shape(), RequirementShape::DisjointPaths);
+
+    // Fig. 5: hotel feeds currency and map; translator merges map +
+    // attraction streams — a generic DAG.
+    let fig5 = ServiceRequirement::from_edges([
+        (s(0), s(1)),
+        (s(0), s(2)),
+        (s(0), s(3)),
+        (s(1), s(4)),
+        (s(2), s(4)),
+        (s(2), s(5)),
+        (s(3), s(5)),
+        (s(3), s(6)),
+        (s(5), s(6)),
+        (s(4), s(7)),
+        (s(6), s(7)),
+    ])
+    .unwrap();
+    assert_eq!(fig5.shape(), RequirementShape::Dag);
+    assert_eq!(fig5.source(), s(0));
+    assert_eq!(fig5.sinks(), vec![s(7)]);
+}
+
+/// The paper's Sec. 3.2 complexity claim, exercised end to end through the
+/// sat crate: satisfiability ⇔ MSFG feasibility on the Fig. 7 instance.
+#[test]
+fn theorem1_on_fig7() {
+    use sflow::sat::cnf::{Cnf, Lit, Var};
+    use sflow::sat::{dpll, msfg, reduction as satred};
+    let v = |i: u32| Var::new(i);
+    let mut f = Cnf::new(4);
+    f.add_clause([
+        Lit::pos(v(0)),
+        Lit::neg(v(1)),
+        Lit::pos(v(2)),
+        Lit::pos(v(3)),
+    ]);
+    f.add_clause([Lit::neg(v(0)), Lit::pos(v(1)), Lit::neg(v(2))]);
+    f.add_clause([Lit::pos(v(0)), Lit::neg(v(1)), Lit::neg(v(3))]);
+    f.add_clause([Lit::pos(v(1)), Lit::pos(v(2))]);
+    let inst = satred::sat_to_msfg(&f);
+    assert_eq!(dpll::solve(&f).is_some(), msfg::is_feasible(&inst));
+}

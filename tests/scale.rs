@@ -1,0 +1,53 @@
+//! Scale smoke tests: the stack stays correct and responsive well beyond the
+//! paper's 50-node evaluations.
+
+use sflow::core::algorithms::{FederationAlgorithm, SflowAlgorithm};
+use sflow::core::fixtures::random_fixture_with;
+use sflow::runtime::{run_actors, RuntimeConfig};
+use sflow::sim::linkstate::flood_link_state;
+use sflow::sim::{run_distributed, SimConfig};
+use sflow::{ServiceId, ServiceRequirement};
+
+fn services(n: u32) -> Vec<ServiceId> {
+    (0..n).map(ServiceId::new).collect()
+}
+
+#[test]
+fn hundred_host_world_federates_under_all_transports() {
+    let s = services(8);
+    let req = ServiceRequirement::from_edges([
+        (s[0], s[1]),
+        (s[0], s[2]),
+        (s[1], s[3]),
+        (s[2], s[4]),
+        (s[3], s[5]),
+        (s[4], s[5]),
+        (s[5], s[6]),
+        (s[5], s[7]),
+    ])
+    .unwrap();
+    let fx = random_fixture_with(100, &s, 4, None, 4242, Some(3));
+    assert!(fx.net.is_connected());
+    let ctx = fx.context();
+
+    let central = SflowAlgorithm::default().federate(&ctx, &req).unwrap();
+    assert_eq!(central.selection().len(), 8);
+
+    let sim = run_distributed(&ctx, &req, &SimConfig::default()).unwrap();
+    assert_eq!(sim.flow.selection().len(), 8);
+    assert_eq!(sim.flow.bandwidth(), central.bandwidth());
+
+    // 32 instances → 32 actor threads; must terminate cleanly.
+    let act = run_actors(&ctx, &req, &RuntimeConfig::default()).unwrap();
+    assert_eq!(act.flow.selection().len(), 8);
+    assert_eq!(act.flow.bandwidth(), central.bandwidth());
+}
+
+#[test]
+fn link_state_flooding_converges_at_scale() {
+    let s = services(4);
+    let fx = random_fixture_with(120, &s, 2, None, 777, None);
+    let out = flood_link_state(&fx.net);
+    assert!(out.all_converged(&fx.net));
+    assert!(out.stats.converged_at_us > 0);
+}
