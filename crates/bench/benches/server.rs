@@ -1,0 +1,68 @@
+//! Server-path benchmarks: what the resident federation service amortises.
+//!
+//! `solve/cold` rebuilds the hop matrix on every solve (the pre-server
+//! behaviour of `Solver::with_hop_limit`); `solve/cached` reuses one shared
+//! `Arc<HopMatrix>` the way `sflow-server` does across requests. The
+//! `wire/roundtrip` group measures a full client→TCP→worker→TCP→client
+//! federation against the in-process solve, i.e. the protocol overhead.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sflow_core::baseline::HopMatrix;
+use sflow_core::fixtures::diamond_fixture;
+use sflow_core::Solver;
+use sflow_server::{serve, Algorithm, Client, Response, ServerConfig, World};
+use sflow_workload::generator::{build_trial, RequirementKind};
+
+fn bench_cached_vs_cold(c: &mut Criterion) {
+    let trial = build_trial(40, 8, 4, RequirementKind::Dag, 42, 0);
+    let ctx = trial.fixture.context();
+    let mut g = c.benchmark_group("server/solve");
+    g.bench_function("cold", |b| {
+        b.iter(|| {
+            Solver::new(&ctx)
+                .with_hop_limit(2)
+                .solve(&trial.requirement)
+        })
+    });
+    let matrix = Arc::new(HopMatrix::new(ctx.overlay()));
+    g.bench_function("cached", |b| {
+        b.iter(|| {
+            Solver::new(&ctx)
+                .with_hop_matrix(2, Arc::clone(&matrix))
+                .solve(&trial.requirement)
+        })
+    });
+    g.finish();
+}
+
+fn bench_wire_roundtrip(c: &mut Criterion) {
+    let spec = "0>1>3, 0>2>3";
+    // Every iteration opens a session; don't let the cap shed the bench.
+    let config = ServerConfig {
+        max_sessions: usize::MAX,
+        ..ServerConfig::default()
+    };
+    let handle = serve(World::new(diamond_fixture()), &config).expect("loopback bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    c.bench_function("server/wire/roundtrip", |b| {
+        b.iter(|| {
+            match client
+                .federate(spec, Algorithm::Sflow, Some(2))
+                .expect("transport")
+            {
+                Response::Federated(summary) => summary.bandwidth_kbps,
+                other => panic!("unexpected {other:?}"),
+            }
+        })
+    });
+    handle.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cached_vs_cold, bench_wire_roundtrip
+}
+criterion_main!(benches);

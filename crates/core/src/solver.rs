@@ -51,15 +51,18 @@ impl<'a> Solver<'a> {
     /// Restricts every hand-off to instances within `limit` overlay hops of
     /// the upstream instance — the distributed algorithm's local-view model
     /// (the paper assumes a two-hop vicinity).
-    pub fn with_hop_limit(mut self, limit: usize) -> Self {
-        self.hop = Some((limit, Arc::new(HopMatrix::new(self.ctx.overlay()))));
-        self
+    ///
+    /// Convenience wrapper over [`Solver::with_hop_matrix`] that builds a
+    /// fresh [`HopMatrix`] for this solver alone.
+    pub fn with_hop_limit(self, limit: usize) -> Self {
+        let matrix = Arc::new(HopMatrix::new(self.ctx.overlay()));
+        self.with_hop_matrix(limit, matrix)
     }
 
     /// Like [`Solver::with_hop_limit`], but reusing a precomputed hop matrix
-    /// (the distributed simulation solves at every node; one matrix serves
-    /// them all).
-    pub fn with_shared_hop_matrix(mut self, limit: usize, matrix: Arc<HopMatrix>) -> Self {
+    /// (the distributed simulation solves at every node, and the federation
+    /// server solves for every request; one matrix serves them all).
+    pub fn with_hop_matrix(mut self, limit: usize, matrix: Arc<HopMatrix>) -> Self {
         self.hop = Some((limit, matrix));
         self
     }

@@ -299,6 +299,21 @@ impl OverlayGraph {
         )
     }
 
+    /// Updates the QoS of the service link `from → to` in place, returning
+    /// `true` if such a link exists. This is the substrate for online QoS
+    /// drift (congestion, re-provisioning) in a long-lived overlay; callers
+    /// holding derived routing artifacts (`AllPairs`, hop matrices) must
+    /// recompute them afterwards.
+    pub fn set_link_qos(&mut self, from: NodeIx, to: NodeIx, qos: Qos) -> bool {
+        match self.graph.find_edge(from, to) {
+            Some(e) => {
+                *self.graph.edge_mut(e) = qos;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Rebuilds the overlay with the given instances removed — the substrate
     /// for failure injection and repair ("agile" federation). Service links
     /// between surviving instances keep their QoS.
@@ -571,6 +586,24 @@ mod tests {
         let same = ov.without_instances(&[]);
         assert_eq!(same.instance_count(), ov.instance_count());
         assert_eq!(same.link_count(), ov.link_count());
+    }
+
+    #[test]
+    fn set_link_qos_updates_existing_links_only() {
+        let (net, p, compat) = line_world();
+        let mut ov = OverlayGraph::build(&net, &p, &compat).unwrap();
+        let s0 = ov.instances_of(sid(0))[0];
+        let near = ov
+            .instances_of(sid(1))
+            .iter()
+            .copied()
+            .find(|&n| ov.instance(n).host == HostId::new(1))
+            .unwrap();
+        assert!(ov.set_link_qos(s0, near, q(3, 7)));
+        let e = ov.graph().find_edge(s0, near).unwrap();
+        assert_eq!(*ov.graph().edge(e), q(3, 7));
+        // No link in the reverse direction: nothing to update.
+        assert!(!ov.set_link_qos(near, s0, q(1, 1)));
     }
 
     #[test]

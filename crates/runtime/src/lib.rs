@@ -32,7 +32,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use serde::{Deserialize, Serialize};
@@ -84,6 +84,15 @@ pub struct RuntimeOutcome {
     pub flow: FlowGraph,
     /// Runtime counters.
     pub stats: RuntimeStats,
+}
+
+/// Converts a [`Duration`] to whole microseconds, saturating at `u64::MAX`
+/// (≈ 584 000 years — only reachable through clock pathology).
+///
+/// Shared by the actor runtime's wall-clock accounting and the federation
+/// server's request-latency accounting.
+pub fn duration_us(d: Duration) -> u64 {
+    d.as_micros().try_into().unwrap_or(u64::MAX)
 }
 
 enum ToActor {
@@ -233,13 +242,7 @@ pub fn run_actors(
         }
     });
 
-    stats.wall_us = u64::try_from(
-        Instant::now()
-            .saturating_duration_since(start)
-            .as_micros()
-            .min(u128::from(u64::MAX)),
-    )
-    .unwrap_or(u64::MAX);
+    stats.wall_us = duration_us(Instant::now().saturating_duration_since(start));
 
     if let Some(e) = first_error {
         return Err(e);

@@ -1,0 +1,56 @@
+//! Re-entrancy stress test: the federation server relies on solving many
+//! requests concurrently against one shared [`FederationContext`]. Here ≥ 8
+//! OS threads hammer the same context through both the centralized
+//! [`SflowAlgorithm`] and the actor runtime, and every result must agree on
+//! the bottleneck bandwidth.
+
+use std::thread;
+
+use sflow_core::algorithms::{FederationAlgorithm, SflowAlgorithm};
+use sflow_core::fixtures::{diamond_fixture, diamond_requirement};
+use sflow_routing::Bandwidth;
+use sflow_runtime::{run_actors, RuntimeConfig};
+
+const THREADS: usize = 8;
+const SOLVES_PER_THREAD: usize = 4;
+
+#[test]
+fn concurrent_solves_share_one_context() {
+    let fx = diamond_fixture();
+    let ctx = fx.context();
+    let req = diamond_requirement();
+    let expected = SflowAlgorithm::default()
+        .federate(&ctx, &req)
+        .unwrap()
+        .bandwidth();
+    assert_eq!(expected, Bandwidth::kbps(80));
+
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let ctx = &ctx;
+            let req = &req;
+            handles.push(scope.spawn(move || {
+                let mut bandwidths = Vec::new();
+                for i in 0..SOLVES_PER_THREAD {
+                    // Alternate centralized and actor-runtime solves so both
+                    // entry points run interleaved on the shared context.
+                    let flow = if (t + i) % 2 == 0 {
+                        SflowAlgorithm::default().federate(ctx, req).unwrap()
+                    } else {
+                        run_actors(ctx, req, &RuntimeConfig::default())
+                            .unwrap()
+                            .flow
+                    };
+                    bandwidths.push(flow.bandwidth());
+                }
+                bandwidths
+            }));
+        }
+        for handle in handles {
+            for bw in handle.join().expect("stress thread panicked") {
+                assert_eq!(bw, expected);
+            }
+        }
+    });
+}

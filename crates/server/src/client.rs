@@ -1,0 +1,94 @@
+//! A small blocking client for the federation wire protocol.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::wire::{read_frame, write_frame};
+use crate::{Algorithm, Mutation, Request, Response, StatsSnapshot};
+
+/// One blocking connection to a federation server.
+///
+/// Requests are answered in order on the connection, so a `Client` is a
+/// plain sequential handle; open one per thread for concurrency.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server (e.g. the address from
+    /// [`ServerHandle::addr`](crate::ServerHandle::addr)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// I/O or framing errors; a server that hangs up before answering
+    /// surfaces as `UnexpectedEof`.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, request)?;
+        read_frame(&mut self.stream)?.ok_or_else(|| io::ErrorKind::UnexpectedEof.into())
+    }
+
+    /// Federates `requirement` (a chain expression such as `"0>1>3, 0>2>3"`).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only; federation failures come back as
+    /// [`Response::Error`].
+    pub fn federate(
+        &mut self,
+        requirement: &str,
+        algorithm: Algorithm,
+        hop_limit: Option<usize>,
+    ) -> io::Result<Response> {
+        self.request(&Request::Federate {
+            requirement: requirement.to_owned(),
+            algorithm,
+            hop_limit,
+        })
+    }
+
+    /// Applies a topology mutation.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn mutate(&mut self, mutation: Mutation) -> io::Result<Response> {
+        self.request(&Request::Mutate(mutation))
+    }
+
+    /// Fetches the server's counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or `InvalidData` if the server answers with
+    /// anything but `Stats` (a protocol violation).
+    pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(snapshot) => Ok(snapshot),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Stats, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Asks the server to shut down.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn shutdown(&mut self) -> io::Result<Response> {
+        self.request(&Request::Shutdown)
+    }
+}

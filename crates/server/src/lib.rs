@@ -1,0 +1,165 @@
+//! A long-lived federation service for service overlay networks.
+//!
+//! Everything else in this workspace solves one federation at a time and
+//! throws the world away; this crate is the shape the ROADMAP north star
+//! ("heavy traffic from millions of users") demands — a resident server that
+//! *owns* a world and amortises its expensive routing artifacts across
+//! requests:
+//!
+//! * **Shared world** — the underlying network, overlay, [`AllPairs`] table
+//!   and topology epoch live in one [`World`] behind an
+//!   `Arc<parking_lot::RwLock<_>>`; concurrent `Federate` requests solve
+//!   under read locks, mutations take the write lock ([`world`]).
+//! * **Shared routing caches** — the [`HopMatrix`] the sFlow horizon needs is
+//!   built once per topology epoch and handed to every solver as an `Arc`
+//!   (via [`Solver::with_hop_matrix`]), instead of being rebuilt per call.
+//! * **Admission control** — a crossbeam worker pool drains a *bounded* job
+//!   queue; when the queue is full, requests are shed immediately with
+//!   [`Response::Overloaded`] so overload degrades gracefully instead of
+//!   ballooning latency ([`server`]).
+//! * **Agility** — [`Request::Mutate`] applies a link-QoS update or an
+//!   instance failure, bumps the epoch, invalidates the caches and
+//!   re-federates every live session via [`sflow_core::repair`] — the
+//!   paper's headline claim made operational.
+//! * **Wire protocol** — length-prefixed `serde_json` frames over `std::net`
+//!   TCP ([`wire`]), with a small blocking [`Client`] in [`client`].
+//!
+//! [`AllPairs`]: sflow_routing::AllPairs
+//! [`HopMatrix`]: sflow_core::baseline::HopMatrix
+//! [`Solver::with_hop_matrix`]: sflow_core::Solver::with_hop_matrix
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sflow_core::fixtures::diamond_fixture;
+//! use sflow_server::{serve, Algorithm, Client, Request, Response, ServerConfig, World};
+//!
+//! let handle = serve(World::new(diamond_fixture()), &ServerConfig::default())?;
+//! let mut client = Client::connect(handle.addr())?;
+//! match client.federate("0>1>3, 0>2>3", Algorithm::Sflow, Some(2))? {
+//!     Response::Federated(s) => println!("federated at {} kbit/s", s.bandwidth_kbps),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! handle.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use sflow_net::{ServiceId, ServiceInstance};
+
+pub mod client;
+pub mod server;
+pub mod stats;
+pub mod wire;
+pub mod world;
+
+pub use client::Client;
+pub use server::{serve, serve_on, ServerConfig, ServerHandle};
+pub use stats::StatsSnapshot;
+pub use world::World;
+
+/// Which federation algorithm a [`Request::Federate`] should run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// The paper's sFlow algorithm (horizon from the request's `hop_limit`).
+    #[default]
+    Sflow,
+    /// Exhaustive global optimum (exponential; small worlds only).
+    Global,
+    /// The greedy "fixed" baseline.
+    Fixed,
+    /// The service-path (chain-serialising) baseline.
+    ServicePath,
+}
+
+/// A topology mutation applied by [`Request::Mutate`].
+///
+/// Instances are addressed by their stable `(service, host)` identity rather
+/// than by overlay node index, because failures rebuild the overlay and
+/// renumber its nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mutation {
+    /// Overwrites the QoS of the service link `from → to` (congestion,
+    /// re-provisioning).
+    SetLinkQos {
+        /// Upstream endpoint of the service link.
+        from: ServiceInstance,
+        /// Downstream endpoint of the service link.
+        to: ServiceInstance,
+        /// New bottleneck bandwidth, kbit/s.
+        bandwidth_kbps: u64,
+        /// New latency, microseconds.
+        latency_us: u64,
+    },
+    /// Removes an instance from the overlay (node crash, service withdrawal).
+    FailInstance {
+        /// The instance that failed.
+        instance: ServiceInstance,
+    },
+}
+
+/// One client request, as carried on the wire.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Request {
+    /// Federate a service requirement and keep it as a live session.
+    Federate {
+        /// The requirement as a chain expression, e.g. `"0>1>3, 0>2>3"`
+        /// (parsed by `ServiceRequirement::from_str`).
+        requirement: String,
+        /// Which algorithm to run.
+        algorithm: Algorithm,
+        /// Overlay-hop horizon for [`Algorithm::Sflow`] (`None` = full view).
+        hop_limit: Option<usize>,
+    },
+    /// Mutate the world: bump the epoch, invalidate caches, repair sessions.
+    Mutate(Mutation),
+    /// Fetch server counters and latency percentiles.
+    Stats,
+    /// Ask the server to stop accepting work and exit its loops.
+    Shutdown,
+}
+
+/// The result of a successful federation, flattened for the wire.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowSummary {
+    /// Server-assigned session id (stable across repairs).
+    pub session: u64,
+    /// Topology epoch the flow was solved against.
+    pub epoch: u64,
+    /// Bottleneck bandwidth of the flow, kbit/s.
+    pub bandwidth_kbps: u64,
+    /// End-to-end latency of the flow, microseconds.
+    pub latency_us: u64,
+    /// The selected instance for every required service.
+    pub instances: BTreeMap<ServiceId, ServiceInstance>,
+}
+
+/// One server response, as carried on the wire.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// The federation succeeded.
+    Federated(FlowSummary),
+    /// The mutation was applied; sessions were repaired or dropped.
+    Mutated {
+        /// The new topology epoch.
+        epoch: u64,
+        /// Sessions successfully re-federated over the mutated world.
+        repaired: usize,
+        /// Sessions that no longer fit and were closed.
+        dropped: usize,
+    },
+    /// Server counters.
+    Stats(StatsSnapshot),
+    /// The admission queue was full; the request was shed, not queued.
+    Overloaded,
+    /// Acknowledges [`Request::Shutdown`].
+    ShuttingDown,
+    /// The request was admitted but could not be served (parse error,
+    /// unsatisfiable requirement, unknown instance, …).
+    Error(String),
+}

@@ -1,0 +1,426 @@
+//! The federation server: acceptor, worker pool, admission queue.
+//!
+//! Threading model:
+//!
+//! * one **acceptor** thread owns the `TcpListener`;
+//! * one **connection** thread per client reads request frames and writes
+//!   response frames (responses stay ordered per connection because the
+//!   thread waits for each reply before reading the next frame);
+//! * a fixed pool of **worker** threads drains a *bounded* crossbeam job
+//!   queue and runs solves/mutations against the shared [`World`].
+//!
+//! Admission control happens where the connection thread hands a job to the
+//! pool: a `try_send` into the bounded queue either enqueues or fails
+//! immediately, and a failure is answered with [`Response::Overloaded`] —
+//! the request is shed, never buffered. `Stats` and `Shutdown` are handled
+//! inline on the connection thread so observability and operability survive
+//! overload.
+//!
+//! Locking: `Federate` solves under the world's read lock; `Mutate` holds
+//! the write lock across the mutation *and* session repair, so a response
+//! solved at epoch `e` was solved against exactly the epoch-`e` topology.
+//! The shared hop matrix lives in an epoch-tagged side cache — solvers
+//! build it at most once per epoch and every later solve reuses the `Arc`.
+
+use std::collections::BTreeMap;
+use std::io::{self, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use sflow_core::algorithms::{
+    FederationAlgorithm, FixedAlgorithm, GlobalOptimalAlgorithm, ServicePathAlgorithm,
+};
+use sflow_core::baseline::HopMatrix;
+use sflow_core::repair::repair;
+use sflow_core::{FlowGraph, ServiceRequirement, Solver};
+use sflow_runtime::duration_us;
+
+use crate::stats::Metrics;
+use crate::wire::{read_frame, write_frame};
+use crate::world::World;
+use crate::{Algorithm, FlowSummary, Request, Response};
+
+/// How a [`serve`] instance is sized and (for tests) slowed down.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads draining the admission queue (min 1).
+    pub workers: usize,
+    /// Capacity of the bounded admission queue; a full queue sheds.
+    pub queue_depth: usize,
+    /// Hard cap on live sessions; `Federate` beyond it is answered with an
+    /// error rather than growing without bound.
+    pub max_sessions: usize,
+    /// Test hook: hold every admitted job this long before solving, so
+    /// tests can fill the admission queue deterministically.
+    pub debug_delay: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            max_sessions: 16_384,
+            debug_delay: None,
+        }
+    }
+}
+
+/// A live federation kept by the server for repair after mutations.
+struct Session {
+    requirement: ServiceRequirement,
+    flow: FlowGraph,
+}
+
+#[derive(Default)]
+struct Sessions {
+    next_id: u64,
+    live: BTreeMap<u64, Session>,
+}
+
+/// State shared by every thread of one server instance.
+struct Shared {
+    addr: SocketAddr,
+    config: ServerConfig,
+    world: RwLock<World>,
+    /// The hop matrix for the *current* epoch, built lazily by the first
+    /// solver that needs it. A mutation bumps the epoch, so a stale entry
+    /// self-invalidates on the tag check (and `Mutate` clears it eagerly).
+    hop_cache: Mutex<Option<(u64, Arc<HopMatrix>)>>,
+    sessions: Mutex<Sessions>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// The epoch-tagged shared hop matrix, built at most once per epoch.
+    /// `world` is the read guard the caller solves under, which ties the
+    /// returned matrix to exactly that topology.
+    fn hop_matrix(&self, world: &RwLockReadGuard<'_, World>) -> Arc<HopMatrix> {
+        let epoch = world.epoch();
+        let mut cache = self.hop_cache.lock();
+        if let Some((tag, matrix)) = cache.as_ref() {
+            if *tag == epoch {
+                self.metrics.cache_hit();
+                return Arc::clone(matrix);
+            }
+        }
+        self.metrics.cache_miss();
+        let matrix = Arc::new(HopMatrix::new(world.overlay()));
+        *cache = Some((epoch, Arc::clone(&matrix)));
+        matrix
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The loopback address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Stops accepting, drains the workers and joins every server thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Blocks until the server stops on its own — i.e. until some client
+    /// sends [`Request::Shutdown`]. This is what `sflow serve` does.
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+
+    fn stop(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else {
+            return;
+        };
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The acceptor blocks in `accept`; a throwaway connection wakes it.
+        let _ = TcpStream::connect(self.shared.addr);
+        let _ = acceptor.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One admitted unit of work plus the channel its answer goes back on.
+struct Job {
+    request: Request,
+    reply: Sender<Response>,
+}
+
+/// Binds a loopback port and starts serving `world`.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve(world: World, config: &ServerConfig) -> io::Result<ServerHandle> {
+    serve_on("127.0.0.1:0", world, config)
+}
+
+/// [`serve`] on an explicit address (`"127.0.0.1:0"` picks a free port).
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve_on(addr: &str, world: World, config: &ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let shared = Arc::new(Shared {
+        addr: listener.local_addr()?,
+        config: *config,
+        world: RwLock::new(world),
+        hop_cache: Mutex::new(None),
+        sessions: Mutex::new(Sessions::default()),
+        metrics: Metrics::default(),
+        shutdown: AtomicBool::new(false),
+    });
+    let (job_tx, job_rx) = bounded::<Job>(config.queue_depth.max(1));
+
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let jobs = job_rx.clone();
+            thread::spawn(move || worker_loop(&shared, &jobs))
+        })
+        .collect();
+    drop(job_rx);
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shared.shutting_down() {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    let shared = Arc::clone(&shared);
+                    let job_tx = job_tx.clone();
+                    thread::spawn(move || connection_loop(&shared, &job_tx, stream));
+                }
+            }
+            // No more connections will be admitted; once the connection
+            // threads drop their queue clones the workers see disconnect.
+            drop(job_tx);
+            for worker in workers {
+                let _ = worker.join();
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        shared,
+        acceptor: Some(acceptor),
+    })
+}
+
+/// Serves one client connection: read a frame, answer it, repeat.
+fn connection_loop(shared: &Shared, job_tx: &Sender<Job>, mut stream: TcpStream) {
+    // The read timeout doubles as the shutdown poll interval.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        let request = match read_frame::<Request>(&mut stream) {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // client hung up cleanly
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                continue; // idle tick; re-check the shutdown flag
+            }
+            Err(_) => return, // torn frame or dead transport
+        };
+        let shutting_down = matches!(request, Request::Shutdown);
+        let response = dispatch(shared, job_tx, request);
+        if write_frame(&mut stream, &response).is_err() || shutting_down {
+            return;
+        }
+    }
+}
+
+/// Routes one request: control-plane inline, data-plane through admission.
+fn dispatch(shared: &Shared, job_tx: &Sender<Job>, request: Request) -> Response {
+    match request {
+        // Stats stays answerable under overload: it never takes a queue slot.
+        Request::Stats => {
+            let epoch = shared.world.read().epoch();
+            let sessions = shared.sessions.lock().live.len() as u64;
+            Response::Stats(shared.metrics.snapshot(epoch, sessions))
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Wake the acceptor so it notices the flag without a new client.
+            let _ = TcpStream::connect(shared.addr);
+            Response::ShuttingDown
+        }
+        request => {
+            let (reply_tx, reply_rx) = bounded(1);
+            match job_tx.try_send(Job {
+                request,
+                reply: reply_tx,
+            }) {
+                Ok(()) => reply_rx
+                    .recv()
+                    .unwrap_or_else(|_| Response::Error("server shutting down".into())),
+                Err(TrySendError::Full(_)) => {
+                    shared.metrics.shed();
+                    Response::Overloaded
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    Response::Error("server shutting down".into())
+                }
+            }
+        }
+    }
+}
+
+/// Drains the admission queue until shutdown.
+fn worker_loop(shared: &Shared, jobs: &Receiver<Job>) {
+    loop {
+        match jobs.recv_timeout(Duration::from_millis(100)) {
+            Ok(job) => {
+                let response = execute(shared, job.request);
+                let _ = job.reply.send(response);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutting_down() {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Runs one admitted job and accounts its latency.
+fn execute(shared: &Shared, request: Request) -> Response {
+    let start = Instant::now();
+    if let Some(delay) = shared.config.debug_delay {
+        thread::sleep(delay);
+    }
+    let response = match request {
+        Request::Federate {
+            requirement,
+            algorithm,
+            hop_limit,
+        } => federate(shared, &requirement, algorithm, hop_limit),
+        Request::Mutate(mutation) => mutate(shared, &mutation),
+        // Handled inline by the connection thread; an admitted copy is a bug
+        // in dispatch, answered defensively rather than panicking a worker.
+        Request::Stats | Request::Shutdown => Response::Error("control request in queue".into()),
+    };
+    shared.metrics.record_latency_us(duration_us(start.elapsed()));
+    response
+}
+
+/// Solves one requirement under the world's read lock and opens a session.
+fn federate(
+    shared: &Shared,
+    spec: &str,
+    algorithm: Algorithm,
+    hop_limit: Option<usize>,
+) -> Response {
+    let requirement: ServiceRequirement = match spec.parse() {
+        Ok(requirement) => requirement,
+        Err(e) => {
+            shared.metrics.failed();
+            return Response::Error(format!("bad requirement {spec:?}: {e}"));
+        }
+    };
+    let world = shared.world.read();
+    let ctx = world.context();
+    let solved = match algorithm {
+        Algorithm::Sflow => {
+            let solver = match hop_limit {
+                Some(limit) => Solver::new(&ctx).with_hop_matrix(limit, shared.hop_matrix(&world)),
+                None => Solver::new(&ctx),
+            };
+            solver.solve(&requirement)
+        }
+        Algorithm::Global => GlobalOptimalAlgorithm.federate(&ctx, &requirement),
+        Algorithm::Fixed => FixedAlgorithm.federate(&ctx, &requirement),
+        Algorithm::ServicePath => ServicePathAlgorithm.federate(&ctx, &requirement),
+    };
+    let flow = match solved {
+        Ok(flow) => flow,
+        Err(e) => {
+            shared.metrics.failed();
+            return Response::Error(e.to_string());
+        }
+    };
+
+    // Lock order: world before sessions, always.
+    let mut sessions = shared.sessions.lock();
+    if sessions.live.len() >= shared.config.max_sessions {
+        shared.metrics.failed();
+        return Response::Error("session table full".into());
+    }
+    let session = sessions.next_id;
+    sessions.next_id += 1;
+    let summary = FlowSummary {
+        session,
+        epoch: world.epoch(),
+        bandwidth_kbps: flow.quality().bandwidth.as_kbps(),
+        latency_us: flow.quality().latency.as_micros(),
+        instances: flow.instances().clone(),
+    };
+    sessions.live.insert(session, Session { requirement, flow });
+    shared.metrics.served();
+    Response::Federated(summary)
+}
+
+/// Applies one mutation under the write lock, then repairs every session
+/// against the new topology — sFlow's agility as a server operation.
+fn mutate(shared: &Shared, mutation: &crate::Mutation) -> Response {
+    let mut world = shared.world.write();
+    if let Err(e) = world.apply(mutation) {
+        shared.metrics.failed();
+        return Response::Error(e.to_string());
+    }
+    let epoch = world.epoch();
+    // The epoch tag already invalidates the cached matrix; dropping it
+    // eagerly also frees the memory of a large stale matrix right away.
+    *shared.hop_cache.lock() = None;
+
+    let ctx = world.context();
+    let mut sessions = shared.sessions.lock();
+    let mut repaired = 0;
+    let mut dropped = Vec::new();
+    for (&id, session) in sessions.live.iter_mut() {
+        match repair(&ctx, &session.requirement, &session.flow) {
+            Ok(outcome) => {
+                session.flow = outcome.flow;
+                repaired += 1;
+            }
+            Err(_) => dropped.push(id),
+        }
+    }
+    for id in &dropped {
+        sessions.live.remove(id);
+    }
+    Response::Mutated {
+        epoch,
+        repaired,
+        dropped: dropped.len(),
+    }
+}

@@ -1,0 +1,157 @@
+//! Server counters and request-latency percentiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// How many recent request latencies the percentile window keeps. Old
+/// samples are overwritten ring-buffer style, so percentiles track recent
+/// behaviour on a long-lived server instead of averaging over its lifetime.
+const LATENCY_WINDOW: usize = 4096;
+
+/// A point-in-time copy of the server's counters, as carried on the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Federate requests answered with a flow.
+    pub served: u64,
+    /// Requests shed by admission control (`Overloaded`).
+    pub shed: u64,
+    /// Admitted requests that failed (parse error, unsatisfiable, …).
+    pub failed: u64,
+    /// Solves that reused the shared epoch-tagged `HopMatrix`.
+    pub cache_hits: u64,
+    /// Solves that had to (re)build it — first use, or first after a
+    /// mutation invalidated it.
+    pub cache_misses: u64,
+    /// Current topology epoch.
+    pub epoch: u64,
+    /// Live sessions held by the server.
+    pub sessions: u64,
+    /// Median request latency over the recent window, microseconds.
+    pub latency_p50_us: u64,
+    /// 90th-percentile request latency, microseconds.
+    pub latency_p90_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub latency_p99_us: u64,
+}
+
+/// Shared, interior-mutable counters. Workers record; any connection thread
+/// snapshots.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    served: AtomicU64,
+    shed: AtomicU64,
+    failed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    latencies_us: Mutex<LatencyWindow>,
+}
+
+#[derive(Debug, Default)]
+struct LatencyWindow {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl Metrics {
+    /// One request served successfully.
+    pub fn served(&self) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request shed by admission control.
+    pub fn shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One admitted request failed.
+    pub fn failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One solve reused the shared hop matrix.
+    pub fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One solve had to build the hop matrix.
+    pub fn cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request's end-to-end service latency.
+    pub fn record_latency_us(&self, us: u64) {
+        let mut w = self.latencies_us.lock();
+        if w.samples.len() < LATENCY_WINDOW {
+            w.samples.push(us);
+        } else {
+            let i = w.next;
+            w.samples[i] = us;
+        }
+        w.next = (w.next + 1) % LATENCY_WINDOW;
+    }
+
+    /// Snapshots every counter; `epoch` and `sessions` come from the world
+    /// and session store the caller holds.
+    pub fn snapshot(&self, epoch: u64, sessions: u64) -> StatsSnapshot {
+        let mut sorted = self.latencies_us.lock().samples.clone();
+        sorted.sort_unstable();
+        StatsSnapshot {
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            epoch,
+            sessions,
+            latency_p50_us: percentile(&sorted, 50),
+            latency_p90_us: percentile(&sorted, 90),
+            latency_p99_us: percentile(&sorted, 99),
+        }
+    }
+}
+
+/// Nearest-rank percentile over an already sorted slice; 0 when empty.
+fn percentile(sorted: &[u64], pct: u32) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (pct as usize * (sorted.len() - 1) + 50) / 100;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_the_window() {
+        let m = Metrics::default();
+        for us in 1..=100 {
+            m.record_latency_us(us);
+        }
+        let s = m.snapshot(3, 7);
+        assert_eq!(s.epoch, 3);
+        assert_eq!(s.sessions, 7);
+        assert_eq!(s.latency_p50_us, 51); // round-half-up nearest rank
+        assert_eq!(s.latency_p90_us, 90);
+        assert_eq!(s.latency_p99_us, 99);
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[42], 99), 42);
+    }
+
+    #[test]
+    fn window_overwrites_oldest_samples() {
+        let m = Metrics::default();
+        for _ in 0..LATENCY_WINDOW {
+            m.record_latency_us(1_000_000);
+        }
+        // A full window of fast requests displaces the slow prefix.
+        for _ in 0..LATENCY_WINDOW {
+            m.record_latency_us(10);
+        }
+        let s = m.snapshot(0, 0);
+        assert_eq!(s.latency_p99_us, 10);
+    }
+}

@@ -1,0 +1,160 @@
+//! Framing: length-prefixed JSON over any `Read`/`Write` transport.
+//!
+//! Each frame is a big-endian `u32` byte length followed by exactly that many
+//! bytes of compact JSON. The length prefix makes message boundaries explicit
+//! on a stream transport; the [`MAX_FRAME`] guard bounds what a peer can make
+//! the server allocate.
+
+use std::io::{self, ErrorKind, Read, Write};
+
+use serde::de::FromContent;
+use serde::Serialize;
+
+/// Upper bound on a frame's payload, in bytes (1 MiB). A selection over even
+/// a very large overlay is a few kilobytes of JSON; anything bigger is a
+/// protocol error, not a workload.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Serialises `value` as one frame onto `w`.
+///
+/// # Errors
+///
+/// I/O errors from the transport, or `InvalidData` if `value` exceeds
+/// [`MAX_FRAME`] once encoded.
+pub fn write_frame<T: Serialize>(w: &mut impl Write, value: &T) -> io::Result<()> {
+    let body = serde_json::to_string(value)
+        .map_err(|e| io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+    if body.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds MAX_FRAME", body.len()),
+        ));
+    }
+    let len = (body.len() as u32).to_be_bytes();
+    w.write_all(&len)?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame from `r` and deserialises it.
+///
+/// Returns `Ok(None)` on a clean end of stream (EOF before the first prefix
+/// byte) — how a client hanging up between requests looks to the server.
+///
+/// # Errors
+///
+/// I/O errors from the transport (including timeouts, which callers use to
+/// poll a shutdown flag), `UnexpectedEof` mid-frame, `InvalidData` on an
+/// oversized prefix or malformed JSON.
+pub fn read_frame<T: FromContent>(r: &mut impl Read) -> io::Result<Option<T>> {
+    let mut prefix = [0u8; 4];
+    match read_exact_or_eof(r, &mut prefix, false)? {
+        0 => return Ok(None),
+        4 => {}
+        _ => return Err(ErrorKind::UnexpectedEof.into()),
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            ErrorKind::InvalidData,
+            format!("frame prefix of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    if read_exact_or_eof(r, &mut body, true)? != len {
+        return Err(ErrorKind::UnexpectedEof.into());
+    }
+    let text = String::from_utf8(body)
+        .map_err(|e| io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+    let value = serde_json::from_str(&text)
+        .map_err(|e| io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+    Ok(Some(value))
+}
+
+/// How many consecutive read-timeout ticks a mid-frame stall may last before
+/// the peer is declared dead. The server polls its shutdown flag with a
+/// 100 ms read timeout, so this bounds a stalled frame at roughly a minute.
+const MAX_MID_FRAME_STALLS: u32 = 600;
+
+/// Like `read_exact`, but distinguishes EOF-at-the-start (returns `0`) from
+/// EOF-mid-buffer (returns the partial count) so the caller can tell a
+/// closed-down peer from a truncated frame.
+///
+/// Transports with a read timeout surface idle periods as
+/// `WouldBlock`/`TimedOut`. At a frame boundary (`mid_frame == false`,
+/// nothing read yet) that is returned to the caller as an idle tick; once
+/// any byte of the frame has arrived — or the prefix already did — the
+/// timeout only means the peer is slow, so the read resumes (bounded by
+/// [`MAX_MID_FRAME_STALLS`]) instead of tearing the stream mid-frame.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8], mid_frame: bool) -> io::Result<usize> {
+    let mut filled = 0;
+    let mut stalls = 0u32;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(filled),
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if !mid_frame && filled == 0 {
+                    return Err(e); // idle between frames
+                }
+                stalls += 1;
+                if stalls > MAX_MID_FRAME_STALLS {
+                    return Err(e);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Algorithm, Request};
+
+    #[test]
+    fn frames_round_trip() {
+        let req = Request::Federate {
+            requirement: "0>1>3, 0>2>3".into(),
+            algorithm: Algorithm::Sflow,
+            hop_limit: Some(2),
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        assert_eq!(buf.len(), 4 + u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize);
+        let back: Request = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let empty: &[u8] = &[];
+        let got: Option<Request> = read_frame(&mut &*empty).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Stats).unwrap();
+        buf.truncate(buf.len() - 1);
+        let err = read_frame::<Request>(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::UnexpectedEof);
+        // A torn length prefix is also an error, not a clean EOF.
+        let err = read_frame::<Request>(&mut &buf[..2]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected() {
+        let mut buf = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"x");
+        let err = read_frame::<Request>(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,231 @@
+//! The server's shared world: topology, routing table, topology epoch.
+//!
+//! A [`World`] owns everything a [`FederationContext`] borrows (like
+//! [`Fixture`], which it is built from) plus a monotonically increasing
+//! *topology epoch*. Mutations rebuild the derived routing artifacts and bump
+//! the epoch; epoch-tagged caches elsewhere (the server's shared
+//! [`HopMatrix`](sflow_core::baseline::HopMatrix)) use the bump as their
+//! invalidation signal.
+
+use sflow_core::fixtures::Fixture;
+use sflow_core::FederationContext;
+use sflow_graph::NodeIx;
+use sflow_net::{OverlayGraph, ServiceInstance, UnderlyingNetwork};
+use sflow_routing::{AllPairs, Bandwidth, Latency, Qos};
+
+use crate::Mutation;
+
+/// A mutation that could not be applied; the world is left untouched and the
+/// epoch is not bumped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorldError {
+    /// The named instance is not (or no longer) in the overlay.
+    UnknownInstance(ServiceInstance),
+    /// No service link exists between the two instances.
+    NoSuchLink(ServiceInstance, ServiceInstance),
+    /// Refusing to fail the pinned source instance — it is the consumer's
+    /// entry point, and every context needs it.
+    SourceUnfailable(ServiceInstance),
+}
+
+impl std::fmt::Display for WorldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorldError::UnknownInstance(i) => write!(f, "unknown instance {i}"),
+            WorldError::NoSuchLink(a, b) => write!(f, "no service link {a} -> {b}"),
+            WorldError::SourceUnfailable(i) => {
+                write!(f, "cannot fail the source instance {i}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorldError {}
+
+/// The shared world a federation server owns.
+#[derive(Clone, Debug)]
+pub struct World {
+    net: UnderlyingNetwork,
+    overlay: OverlayGraph,
+    all_pairs: AllPairs,
+    source: ServiceInstance,
+    source_node: NodeIx,
+    epoch: u64,
+}
+
+impl World {
+    /// Adopts a fixture as the world at epoch 0.
+    pub fn new(fixture: Fixture) -> Self {
+        let source = fixture.overlay.instance(fixture.source);
+        World {
+            net: fixture.net,
+            overlay: fixture.overlay,
+            all_pairs: fixture.all_pairs,
+            source,
+            source_node: fixture.source,
+            epoch: 0,
+        }
+    }
+
+    /// A federation context borrowing this world's current topology.
+    pub fn context(&self) -> FederationContext<'_> {
+        FederationContext::new(&self.overlay, &self.all_pairs, self.source_node)
+    }
+
+    /// The current service overlay.
+    pub fn overlay(&self) -> &OverlayGraph {
+        &self.overlay
+    }
+
+    /// The underlying physical network (unchanged by overlay mutations).
+    pub fn net(&self) -> &UnderlyingNetwork {
+        &self.net
+    }
+
+    /// The pinned source instance (survives every mutation).
+    pub fn source(&self) -> ServiceInstance {
+        self.source
+    }
+
+    /// The topology epoch: 0 at birth, +1 per applied mutation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Applies one mutation: updates the overlay, rebuilds the [`AllPairs`]
+    /// table, re-pins the source and bumps the epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WorldError`] (and leaves the world untouched) if the
+    /// mutation names an unknown instance or link, or would fail the source.
+    pub fn apply(&mut self, mutation: &Mutation) -> Result<(), WorldError> {
+        match *mutation {
+            Mutation::SetLinkQos {
+                from,
+                to,
+                bandwidth_kbps,
+                latency_us,
+            } => {
+                let f = self
+                    .overlay
+                    .node_of(from)
+                    .ok_or(WorldError::UnknownInstance(from))?;
+                let t = self
+                    .overlay
+                    .node_of(to)
+                    .ok_or(WorldError::UnknownInstance(to))?;
+                let qos = Qos::new(
+                    Bandwidth::kbps(bandwidth_kbps),
+                    Latency::from_micros(latency_us),
+                );
+                if !self.overlay.set_link_qos(f, t, qos) {
+                    return Err(WorldError::NoSuchLink(from, to));
+                }
+            }
+            Mutation::FailInstance { instance } => {
+                if instance == self.source {
+                    return Err(WorldError::SourceUnfailable(instance));
+                }
+                if self.overlay.node_of(instance).is_none() {
+                    return Err(WorldError::UnknownInstance(instance));
+                }
+                // Failure rebuilds the overlay and renumbers its nodes; the
+                // source must be re-resolved by identity.
+                self.overlay = self.overlay.without_instances(&[instance]);
+                self.source_node = self
+                    .overlay
+                    .node_of(self.source)
+                    .expect("source survives non-source failure");
+            }
+        }
+        self.all_pairs = self.overlay.all_pairs();
+        self.epoch += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sflow_core::algorithms::{FederationAlgorithm, SflowAlgorithm};
+    use sflow_core::fixtures::{diamond_fixture, diamond_requirement};
+    use sflow_net::{HostId, ServiceId};
+
+    fn inst(s: u32, h: u32) -> ServiceInstance {
+        ServiceInstance::new(ServiceId::new(s), HostId::new(h))
+    }
+
+    #[test]
+    fn mutations_bump_the_epoch_and_keep_contexts_solvable() {
+        let mut w = World::new(diamond_fixture());
+        assert_eq!(w.epoch(), 0);
+        let req = diamond_requirement();
+        let before = SflowAlgorithm::default()
+            .federate(&w.context(), &req)
+            .unwrap();
+
+        // Fail the instance the sFlow solution routes through; the solve
+        // must still succeed over the degraded world.
+        let &victim = before
+            .instances()
+            .values()
+            .find(|i| **i != w.source())
+            .unwrap();
+        w.apply(&Mutation::FailInstance { instance: victim }).unwrap();
+        assert_eq!(w.epoch(), 1);
+        assert!(w.overlay().node_of(victim).is_none());
+        let after = SflowAlgorithm::default()
+            .federate(&w.context(), &req)
+            .unwrap();
+        assert!(after.bandwidth() <= before.bandwidth());
+    }
+
+    #[test]
+    fn bad_mutations_leave_the_world_untouched() {
+        let mut w = World::new(diamond_fixture());
+        let source = w.source();
+        assert_eq!(
+            w.apply(&Mutation::FailInstance { instance: source }),
+            Err(WorldError::SourceUnfailable(source))
+        );
+        assert_eq!(
+            w.apply(&Mutation::FailInstance {
+                instance: inst(9, 9)
+            }),
+            Err(WorldError::UnknownInstance(inst(9, 9)))
+        );
+        assert_eq!(w.epoch(), 0);
+    }
+
+    #[test]
+    fn set_link_qos_requires_an_existing_link() {
+        let mut w = World::new(diamond_fixture());
+        // The diamond's source feeds both s1 and s2; pick a real link.
+        let ctx = w.context();
+        let overlay = ctx.overlay();
+        let from_node = ctx.source_instance();
+        let link = overlay.graph().out_edges(from_node).next().unwrap();
+        let from = overlay.instance(link.from);
+        let to = overlay.instance(link.to);
+        drop(ctx);
+        w.apply(&Mutation::SetLinkQos {
+            from,
+            to,
+            bandwidth_kbps: 1,
+            latency_us: 99,
+        })
+        .unwrap();
+        assert_eq!(w.epoch(), 1);
+        // Reverse direction does not exist in the diamond.
+        assert_eq!(
+            w.apply(&Mutation::SetLinkQos {
+                from: to,
+                to: from,
+                bandwidth_kbps: 1,
+                latency_us: 1,
+            }),
+            Err(WorldError::NoSuchLink(to, from))
+        );
+    }
+}

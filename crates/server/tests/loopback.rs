@@ -1,0 +1,213 @@
+//! Loopback integration tests: the acceptance criteria of the server
+//! subsystem, exercised over real TCP.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+use std::time::Duration;
+
+use sflow_core::algorithms::{FederationAlgorithm, SflowAlgorithm};
+use sflow_core::fixtures::{diamond_fixture, diamond_requirement};
+use sflow_server::{
+    serve, Algorithm, Client, Mutation, Request, Response, ServerConfig, World,
+};
+
+const DIAMOND_SPEC: &str = "0>1>3, 0>2>3";
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 30; // 4 × 30 = 120 ≥ 100
+
+/// ≥ 100 federations from ≥ 4 concurrent clients, every response equal to
+/// the centralized result; cache hits accumulate; a mutation bumps the
+/// epoch and invalidates the cache.
+#[test]
+fn concurrent_clients_match_the_centralized_result() {
+    let fixture = diamond_fixture();
+    let expected = SflowAlgorithm::default()
+        .federate(&fixture.context(), &diamond_requirement())
+        .unwrap();
+    let expected_kbps = expected.quality().bandwidth.as_kbps();
+    assert_eq!(expected_kbps, 80, "diamond fixture sanity");
+
+    let handle = serve(World::new(fixture), &ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for _ in 0..REQUESTS_PER_CLIENT {
+                    match client
+                        .federate(DIAMOND_SPEC, Algorithm::Sflow, Some(2))
+                        .unwrap()
+                    {
+                        Response::Federated(summary) => {
+                            assert_eq!(summary.bandwidth_kbps, expected_kbps);
+                            assert_eq!(summary.epoch, 0);
+                            assert_eq!(summary.instances.len(), 4);
+                        }
+                        other => panic!("expected Federated, got {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.served, (CLIENTS * REQUESTS_PER_CLIENT) as u64);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.epoch, 0);
+    assert_eq!(stats.sessions, (CLIENTS * REQUESTS_PER_CLIENT) as u64);
+    assert!(
+        stats.cache_hits > 0,
+        "the shared hop matrix must be reused: {stats:?}"
+    );
+    assert!(stats.cache_misses >= 1);
+    assert!(stats.latency_p50_us <= stats.latency_p99_us);
+
+    // Mutate: fail an instance the sessions route through. The epoch bumps,
+    // the hop-matrix cache invalidates, and sessions are repaired.
+    let world_probe = diamond_fixture();
+    let victim = *expected
+        .instances()
+        .values()
+        .find(|i| **i != world_probe.overlay.instance(world_probe.source))
+        .unwrap();
+    match client
+        .mutate(Mutation::FailInstance { instance: victim })
+        .unwrap()
+    {
+        Response::Mutated {
+            epoch,
+            repaired,
+            dropped,
+        } => {
+            assert_eq!(epoch, 1);
+            assert_eq!(
+                repaired + dropped,
+                CLIENTS * REQUESTS_PER_CLIENT,
+                "every session is accounted for"
+            );
+        }
+        other => panic!("expected Mutated, got {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.epoch, 1, "mutation must bump the epoch");
+
+    // The next horizon-limited solve rebuilds the matrix for the new epoch.
+    let misses_before = stats.cache_misses;
+    match client
+        .federate(DIAMOND_SPEC, Algorithm::Sflow, Some(2))
+        .unwrap()
+    {
+        Response::Federated(summary) => assert_eq!(summary.epoch, 1),
+        other => panic!("expected Federated after mutation, got {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.cache_misses,
+        misses_before + 1,
+        "epoch bump must invalidate the hop-matrix cache"
+    );
+
+    handle.shutdown();
+}
+
+/// A full admission queue sheds with an explicit `Overloaded` — no hangs,
+/// no panics — while at least one admitted request completes.
+#[test]
+fn full_admission_queue_sheds_explicitly() {
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        debug_delay: Some(Duration::from_millis(300)),
+        ..ServerConfig::default()
+    };
+    let handle = serve(World::new(diamond_fixture()), &config).unwrap();
+    let addr = handle.addr();
+
+    let served = AtomicUsize::new(0);
+    let shed = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                let mut client = Client::connect(addr).unwrap();
+                match client
+                    .federate(DIAMOND_SPEC, Algorithm::Sflow, Some(2))
+                    .unwrap()
+                {
+                    Response::Federated(_) => {
+                        served.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Response::Overloaded => {
+                        shed.fetch_add(1, Ordering::SeqCst);
+                    }
+                    other => panic!("unexpected response under overload: {other:?}"),
+                }
+            });
+        }
+    });
+    assert!(
+        served.load(Ordering::SeqCst) >= 1,
+        "admitted requests must still complete"
+    );
+    assert!(
+        shed.load(Ordering::SeqCst) >= 1,
+        "a full queue must shed explicitly"
+    );
+
+    // Stats stays answerable under (residual) load and records the sheds.
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.shed as usize, shed.load(Ordering::SeqCst));
+
+    handle.shutdown();
+}
+
+/// The wire protocol answers errors rather than dying: bad requirements,
+/// unknown instances, control requests, then a clean shutdown frame.
+#[test]
+fn errors_and_shutdown_over_the_wire() {
+    let handle = serve(World::new(diamond_fixture()), &ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    match client.federate("0>x", Algorithm::Sflow, None).unwrap() {
+        Response::Error(msg) => assert!(msg.contains("bad requirement"), "{msg}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // Unsatisfiable over this overlay: service 9 has no instances.
+    match client.federate("0>9", Algorithm::Sflow, None).unwrap() {
+        Response::Error(_) => {}
+        other => panic!("expected Error, got {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.failed, 2);
+    assert_eq!(stats.served, 0);
+
+    // Global and baseline algorithms serve over the same wire.
+    for algorithm in [Algorithm::Global, Algorithm::Fixed, Algorithm::ServicePath] {
+        match client.federate(DIAMOND_SPEC, algorithm, None).unwrap() {
+            Response::Federated(summary) => assert!(summary.bandwidth_kbps > 0),
+            other => panic!("{algorithm:?} failed: {other:?}"),
+        }
+    }
+
+    assert_eq!(client.shutdown().unwrap(), Response::ShuttingDown);
+    handle.shutdown();
+
+    // A request too large for one frame is rejected client-side.
+    let huge = "0>1,".repeat(1 << 19);
+    let handle = serve(World::new(diamond_fixture()), &ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let err = client
+        .request(&Request::Federate {
+            requirement: huge,
+            algorithm: Algorithm::Sflow,
+            hop_limit: None,
+        })
+        .unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    handle.shutdown();
+}

@@ -186,7 +186,7 @@ impl ProtocolNode {
     ) -> Result<Selection, FederationError> {
         let mut solver = Solver::new(ctx);
         if let (Some(limit), Some(matrix)) = (self.hop_limit, self.hop_matrix.clone()) {
-            solver = solver.with_shared_hop_matrix(limit, matrix);
+            solver = solver.with_hop_matrix(limit, matrix);
         }
         let plan = Plan::analyze(residual);
         let mut work = self.pins.clone();

@@ -43,6 +43,8 @@ fn main() -> ExitCode {
         "world" => world(&flags),
         "federate" => federate(&flags),
         "proof" => proof(&flags),
+        "serve" => serve(&flags),
+        "request" => request(&flags),
         _ => return usage(),
     };
     match result {
@@ -67,7 +69,16 @@ fn usage() -> ExitCode {
          \x20            [--shape path|disjoint|tree|dag] [--edges \"0>1>3,0>2>3\"]\n\
          \x20            [--dot] [--distributed]\n\
          \x20 proof      Theorem 1 round-trip on a random CNF formula\n\
-         \x20            [--vars N] [--clauses M] [--seed S]"
+         \x20            [--vars N] [--clauses M] [--seed S]\n\
+         \x20 serve      run the federation server (default world: Fig. 4)\n\
+         \x20            [--addr IP:PORT] [--workers N] [--queue D]\n\
+         \x20            [--hosts N --services K --instances M --seed S]\n\
+         \x20 request    talk to a running server\n\
+         \x20            --addr IP:PORT --edges \"0>1>3,0>2>3\"\n\
+         \x20            [--algorithm sflow|global|fixed|service-path]\n\
+         \x20            [--hop-limit H | --full-view]\n\
+         \x20            | --stats | --shutdown | --fail S/H\n\
+         \x20            | --set-link \"S/H>S/H\" --bandwidth KBPS --latency US"
     );
     ExitCode::FAILURE
 }
@@ -82,7 +93,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("unexpected argument {a}"));
         };
         match key {
-            "dot" | "distributed" => {
+            "dot" | "distributed" | "stats" | "shutdown" | "full-view" => {
                 flags.insert(key.into(), "true".into());
             }
             _ => {
@@ -246,6 +257,170 @@ fn federate(flags: &Flags) -> Result<(), String> {
         println!("\n{}", flow.to_dot());
     }
     Ok(())
+}
+
+fn serve(flags: &Flags) -> Result<(), String> {
+    use sflow::server::{serve_on, ServerConfig, World};
+    let addr = flags
+        .get("addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:0");
+    let config = ServerConfig {
+        workers: get(flags, "workers", ServerConfig::default().workers)?,
+        queue_depth: get(flags, "queue", ServerConfig::default().queue_depth)?,
+        ..ServerConfig::default()
+    };
+    // Default world: the paper's Fig. 4. With --hosts, a seeded random world
+    // with universal compatibility, so any requirement over its services can
+    // be federated.
+    let fixture = match flags.get("hosts") {
+        None => paper_fig4_fixture(),
+        Some(_) => {
+            let hosts = get(flags, "hosts", 30usize)?;
+            let services = get(flags, "services", 6u32)?;
+            let instances = get(flags, "instances", 3usize)?;
+            let seed = get(flags, "seed", 1u64)?;
+            let sids: Vec<sflow::ServiceId> = (0..services).map(sflow::ServiceId::new).collect();
+            sflow::core::fixtures::random_fixture(hosts, &sids, instances, None, seed)
+        }
+    };
+    let world = World::new(fixture);
+    println!(
+        "world: {} instances, {} service links, source {}",
+        world.overlay().instance_count(),
+        world.overlay().link_count(),
+        world.source()
+    );
+    let handle = serve_on(addr, world, &config).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "sflow-server listening on {} ({} workers, queue depth {})",
+        handle.addr(),
+        config.workers,
+        config.queue_depth
+    );
+    handle.wait();
+    println!("sflow-server stopped");
+    Ok(())
+}
+
+/// Parses an instance written as `S/H` (also tolerating `s1/h5`).
+fn parse_instance(text: &str) -> Result<sflow::ServiceInstance, String> {
+    let (s, h) = text
+        .split_once('/')
+        .ok_or_else(|| format!("bad instance {text:?}: want S/H, e.g. 1/5"))?;
+    let sid: u32 = s
+        .trim()
+        .trim_start_matches('s')
+        .parse()
+        .map_err(|_| format!("bad service id in {text:?}"))?;
+    let hid: u32 = h
+        .trim()
+        .trim_start_matches('h')
+        .parse()
+        .map_err(|_| format!("bad host id in {text:?}"))?;
+    Ok(sflow::ServiceInstance::new(
+        sflow::ServiceId::new(sid),
+        sflow::HostId::new(hid),
+    ))
+}
+
+fn request(flags: &Flags) -> Result<(), String> {
+    use sflow::server::{Algorithm, Client, Mutation, Response};
+    let addr = flags.get("addr").ok_or("request needs --addr")?;
+    let mut client = Client::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
+
+    if flags.contains_key("stats") {
+        let s = client.stats().map_err(|e| e.to_string())?;
+        println!(
+            "epoch {}  sessions {}  served {}  shed {}  failed {}",
+            s.epoch, s.sessions, s.served, s.shed, s.failed
+        );
+        println!(
+            "hop-matrix cache: {} hits / {} misses",
+            s.cache_hits, s.cache_misses
+        );
+        println!(
+            "latency: p50 {} µs  p90 {} µs  p99 {} µs",
+            s.latency_p50_us, s.latency_p90_us, s.latency_p99_us
+        );
+        return Ok(());
+    }
+    if flags.contains_key("shutdown") {
+        let resp = client.shutdown().map_err(|e| e.to_string())?;
+        println!("{resp:?}");
+        return Ok(());
+    }
+    if let Some(victim) = flags.get("fail") {
+        let instance = parse_instance(victim)?;
+        let resp = client
+            .mutate(Mutation::FailInstance { instance })
+            .map_err(|e| e.to_string())?;
+        return print_mutated(&resp);
+    }
+    if let Some(link) = flags.get("set-link") {
+        let (from, to) = link
+            .split_once('>')
+            .ok_or_else(|| format!("bad --set-link {link:?}: want S/H>S/H"))?;
+        let resp = client
+            .mutate(Mutation::SetLinkQos {
+                from: parse_instance(from)?,
+                to: parse_instance(to)?,
+                bandwidth_kbps: get(flags, "bandwidth", 0u64)?,
+                latency_us: get(flags, "latency", 0u64)?,
+            })
+            .map_err(|e| e.to_string())?;
+        return print_mutated(&resp);
+    }
+
+    let spec = flags
+        .get("edges")
+        .ok_or("request needs --edges (or --stats/--shutdown/--fail/--set-link)")?;
+    let algorithm = match flags.get("algorithm").map(String::as_str).unwrap_or("sflow") {
+        "sflow" => Algorithm::Sflow,
+        "global" => Algorithm::Global,
+        "fixed" => Algorithm::Fixed,
+        "service-path" => Algorithm::ServicePath,
+        other => return Err(format!("unknown algorithm {other}")),
+    };
+    let hop_limit = if flags.contains_key("full-view") {
+        None
+    } else {
+        Some(get(flags, "hop-limit", 2usize)?)
+    };
+    match client
+        .federate(spec, algorithm, hop_limit)
+        .map_err(|e| e.to_string())?
+    {
+        Response::Federated(s) => {
+            println!(
+                "federated: session {} epoch {}  {} kbit/s, {} µs",
+                s.session, s.epoch, s.bandwidth_kbps, s.latency_us
+            );
+            for (service, instance) in &s.instances {
+                println!("  {service} -> {instance}");
+            }
+            Ok(())
+        }
+        Response::Overloaded => Err("server overloaded; request shed".into()),
+        Response::Error(msg) => Err(msg),
+        other => Err(format!("unexpected response {other:?}")),
+    }
+}
+
+fn print_mutated(resp: &sflow::server::Response) -> Result<(), String> {
+    use sflow::server::Response;
+    match resp {
+        Response::Mutated {
+            epoch,
+            repaired,
+            dropped,
+        } => {
+            println!("mutated: epoch {epoch}, {repaired} sessions repaired, {dropped} dropped");
+            Ok(())
+        }
+        Response::Error(msg) => Err(msg.clone()),
+        other => Err(format!("unexpected response {other:?}")),
+    }
 }
 
 fn proof(flags: &Flags) -> Result<(), String> {

@@ -19,6 +19,7 @@
 //! | threaded actor deployment | `sflow-runtime` | [`runtime`] |
 //! | executable NP-completeness proof (Theorem 1) | `sflow-sat` | [`sat`] |
 //! | experiment harness (Fig. 10 + ablations) | `sflow-workload` | [`workload`] |
+//! | resident federation service (TCP, admission control) | `sflow-server` | [`server`] |
 //!
 //! The most common entry points are re-exported at the crate root.
 //!
@@ -52,6 +53,7 @@ pub use sflow_net as net;
 pub use sflow_routing as routing;
 pub use sflow_runtime as runtime;
 pub use sflow_sat as sat;
+pub use sflow_server as server;
 pub use sflow_sim as sim;
 pub use sflow_workload as workload;
 

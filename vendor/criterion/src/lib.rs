@@ -1,0 +1,244 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/` rationale in
+//! the workspace README).
+//!
+//! Provides the macro and type surface the workspace's benches compile
+//! against — `criterion_group!`/`criterion_main!`, `Criterion`,
+//! `BenchmarkId`, groups, `Bencher::iter` — with a simple wall-clock
+//! harness: per benchmark it calibrates an iteration count to a small time
+//! budget, runs `sample_size` samples, and prints min/mean/max per
+//! iteration. No statistical analysis, plots, or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target time per sample; keeps full bench runs fast while still giving
+/// multi-iteration samples for sub-millisecond benchmarks.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(20);
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.criterion.sample_size, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (reporting happens per benchmark; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` for the iteration count chosen by the harness.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibration: run single iterations until the budget suggests a count.
+    let mut bencher = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let once = bencher.elapsed.max(Duration::from_nanos(1));
+    let per_sample = (SAMPLE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut totals = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher {
+            iterations: per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        totals.push(bencher.elapsed.as_nanos() as f64 / per_sample as f64);
+    }
+    let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = totals.iter().cloned().fold(0.0f64, f64::max);
+    let mean = totals.iter().sum::<f64>() / totals.len() as f64;
+    println!(
+        "{label:<60} time: [{} {} {}]  ({} samples x {} iters)",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max),
+        sample_size,
+        per_sample,
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, in either the positional or the
+/// `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.bench_function("plain", |b| b.iter(|| ()));
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(2);
+        targets = target
+    }
+
+    #[test]
+    fn harness_runs_groups() {
+        benches();
+    }
+}

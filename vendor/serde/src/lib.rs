@@ -1,0 +1,568 @@
+//! Offline stand-in for the `serde` crate (see `vendor/` rationale in the
+//! workspace README).
+//!
+//! Instead of serde's visitor-based zero-copy data model, this shim uses a
+//! single owned [`Content`] tree: `Serialize` renders a value *into* a
+//! `Content`, and `de::FromContent` rebuilds a value *from* one. The
+//! `serde_derive` shim generates impls of both, and the `serde_json` shim
+//! converts `Content` to and from JSON text. The observable conventions
+//! match real serde where this workspace depends on them:
+//!
+//! - newtype structs serialize transparently as their inner value;
+//! - struct fields appear in declaration order;
+//! - enums are externally tagged (`"Variant"` / `{"Variant": ...}`);
+//! - `Option` is `null` / the value, and tolerates missing struct fields;
+//! - map keys that are integers stringify at the JSON layer.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::Hash;
+use std::ops::RangeInclusive;
+use std::rc::Rc;
+use std::sync::Arc;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing tree every value serializes through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null` (unit, `None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered key-value map (struct fields, map entries).
+    Map(Vec<(Content, Content)>),
+}
+
+/// Renders a value into a [`Content`] tree. Infallible, mirroring how this
+/// workspace only serializes plain data types.
+pub trait Serialize {
+    /// Converts `self` to its serialized form.
+    fn to_content(&self) -> Content;
+}
+
+/// Serialization entry points, for `use serde::ser::...` compatibility.
+pub mod ser {
+    pub use crate::{Content, Serialize};
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+    )*};
+}
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<T: Serialize + Copy> Serialize for RangeInclusive<T> {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            (
+                Content::Str("start".to_owned()),
+                self.start().to_content(),
+            ),
+            (Content::Str("end".to_owned()), self.end().to_content()),
+        ])
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+pub mod de {
+    //! Reconstruction of values from [`Content`] trees, the shim's analogue
+    //! of serde's `Deserialize`. The derive macro generates impls of
+    //! [`FromContent`]; the helper functions here are its runtime library.
+
+    use super::*;
+    use std::fmt;
+
+    /// Error produced when a [`Content`] tree does not match the target type.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct ContentError(String);
+
+    impl ContentError {
+        /// Creates an error with the given message.
+        pub fn msg(message: impl Into<String>) -> Self {
+            ContentError(message.into())
+        }
+    }
+
+    impl fmt::Display for ContentError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for ContentError {}
+
+    /// Rebuilds a value from a [`Content`] tree.
+    pub trait FromContent: Sized {
+        /// Converts `content` into `Self`.
+        fn from_content(content: Content) -> Result<Self, ContentError>;
+
+        /// Called when a struct field named `field` is absent. `Option`
+        /// overrides this to produce `None`; everything else errors.
+        fn from_missing(field: &str) -> Result<Self, ContentError> {
+            Err(ContentError::msg(format!("missing field `{field}`")))
+        }
+    }
+
+    fn type_name(content: &Content) -> &'static str {
+        match content {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+
+    fn mismatch(expected: &str, got: &Content) -> ContentError {
+        ContentError::msg(format!("expected {expected}, found {}", type_name(got)))
+    }
+
+    /// Unwraps a map, for struct-style contents.
+    pub fn as_map(content: Content, what: &str) -> Result<Vec<(Content, Content)>, ContentError> {
+        match content {
+            Content::Map(m) => Ok(m),
+            other => Err(mismatch(&format!("map for {what}"), &other)),
+        }
+    }
+
+    /// Unwraps a sequence, for tuple-style contents.
+    pub fn as_seq(content: Content, what: &str) -> Result<Vec<Content>, ContentError> {
+        match content {
+            Content::Seq(s) => Ok(s),
+            other => Err(mismatch(&format!("sequence for {what}"), &other)),
+        }
+    }
+
+    /// Removes and converts the field `name` from a struct map (missing
+    /// fields defer to [`FromContent::from_missing`], so `Option` fields
+    /// tolerate absence).
+    pub fn take_field<T: FromContent>(
+        map: &mut Vec<(Content, Content)>,
+        name: &str,
+    ) -> Result<T, ContentError> {
+        match map
+            .iter()
+            .position(|(k, _)| matches!(k, Content::Str(s) if s == name))
+        {
+            Some(i) => T::from_content(map.remove(i).1),
+            None => T::from_missing(name),
+        }
+    }
+
+    /// Pulls the next element off a tuple sequence.
+    pub fn next_elem<T: FromContent>(
+        seq: &mut std::vec::IntoIter<Content>,
+        what: &str,
+    ) -> Result<T, ContentError> {
+        match seq.next() {
+            Some(c) => T::from_content(c),
+            None => Err(ContentError::msg(format!("too few elements for {what}"))),
+        }
+    }
+
+    /// Splits an externally tagged enum into `(variant, payload)`.
+    pub fn variant(content: Content, what: &str) -> Result<(String, Option<Content>), ContentError> {
+        match content {
+            Content::Str(tag) => Ok((tag, None)),
+            Content::Map(mut m) if m.len() == 1 => {
+                let (k, v) = m.pop().expect("length checked");
+                match k {
+                    Content::Str(tag) => Ok((tag, Some(v))),
+                    other => Err(mismatch(&format!("variant tag for {what}"), &other)),
+                }
+            }
+            other => Err(mismatch(&format!("variant of {what}"), &other)),
+        }
+    }
+
+    /// Unwraps the payload of a data-carrying enum variant.
+    pub fn payload(payload: Option<Content>, variant: &str) -> Result<Content, ContentError> {
+        payload.ok_or_else(|| ContentError::msg(format!("variant `{variant}` expects data")))
+    }
+
+    fn integer(content: Content, what: &str) -> Result<i128, ContentError> {
+        match content {
+            Content::U64(n) => Ok(i128::from(n)),
+            Content::I64(n) => Ok(i128::from(n)),
+            // Map keys arrive stringified from JSON.
+            Content::Str(s) => s
+                .parse::<i128>()
+                .map_err(|_| ContentError::msg(format!("invalid integer `{s}` for {what}"))),
+            other => Err(mismatch(what, &other)),
+        }
+    }
+
+    macro_rules! from_content_int {
+        ($($t:ty),*) => {$(
+            impl FromContent for $t {
+                fn from_content(content: Content) -> Result<Self, ContentError> {
+                    let n = integer(content, stringify!($t))?;
+                    <$t>::try_from(n).map_err(|_| {
+                        ContentError::msg(format!(
+                            "integer {n} out of range for {}",
+                            stringify!($t)
+                        ))
+                    })
+                }
+            }
+        )*};
+    }
+    from_content_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl FromContent for f64 {
+        fn from_content(content: Content) -> Result<Self, ContentError> {
+            match content {
+                Content::F64(v) => Ok(v),
+                Content::U64(n) => Ok(n as f64),
+                Content::I64(n) => Ok(n as f64),
+                other => Err(mismatch("f64", &other)),
+            }
+        }
+    }
+
+    impl FromContent for f32 {
+        fn from_content(content: Content) -> Result<Self, ContentError> {
+            f64::from_content(content).map(|v| v as f32)
+        }
+    }
+
+    impl FromContent for bool {
+        fn from_content(content: Content) -> Result<Self, ContentError> {
+            match content {
+                Content::Bool(b) => Ok(b),
+                other => Err(mismatch("bool", &other)),
+            }
+        }
+    }
+
+    impl FromContent for String {
+        fn from_content(content: Content) -> Result<Self, ContentError> {
+            match content {
+                Content::Str(s) => Ok(s),
+                other => Err(mismatch("string", &other)),
+            }
+        }
+    }
+
+    impl FromContent for () {
+        fn from_content(content: Content) -> Result<Self, ContentError> {
+            match content {
+                Content::Null => Ok(()),
+                other => Err(mismatch("null", &other)),
+            }
+        }
+    }
+
+    impl<T: FromContent> FromContent for Option<T> {
+        fn from_content(content: Content) -> Result<Self, ContentError> {
+            match content {
+                Content::Null => Ok(None),
+                other => T::from_content(other).map(Some),
+            }
+        }
+
+        fn from_missing(_field: &str) -> Result<Self, ContentError> {
+            Ok(None)
+        }
+    }
+
+    impl<T: FromContent> FromContent for Box<T> {
+        fn from_content(content: Content) -> Result<Self, ContentError> {
+            T::from_content(content).map(Box::new)
+        }
+    }
+
+    impl<T: FromContent> FromContent for Vec<T> {
+        fn from_content(content: Content) -> Result<Self, ContentError> {
+            as_seq(content, "Vec")?
+                .into_iter()
+                .map(T::from_content)
+                .collect()
+        }
+    }
+
+    impl<T: FromContent + Eq + Hash> FromContent for HashSet<T> {
+        fn from_content(content: Content) -> Result<Self, ContentError> {
+            as_seq(content, "HashSet")?
+                .into_iter()
+                .map(T::from_content)
+                .collect()
+        }
+    }
+
+    impl<T: FromContent + Ord> FromContent for BTreeSet<T> {
+        fn from_content(content: Content) -> Result<Self, ContentError> {
+            as_seq(content, "BTreeSet")?
+                .into_iter()
+                .map(T::from_content)
+                .collect()
+        }
+    }
+
+    impl<K: FromContent + Ord, V: FromContent> FromContent for BTreeMap<K, V> {
+        fn from_content(content: Content) -> Result<Self, ContentError> {
+            as_map(content, "BTreeMap")?
+                .into_iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect()
+        }
+    }
+
+    impl<K: FromContent + Eq + Hash, V: FromContent> FromContent for HashMap<K, V> {
+        fn from_content(content: Content) -> Result<Self, ContentError> {
+            as_map(content, "HashMap")?
+                .into_iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect()
+        }
+    }
+
+    impl<T: FromContent + Copy> FromContent for RangeInclusive<T> {
+        fn from_content(content: Content) -> Result<Self, ContentError> {
+            let mut m = as_map(content, "RangeInclusive")?;
+            let start: T = take_field(&mut m, "start")?;
+            let end: T = take_field(&mut m, "end")?;
+            Ok(start..=end)
+        }
+    }
+
+    macro_rules! from_content_tuple {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: FromContent),+> FromContent for ($($name,)+) {
+                fn from_content(content: Content) -> Result<Self, ContentError> {
+                    let mut seq = as_seq(content, "tuple")?.into_iter();
+                    let out = ($(next_elem::<$name>(&mut seq, "tuple")?,)+);
+                    if seq.next().is_some() {
+                        return Err(ContentError::msg("too many elements for tuple"));
+                    }
+                    Ok(out)
+                }
+            }
+        )*};
+    }
+    from_content_tuple! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::de::FromContent;
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(42u32.to_content(), Content::U64(42));
+        assert_eq!((-3i32).to_content(), Content::I64(-3));
+        assert_eq!(u32::from_content(Content::U64(42)), Ok(42));
+        assert_eq!(i32::from_content(Content::I64(-3)), Ok(-3));
+        assert!(u8::from_content(Content::U64(300)).is_err());
+        assert_eq!(
+            String::from_content(Content::Str("hi".into())),
+            Ok("hi".to_owned())
+        );
+    }
+
+    #[test]
+    fn option_handles_null_and_missing() {
+        assert_eq!(Option::<u32>::from_content(Content::Null), Ok(None));
+        assert_eq!(Option::<u32>::from_content(Content::U64(5)), Ok(Some(5)));
+        assert_eq!(Option::<u32>::from_missing("x"), Ok(None));
+        assert!(u32::from_missing("x").is_err());
+    }
+
+    #[test]
+    fn integer_keys_parse_from_strings() {
+        // JSON object keys are strings; integer types accept them.
+        assert_eq!(u32::from_content(Content::Str("17".into())), Ok(17));
+        let map = Content::Map(vec![(Content::Str("2".into()), Content::U64(9))]);
+        let m: std::collections::BTreeMap<u32, u64> = FromContent::from_content(map).unwrap();
+        assert_eq!(m[&2], 9);
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![1u64, 2, 3];
+        let c = v.to_content();
+        assert_eq!(Vec::<u64>::from_content(c), Ok(v));
+        let r = 3u64..=9;
+        assert_eq!(
+            std::ops::RangeInclusive::<u64>::from_content(r.to_content()),
+            Ok(r)
+        );
+        let pair = (4u32, true);
+        assert_eq!(<(u32, bool)>::from_content(pair.to_content()), Ok(pair));
+    }
+}

@@ -1,0 +1,478 @@
+//! Offline stand-in for `serde_derive` (see `vendor/` rationale in the
+//! workspace README).
+//!
+//! Generates impls of the Content-tree traits from the `serde` shim —
+//! `serde::Serialize` and `serde::de::FromContent` — for the item shapes
+//! this workspace actually derives: named structs, tuple structs (newtypes
+//! serialize transparently), unit structs, and externally tagged enums with
+//! unit / tuple / struct variants, all optionally generic over type
+//! parameters. Parsing is done directly on the `proc_macro` token stream
+//! (no `syn`/`quote`, which would drag in further dependencies); codegen
+//! assembles source text and re-parses it.
+//!
+//! Unsupported (loud panic rather than silent misbehaviour): `#[serde(...)]`
+//! attributes, `where` clauses, lifetime/const generics, unions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the Content-tree variant).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(&item, Trait::Serialize)
+}
+
+/// Derives deserialization: an impl of `serde::de::FromContent`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(&item, Trait::FromContent)
+}
+
+enum Trait {
+    Serialize,
+    FromContent,
+}
+
+struct Item {
+    name: String,
+    /// Type-parameter names, e.g. `["N", "E"]` for `DiGraph<N, E>`.
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => panic!("serde shim derive: expected struct or enum, found `{other}`"),
+    };
+    let name = expect_ident(&tokens, &mut pos);
+    let generics = parse_generics(&tokens, &mut pos);
+
+    if matches!(peek_ident(&tokens, pos).as_deref(), Some("where")) {
+        panic!("serde shim derive: `where` clauses are not supported (on `{name}`)");
+    }
+
+    let kind = if is_enum {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde shim derive: malformed enum `{name}`"),
+        }
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            _ => panic!("serde shim derive: malformed struct `{name}`"),
+        }
+    };
+
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *pos += 1; // '#'
+        match tokens.get(*pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *pos += 1,
+            _ => panic!("serde shim derive: malformed attribute"),
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(peek_ident(tokens, *pos).as_deref(), Some("pub")) {
+        *pos += 1;
+        // pub(crate), pub(super), ...
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn peek_ident(tokens: &[TokenTree], pos: usize) -> Option<String> {
+    match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `<A, B, ...>` if present, returning the parameter names.
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    *pos += 1;
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while depth > 0 {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => expect_param = true,
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                panic!("serde shim derive: lifetime generics are not supported")
+            }
+            Some(TokenTree::Ident(i)) if depth == 1 && expect_param => {
+                if i.to_string() == "const" {
+                    panic!("serde shim derive: const generics are not supported");
+                }
+                params.push(i.to_string());
+                expect_param = false;
+            }
+            Some(_) => {}
+            None => panic!("serde shim derive: unterminated generics"),
+        }
+        *pos += 1;
+    }
+    params
+}
+
+/// Parses `{ a: T, b: U, ... }` field names (types are skipped with `<>`
+/// depth tracking so commas inside generic arguments don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        fields.push(expect_ident(&tokens, &mut pos));
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde shim derive: expected `:` after field, found {other:?}"),
+        }
+        let mut depth = 0usize;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0usize;
+    let mut count = 1;
+    let mut last_was_comma = false;
+    for tok in &tokens {
+        last_was_comma = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if last_was_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde shim derive: explicit discriminants are not supported")
+            }
+            other => panic!("serde shim derive: unexpected token after variant: {other:?}"),
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn render(item: &Item, which: Trait) -> TokenStream {
+    let code = match which {
+        Trait::Serialize => render_serialize(item),
+        Trait::FromContent => render_from_content(item),
+    };
+    code.parse().expect("serde shim derive: generated code parses")
+}
+
+fn generics_decl(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let decl = item
+        .generics
+        .iter()
+        .map(|p| format!("{p}: {bound}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let use_ = item.generics.join(", ");
+    (format!("<{decl}>"), format!("<{use_}>"))
+}
+
+fn render_serialize(item: &Item) -> String {
+    let (impl_generics, ty_generics) = generics_decl(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::serde::Content::Str(::std::string::String::from(\"{f}\")), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Content::Map(::std::vec![{entries}])")
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_owned(),
+        Kind::Tuple(n) => {
+            let elems = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Content::Seq(::std::vec![{elems}])")
+        }
+        Kind::Unit => "::serde::Content::Null".to_owned(),
+        Kind::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| serialize_variant_arm(name, v))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl {impl_generics} ::serde::Serialize for {name} {ty_generics} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    let tag = format!("::serde::Content::Str(::std::string::String::from(\"{vname}\"))");
+    match &v.fields {
+        VariantFields::Unit => format!("{name}::{vname} => {tag},"),
+        VariantFields::Tuple(1) => format!(
+            "{name}::{vname}(__f0) => ::serde::Content::Map(::std::vec![({tag}, \
+             ::serde::Serialize::to_content(__f0))]),"
+        ),
+        VariantFields::Tuple(n) => {
+            let binds = (0..*n)
+                .map(|i| format!("__f{i}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let elems = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(__f{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{name}::{vname}({binds}) => ::serde::Content::Map(::std::vec![({tag}, \
+                 ::serde::Content::Seq(::std::vec![{elems}]))]),"
+            )
+        }
+        VariantFields::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::serde::Content::Str(::std::string::String::from(\"{f}\")), \
+                         ::serde::Serialize::to_content({f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(::std::vec![({tag}, \
+                 ::serde::Content::Map(::std::vec![{entries}]))]),"
+            )
+        }
+    }
+}
+
+fn render_from_content(item: &Item) -> String {
+    let (impl_generics, ty_generics) = generics_decl(item, "::serde::de::FromContent");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::take_field(&mut __m, \"{f}\")?,"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "let mut __m = ::serde::de::as_map(__content, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Kind::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::de::FromContent::from_content(__content)?))"
+        ),
+        Kind::Tuple(n) => {
+            let elems = (0..*n)
+                .map(|_| format!("::serde::de::next_elem(&mut __s, \"{name}\")?,"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            format!(
+                "let mut __s = ::serde::de::as_seq(__content, \"{name}\")?.into_iter();\n\
+                 ::std::result::Result::Ok({name}({elems}))"
+            )
+        }
+        Kind::Unit => format!("{{ let _ = __content; ::std::result::Result::Ok({name}) }}"),
+        Kind::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| from_content_variant_arm(name, v))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "let (__tag, __payload) = ::serde::de::variant(__content, \"{name}\")?;\n\
+                 match __tag.as_str() {{\n{arms}\n\
+                 __other => ::std::result::Result::Err(::serde::de::ContentError::msg(\
+                 ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl {impl_generics} ::serde::de::FromContent for {name} {ty_generics} {{\n\
+             fn from_content(__content: ::serde::Content) \
+             -> ::std::result::Result<Self, ::serde::de::ContentError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn from_content_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        VariantFields::Unit => {
+            format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+        }
+        VariantFields::Tuple(1) => format!(
+            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+             ::serde::de::FromContent::from_content(\
+             ::serde::de::payload(__payload, \"{vname}\")?)?)),"
+        ),
+        VariantFields::Tuple(n) => {
+            let elems = (0..*n)
+                .map(|_| format!("::serde::de::next_elem(&mut __s, \"{vname}\")?,"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            format!(
+                "\"{vname}\" => {{\n\
+                 let mut __s = ::serde::de::as_seq(\
+                 ::serde::de::payload(__payload, \"{vname}\")?, \"{vname}\")?.into_iter();\n\
+                 ::std::result::Result::Ok({name}::{vname}({elems}))\n}}"
+            )
+        }
+        VariantFields::Named(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::take_field(&mut __m, \"{f}\")?,"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "\"{vname}\" => {{\n\
+                 let mut __m = ::serde::de::as_map(\
+                 ::serde::de::payload(__payload, \"{vname}\")?, \"{vname}\")?;\n\
+                 ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n}}"
+            )
+        }
+    }
+}

@@ -1,0 +1,666 @@
+//! Offline stand-in for `serde_json` (see `vendor/` rationale in the
+//! workspace README), built on the `serde` shim's [`Content`] tree.
+//!
+//! Matches real serde_json where this workspace observes it: compact
+//! `to_string` with no whitespace, struct fields in declaration order,
+//! newtype transparency, 2-space-indented `to_string_pretty`, stringified
+//! integer object keys, and a full JSON parser for `from_str`.
+
+#![forbid(unsafe_code)]
+
+use serde::de::{ContentError, FromContent};
+use serde::{Content, Serialize};
+use std::fmt;
+
+/// Error type for serialization and parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn msg(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ContentError> for Error {
+    fn from(e: ContentError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+}
+
+impl Number {
+    /// The value as `u64`, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U64(n) => Some(n),
+            Number::I64(n) => u64::try_from(n).ok(),
+            Number::F64(_) => None,
+        }
+    }
+
+    /// The value as `i64`, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U64(n) => i64::try_from(n).ok(),
+            Number::I64(n) => Some(n),
+            Number::F64(_) => None,
+        }
+    }
+
+    /// The value as `f64` (always representable, possibly lossily).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::U64(n) => Some(n as f64),
+            Number::I64(n) => Some(n as f64),
+            Number::F64(n) => Some(n),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::U64(n) => write!(f, "{n}"),
+            Number::I64(n) => write!(f, "{n}"),
+            Number::F64(n) => {
+                if n == n.trunc() && n.is_finite() && n.abs() < 1e15 {
+                    // Keep floats recognisable as floats, like serde_json.
+                    write!(f, "{n:.1}")
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+        }
+    }
+}
+
+/// A parsed or built JSON document. Objects preserve insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object; `None` for other shapes or absent keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a representable number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is a representable number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, index: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Array(items) => items.get(index).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_compact(self, &mut out);
+        f.write_str(&out)
+    }
+}
+
+// ------------------------------------------------------- Content <-> Value
+
+fn key_string(key: Content) -> Result<String, Error> {
+    match key {
+        Content::Str(s) => Ok(s),
+        Content::U64(n) => Ok(n.to_string()),
+        Content::I64(n) => Ok(n.to_string()),
+        Content::Bool(b) => Ok(b.to_string()),
+        other => Err(Error::msg(format!(
+            "map key must be a string or integer, got {other:?}"
+        ))),
+    }
+}
+
+fn content_to_value(content: Content) -> Result<Value, Error> {
+    Ok(match content {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(b),
+        Content::U64(n) => Value::Number(Number::U64(n)),
+        Content::I64(n) => Value::Number(Number::I64(n)),
+        Content::F64(n) => {
+            if !n.is_finite() {
+                return Err(Error::msg("JSON cannot represent non-finite floats"));
+            }
+            Value::Number(Number::F64(n))
+        }
+        Content::Str(s) => Value::String(s),
+        Content::Seq(items) => Value::Array(
+            items
+                .into_iter()
+                .map(content_to_value)
+                .collect::<Result<_, _>>()?,
+        ),
+        Content::Map(entries) => Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| Ok((key_string(k)?, content_to_value(v)?)))
+                .collect::<Result<_, Error>>()?,
+        ),
+    })
+}
+
+fn value_to_content(value: Value) -> Content {
+    match value {
+        Value::Null => Content::Null,
+        Value::Bool(b) => Content::Bool(b),
+        Value::Number(Number::U64(n)) => Content::U64(n),
+        Value::Number(Number::I64(n)) => Content::I64(n),
+        Value::Number(Number::F64(n)) => Content::F64(n),
+        Value::String(s) => Content::Str(s),
+        Value::Array(items) => Content::Seq(items.into_iter().map(value_to_content).collect()),
+        Value::Object(entries) => Content::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (Content::Str(k), value_to_content(v)))
+                .collect(),
+        ),
+    }
+}
+
+// ------------------------------------------------------------------ write
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_compact(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(value: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let inner = "  ".repeat(indent + 1);
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&inner);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&inner);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(v, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+// ------------------------------------------------------------------ parse
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: &str) -> Error {
+        Error::msg(format!("{message} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), Error> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", expected as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null").map(|()| Value::Null),
+            Some(b't') => self.eat_literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogate pairs are not reconstructed; the
+                            // workspace never emits them (it escapes only
+                            // control characters).
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slicing
+                    // at char boundaries is safe via the chars iterator).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let number = if is_float {
+            Number::F64(text.parse().map_err(|_| self.err("invalid number"))?)
+        } else if let Ok(n) = text.parse::<u64>() {
+            Number::U64(n)
+        } else if let Ok(n) = text.parse::<i64>() {
+            Number::I64(n)
+        } else {
+            Number::F64(text.parse().map_err(|_| self.err("invalid number"))?)
+        };
+        Ok(Value::Number(number))
+    }
+}
+
+// ------------------------------------------------------------- public API
+
+/// Serializes `value` into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    content_to_value(value.to_content())
+}
+
+/// Serializes `value` to compact JSON text (no whitespace).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&to_value(value)?, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to human-readable JSON with 2-space indentation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&to_value(value)?, 0, &mut out);
+    Ok(out)
+}
+
+/// Parses JSON text into any [`FromContent`] type (including [`Value`]).
+pub fn from_str<T: FromContent>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser::new(text);
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing characters"));
+    }
+    Ok(T::from_content(value_to_content(value))?)
+}
+
+/// Converts an already-parsed [`Value`] into a [`FromContent`] type.
+pub fn from_value<T: FromContent>(value: Value) -> Result<T, Error> {
+    Ok(T::from_content(value_to_content(value))?)
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        value_to_content(self.clone())
+    }
+}
+
+impl FromContent for Value {
+    fn from_content(content: Content) -> Result<Self, ContentError> {
+        content_to_value(content).map_err(|e| ContentError::msg(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn compact_output_has_no_whitespace() {
+        let mut m = BTreeMap::new();
+        m.insert("b".to_owned(), 2u64);
+        m.insert("a".to_owned(), 1u64);
+        assert_eq!(to_string(&m).unwrap(), "{\"a\":1,\"b\":2}");
+    }
+
+    #[test]
+    fn integer_map_keys_stringify() {
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "x".to_owned());
+        assert_eq!(to_string(&m).unwrap(), "{\"3\":\"x\"}");
+    }
+
+    #[test]
+    fn parse_roundtrips_nested_document() {
+        let text = r#"{"a": [1, -2, 3.5], "b": {"c": null, "d": true}, "e": "hi\n"}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v["a"][0].as_u64(), Some(1));
+        assert_eq!(v["a"][1].as_i64(), Some(-2));
+        assert_eq!(v["a"][2].as_f64(), Some(3.5));
+        assert!(v["b"]["c"].is_null());
+        assert_eq!(v["b"]["d"].as_bool(), Some(true));
+        assert_eq!(v["e"].as_str(), Some("hi\n"));
+        let reparsed: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(reparsed, v);
+    }
+
+    #[test]
+    fn typed_from_str() {
+        let v: Vec<u32> = from_str("[1,2,3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let o: Option<BTreeMap<String, bool>> = from_str("{\"k\":false}").unwrap();
+        assert_eq!(o.unwrap()["k"], false);
+        assert!(from_str::<u32>("[]").is_err());
+        assert!(from_str::<Value>("{\"unterminated").is_err());
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let v: Value = from_str("{\"a\":[1]}").unwrap();
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let s = "quote \" backslash \\ newline \n control \u{0001}".to_owned();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+}
