@@ -1,0 +1,201 @@
+//! `bench_routing` — evidence emitter for the routing engine.
+//!
+//! Times the three ways the workspace builds/maintains its all-pairs
+//! shortest-widest table — sequential [`all_pairs`], parallel
+//! [`all_pairs_parallel_with`] and incremental
+//! [`patch_with`](sflow_routing::AllPairs::patch_with) — over the paper's
+//! Fig. 4 overlay and a 200-node random overlay, then writes the numbers
+//! to `BENCH_routing.json` at the repository root.
+//!
+//! The patch rows are the headline: a single-edge QoS change recomputes
+//! only the source trees it can affect, so `avg_trees_recomputed` stays
+//! far below `trees_total`. The parallel speedup column is only meaningful
+//! on a multi-core host; `available_parallelism` is recorded so a 1-core
+//! container's ~1.0× reads as what it is.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sflow_core::fixtures::paper_fig4_fixture;
+use sflow_graph::DiGraph;
+use sflow_routing::{
+    all_pairs, all_pairs_parallel_with, auto_workers, Bandwidth, EdgeChange, Latency, Qos,
+};
+
+/// Timing repetitions per measurement; the median is reported.
+const REPS: usize = 5;
+/// Random edges patched per world for the incremental row.
+const PATCH_SAMPLES: usize = 10;
+
+fn median_us(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Times `f` [`REPS`] times and returns the median wall-clock in µs.
+fn time_us<T>(mut f: impl FnMut() -> T) -> u128 {
+    let samples = (0..REPS)
+        .map(|_| {
+            let started = Instant::now();
+            let out = f();
+            let us = started.elapsed().as_micros();
+            drop(out);
+            us
+        })
+        .collect();
+    median_us(samples)
+}
+
+/// A random 200-node overlay-shaped graph: out-degree ~8, bandwidths drawn
+/// from a small domain (1..=20 kbit/s) so the per-level latency passes of
+/// the exact algorithm have real work to do.
+fn random_overlay(nodes: usize, out_degree: usize, seed: u64) -> DiGraph<(), Qos> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g: DiGraph<(), Qos> = DiGraph::new();
+    let ids: Vec<_> = (0..nodes).map(|_| g.add_node(())).collect();
+    for &from in &ids {
+        for _ in 0..out_degree {
+            let to = ids[rng.gen_range(0..nodes)];
+            if to == from {
+                continue;
+            }
+            let qos = Qos::new(
+                Bandwidth::kbps(rng.gen_range(1..=20)),
+                Latency::from_micros(rng.gen_range(1..=1_000)),
+            );
+            g.add_edge(from, to, qos);
+        }
+    }
+    g
+}
+
+/// One world's rows of the report.
+struct WorldReport {
+    name: &'static str,
+    nodes: usize,
+    edges: usize,
+    sequential_us: u128,
+    parallel_us: u128,
+    patch_avg_us: u128,
+    patch_avg_trees: f64,
+    patch_max_trees: u64,
+    trees_total: usize,
+}
+
+/// Measures one graph end to end; generic over the node payload so the
+/// Fig. 4 overlay (instance-labelled) and the raw random overlay share it.
+fn measure<N: Clone + Sync>(
+    name: &'static str,
+    g: &DiGraph<N, Qos>,
+    workers: usize,
+    seed: u64,
+) -> WorldReport {
+    let sequential_us = time_us(|| all_pairs(g));
+    let parallel_us = time_us(|| all_pairs_parallel_with(g, workers));
+    let baseline = all_pairs_parallel_with(g, workers);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edge_ids: Vec<_> = g.edges().map(|e| e.id).collect();
+    let mut patch_times = Vec::new();
+    let mut trees_recomputed = Vec::new();
+    for _ in 0..PATCH_SAMPLES {
+        let edge = edge_ids[rng.gen_range(0..edge_ids.len())];
+        let mut patched_graph = g.clone();
+        let (_, _, old) = patched_graph.edge_parts(edge);
+        let old = *old;
+        // Degrade the edge (halve bandwidth, +25% latency): the patch may
+        // then skip every tree that does not traverse it.
+        let new = Qos::new(
+            Bandwidth::kbps((old.bandwidth.as_kbps() / 2).max(1)),
+            Latency::from_micros(old.latency.as_micros() + old.latency.as_micros() / 4 + 1),
+        );
+        *patched_graph.edge_mut(edge) = new;
+        let change = EdgeChange { edge, old, new };
+
+        let mut table = baseline.clone();
+        let started = Instant::now();
+        let stats = table.patch_with(&patched_graph, &[change], workers);
+        patch_times.push(started.elapsed().as_micros());
+        assert!(!stats.full_rebuild, "QoS-only change must not full-rebuild");
+        trees_recomputed.push(stats.trees_recomputed as u64);
+    }
+    let patch_avg_trees =
+        trees_recomputed.iter().sum::<u64>() as f64 / trees_recomputed.len() as f64;
+
+    WorldReport {
+        name,
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        sequential_us,
+        parallel_us,
+        patch_avg_us: patch_times.iter().sum::<u128>() / patch_times.len() as u128,
+        patch_avg_trees,
+        patch_max_trees: trees_recomputed.iter().copied().max().unwrap_or(0),
+        trees_total: baseline.len(),
+    }
+}
+
+fn world_json(r: &WorldReport) -> String {
+    let speedup = r.sequential_us as f64 / (r.parallel_us.max(1)) as f64;
+    format!(
+        "    {{\n      \"name\": \"{}\",\n      \"nodes\": {},\n      \"edges\": {},\n      \
+         \"sequential_us\": {},\n      \"parallel_us\": {},\n      \"speedup\": {:.2},\n      \
+         \"patch\": {{\n        \"samples\": {},\n        \"avg_us\": {},\n        \
+         \"avg_trees_recomputed\": {:.1},\n        \"max_trees_recomputed\": {},\n        \
+         \"trees_total\": {}\n      }}\n    }}",
+        r.name,
+        r.nodes,
+        r.edges,
+        r.sequential_us,
+        r.parallel_us,
+        speedup,
+        PATCH_SAMPLES,
+        r.patch_avg_us,
+        r.patch_avg_trees,
+        r.patch_max_trees,
+        r.trees_total,
+    )
+}
+
+fn main() {
+    let workers = auto_workers();
+    let fig4 = paper_fig4_fixture();
+    let reports = [
+        measure("paper-fig4", fig4.overlay.graph(), workers, 7),
+        measure("random-200", &random_overlay(200, 8, 42), workers, 7),
+    ];
+    for r in &reports {
+        println!(
+            "{}: {} nodes / {} edges — sequential {} µs, parallel({}) {} µs, \
+             patch avg {} µs recomputing {:.1}/{} trees",
+            r.name,
+            r.nodes,
+            r.edges,
+            r.sequential_us,
+            workers,
+            r.parallel_us,
+            r.patch_avg_us,
+            r.patch_avg_trees,
+            r.trees_total,
+        );
+        assert!(
+            (r.patch_max_trees as usize) < r.trees_total,
+            "{}: a single-edge patch must recompute strictly fewer trees than a rebuild",
+            r.name,
+        );
+    }
+
+    let worlds: Vec<String> = reports.iter().map(world_json).collect();
+    let json = format!(
+        "{{\n  \"generated_by\": \"bench_routing\",\n  \"available_parallelism\": {},\n  \
+         \"workers\": {},\n  \"reps\": {},\n  \"worlds\": [\n{}\n  ]\n}}\n",
+        auto_workers(),
+        workers,
+        REPS,
+        worlds.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_routing.json");
+    std::fs::write(path, &json).expect("write BENCH_routing.json");
+    println!("wrote {path}");
+}

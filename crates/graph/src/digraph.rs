@@ -276,6 +276,34 @@ impl<N, E> DiGraph<N, E> {
         })
     }
 
+    /// The outgoing edge handles of `node`, as a slice.
+    ///
+    /// This is the scratch-friendly form of [`DiGraph::out_edges`] for hot
+    /// loops: the borrow of the adjacency list is independent of the edge
+    /// arena, so a caller can hold the slice while resolving each handle
+    /// with [`DiGraph::edge_parts`] without building an iterator adaptor
+    /// per visit.
+    pub fn out_edge_ids(&self, node: NodeIx) -> &[EdgeIx] {
+        &self.nodes[node.index()].out
+    }
+
+    /// The incoming edge handles of `node`, as a slice (see
+    /// [`DiGraph::out_edge_ids`]).
+    pub fn in_edge_ids(&self, node: NodeIx) -> &[EdgeIx] {
+        &self.nodes[node.index()].inc
+    }
+
+    /// Destructures `edge` into `(from, to, &weight)` with a single bounds
+    /// check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of bounds.
+    pub fn edge_parts(&self, edge: EdgeIx) -> (NodeIx, NodeIx, &E) {
+        let d = &self.edges[edge.index()];
+        (d.from, d.to, &d.weight)
+    }
+
     /// Iterates over the incoming edges of `node`.
     pub fn in_edges(&self, node: NodeIx) -> impl Iterator<Item = EdgeRef<'_, E>> + '_ {
         self.nodes[node.index()].inc.iter().map(move |&e| {
@@ -424,6 +452,21 @@ mod tests {
         assert_eq!(g.find_edge(b, a), None);
         assert!(g.contains_edge(a, b));
         assert!(!g.contains_edge(b, a));
+    }
+
+    #[test]
+    fn slice_adjacency_matches_iterators() {
+        let (g, [s, a, b, t]) = diamond();
+        for n in [s, a, b, t] {
+            let via_iter: Vec<EdgeIx> = g.out_edges(n).map(|e| e.id).collect();
+            assert_eq!(g.out_edge_ids(n), via_iter.as_slice());
+            let via_iter: Vec<EdgeIx> = g.in_edges(n).map(|e| e.id).collect();
+            assert_eq!(g.in_edge_ids(n), via_iter.as_slice());
+        }
+        let e = g.find_edge(s, a).unwrap();
+        let (from, to, w) = g.edge_parts(e);
+        assert_eq!((from, to), (s, a));
+        assert_eq!(*w, 1);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use sflow_graph::{algo, DiGraph, NodeIx};
-use sflow_routing::{shortest_widest, AllPairs, Qos};
+use sflow_routing::{shortest_widest, AllPairs, EdgeChange, Qos};
 
 use crate::{HostId, OverlayBuildError, ServiceId, ServiceInstance, UnderlyingNetwork};
 
@@ -285,6 +285,19 @@ impl OverlayGraph {
         shortest_widest::all_pairs(&self.graph)
     }
 
+    /// [`OverlayGraph::all_pairs`] computed on a worker pool sized by
+    /// `available_parallelism`. The table is identical to the sequential
+    /// one; only wall-clock differs.
+    pub fn all_pairs_parallel(&self) -> AllPairs {
+        sflow_routing::all_pairs_parallel(&self.graph)
+    }
+
+    /// [`OverlayGraph::all_pairs_parallel`] with an explicit worker count
+    /// (`0` = auto-size).
+    pub fn all_pairs_parallel_with(&self, workers: usize) -> AllPairs {
+        sflow_routing::all_pairs_parallel_with(&self.graph, workers)
+    }
+
     /// Renders the overlay as Graphviz DOT: instances as `SID/NID` boxes,
     /// service links labelled with their QoS.
     pub fn to_dot(&self) -> String {
@@ -305,13 +318,23 @@ impl OverlayGraph {
     /// holding derived routing artifacts (`AllPairs`, hop matrices) must
     /// recompute them afterwards.
     pub fn set_link_qos(&mut self, from: NodeIx, to: NodeIx, qos: Qos) -> bool {
-        match self.graph.find_edge(from, to) {
-            Some(e) => {
-                *self.graph.edge_mut(e) = qos;
-                true
-            }
-            None => false,
-        }
+        self.update_link_qos(from, to, qos).is_some()
+    }
+
+    /// Like [`OverlayGraph::set_link_qos`], but returns the [`EdgeChange`]
+    /// describing the update — the input the incremental
+    /// [`AllPairs::patch`](sflow_routing::AllPairs::patch) path needs to
+    /// repair a routing table in place instead of rebuilding it. `None` if
+    /// no such service link exists.
+    pub fn update_link_qos(&mut self, from: NodeIx, to: NodeIx, qos: Qos) -> Option<EdgeChange> {
+        let e = self.graph.find_edge(from, to)?;
+        let old = *self.graph.edge(e);
+        *self.graph.edge_mut(e) = qos;
+        Some(EdgeChange {
+            edge: e,
+            old,
+            new: qos,
+        })
     }
 
     /// Rebuilds the overlay with the given instances removed — the substrate
@@ -604,6 +627,49 @@ mod tests {
         assert_eq!(*ov.graph().edge(e), q(3, 7));
         // No link in the reverse direction: nothing to update.
         assert!(!ov.set_link_qos(near, s0, q(1, 1)));
+    }
+
+    #[test]
+    fn parallel_all_pairs_matches_sequential_on_overlay() {
+        let (net, p, compat) = line_world();
+        let ov = OverlayGraph::build(&net, &p, &compat).unwrap();
+        let seq = ov.all_pairs();
+        for (par, label) in [
+            (ov.all_pairs_parallel(), "auto"),
+            (ov.all_pairs_parallel_with(3), "3"),
+        ] {
+            for u in ov.graph().node_ids() {
+                for v in ov.graph().node_ids() {
+                    assert_eq!(par.qos(u, v), seq.qos(u, v), "{label}: {u:?}->{v:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_link_qos_reports_the_change_and_feeds_patch() {
+        let (net, p, compat) = line_world();
+        let mut ov = OverlayGraph::build(&net, &p, &compat).unwrap();
+        let mut ap = ov.all_pairs();
+        let s0 = ov.instances_of(sid(0))[0];
+        let near = ov
+            .instances_of(sid(1))
+            .iter()
+            .copied()
+            .find(|&n| ov.instance(n).host == HostId::new(1))
+            .unwrap();
+        let change = ov.update_link_qos(s0, near, q(3, 7)).unwrap();
+        assert_eq!(change.old, q(10, 1));
+        assert_eq!(change.new, q(3, 7));
+        let stats = ap.patch(ov.graph(), &[change]);
+        assert!(stats.trees_recomputed < stats.trees_total);
+        let rebuilt = ov.all_pairs();
+        for u in ov.graph().node_ids() {
+            for v in ov.graph().node_ids() {
+                assert_eq!(ap.qos(u, v), rebuilt.qos(u, v));
+            }
+        }
+        assert_eq!(ov.update_link_qos(near, s0, q(1, 1)), None);
     }
 
     #[test]

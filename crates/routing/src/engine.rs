@@ -1,0 +1,473 @@
+//! The all-pairs routing *engine*: parallel construction and incremental
+//! maintenance of the [`AllPairs`] shortest-widest table.
+//!
+//! The sequential [`all_pairs`] sweep is `O(V · L · E log V)`; both the
+//! paper's baseline algorithm (Table 1) and sFlow's per-hop local solves
+//! stand on its output, and a long-lived federation server re-derives it on
+//! every topology mutation. This module attacks that cost twice:
+//!
+//! * [`all_pairs_parallel`] fans the per-source [`single_source_with`]
+//!   calls across a `std::thread::scope` worker pool (sized by
+//!   [`auto_workers`], i.e. `available_parallelism`), with one reusable
+//!   [`DijkstraScratch`] per worker so the inner Dijkstras stop allocating
+//!   per bandwidth level. Sources are claimed off an atomic counter —
+//!   work-stealing granularity of one tree — so skewed per-source costs
+//!   (hub nodes see more levels) still balance.
+//! * [`AllPairs::patch`] repairs an existing table after a batch of
+//!   [`EdgeChange`]s by recomputing only the source trees that can actually
+//!   be affected, turning the `O(V)` Dijkstra sweeps per mutation into
+//!   `O(dirty)`:
+//!
+//!   - a **degraded** edge (bandwidth and latency both no better) can only
+//!     invalidate trees whose recorded paths *traverse* it: every path that
+//!     avoids the edge kept its exact QoS, and a path through a worsened
+//!     edge cannot newly beat a previous optimum
+//!     ([`PathTree::traverses_any`]);
+//!   - an **improved** (or mixed) change can create better paths only for
+//!     sources that can *reach the edge's tail* in the new graph — any
+//!     path using edge `u → v` must first arrive at `u` — so a reverse
+//!     reachability sweep from the tail bounds the dirty set;
+//!   - structural changes (node add/remove, i.e. a table/graph size
+//!     mismatch) fall back to a full parallel rebuild.
+//!
+//! Soundness of the two dirty rules is argued inline and proven
+//! behaviourally by the property tests in `tests/prop_engine.rs`, which
+//! check `patch` against a from-scratch rebuild on random graphs and
+//! random mutations.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use sflow_graph::{DiGraph, EdgeIx, NodeIx};
+
+use crate::shortest_widest::{all_pairs, single_source_with, AllPairs, DijkstraScratch, PathTree};
+use crate::{Bandwidth, Qos};
+
+/// One edge whose QoS changed, described by before/after weights.
+///
+/// The graph handed to [`AllPairs::patch`] must already carry `new` on
+/// `edge`; `old` is what the table being patched was computed from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeChange {
+    /// The edge whose weight changed.
+    pub edge: EdgeIx,
+    /// The weight the current table was computed against.
+    pub old: Qos,
+    /// The weight now on the graph.
+    pub new: Qos,
+}
+
+impl EdgeChange {
+    /// `true` if nothing actually changed.
+    pub fn is_noop(&self) -> bool {
+        self.old == self.new
+    }
+
+    /// `true` if the change is a pure degradation: bandwidth no higher and
+    /// latency no lower. Anything else (including mixed changes) must be
+    /// treated as a potential improvement.
+    pub fn is_degradation(&self) -> bool {
+        self.new.bandwidth <= self.old.bandwidth && self.new.latency >= self.old.latency
+    }
+}
+
+/// What one [`AllPairs::patch`] call did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PatchStats {
+    /// Source trees recomputed by this patch.
+    pub trees_recomputed: usize,
+    /// Source trees in the table (== node count).
+    pub trees_total: usize,
+    /// `true` if the patch degenerated to a full rebuild (structural
+    /// change).
+    pub full_rebuild: bool,
+}
+
+/// The number of routing workers `available_parallelism` suggests (≥ 1).
+pub fn auto_workers() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// [`all_pairs`] computed on a worker pool sized by
+/// [`auto_workers`]. Results are identical to the sequential sweep.
+pub fn all_pairs_parallel<N: Sync>(g: &DiGraph<N, Qos>) -> AllPairs {
+    all_pairs_parallel_with(g, auto_workers())
+}
+
+/// [`all_pairs_parallel`] with an explicit worker count (`0` means
+/// [`auto_workers`]; the pool never exceeds the number of sources).
+pub fn all_pairs_parallel_with<N: Sync>(g: &DiGraph<N, Qos>, workers: usize) -> AllPairs {
+    let n = g.node_count();
+    let workers = effective_workers(workers, n);
+    if workers <= 1 {
+        return all_pairs(g);
+    }
+    let sources: Vec<NodeIx> = g.node_ids().collect();
+    let mut trees: Vec<Option<PathTree>> = Vec::with_capacity(n);
+    trees.resize_with(n, || None);
+    compute_trees(g, &sources, workers, &mut trees);
+    AllPairs {
+        trees: trees
+            .into_iter()
+            .map(|t| t.expect("every source index is claimed exactly once"))
+            .collect(),
+    }
+}
+
+/// Clamps a requested worker count to something sensible for `tasks`.
+fn effective_workers(workers: usize, tasks: usize) -> usize {
+    let workers = if workers == 0 {
+        auto_workers()
+    } else {
+        workers
+    };
+    workers.min(tasks).max(1)
+}
+
+/// Computes one tree per listed source into `out[source.index()]`, fanning
+/// the sources over `workers` scoped threads (atomic work stealing, one
+/// scratch per worker). `workers` must already be clamped; with 1 worker
+/// the sweep runs inline on the caller's thread.
+fn compute_trees<N: Sync>(
+    g: &DiGraph<N, Qos>,
+    sources: &[NodeIx],
+    workers: usize,
+    out: &mut [Option<PathTree>],
+) {
+    if workers <= 1 {
+        let mut scratch = DijkstraScratch::new();
+        for &s in sources {
+            out[s.index()] = Some(single_source_with(g, s, &mut scratch));
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let computed: Vec<Vec<(usize, PathTree)>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = DijkstraScratch::new();
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&s) = sources.get(i) else { break };
+                        mine.push((s.index(), single_source_with(g, s, &mut scratch)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("routing worker panicked"))
+            .collect()
+    });
+    for batch in computed {
+        for (i, tree) in batch {
+            out[i] = Some(tree);
+        }
+    }
+}
+
+/// Marks every node that can reach `tail` in `g` over usable (non-zero
+/// bandwidth) links, `tail` included, via a reverse BFS.
+fn mark_sources_reaching<N>(g: &DiGraph<N, Qos>, tail: NodeIx, dirty: &mut [bool]) {
+    let mut seen = vec![false; g.node_count()];
+    let mut queue = VecDeque::new();
+    seen[tail.index()] = true;
+    dirty[tail.index()] = true;
+    queue.push_back(tail);
+    while let Some(v) = queue.pop_front() {
+        for &eid in g.in_edge_ids(v) {
+            let (from, _, weight) = g.edge_parts(eid);
+            if weight.bandwidth == Bandwidth::ZERO || seen[from.index()] {
+                continue;
+            }
+            seen[from.index()] = true;
+            dirty[from.index()] = true;
+            queue.push_back(from);
+        }
+    }
+}
+
+impl AllPairs {
+    /// Repairs this table after the listed edge-QoS changes, recomputing
+    /// only the source trees the changes can affect (see the module docs
+    /// for the dirty rules and why they are sound). `g` must already carry
+    /// the new weights. Uses [`auto_workers`] for the recomputation.
+    ///
+    /// Falls back to a full parallel rebuild when the table and graph
+    /// disagree on node count (nodes were added or removed).
+    pub fn patch<N: Sync>(&mut self, g: &DiGraph<N, Qos>, changes: &[EdgeChange]) -> PatchStats {
+        self.patch_with(g, changes, 0)
+    }
+
+    /// [`AllPairs::patch`] with an explicit worker count (`0` = auto).
+    pub fn patch_with<N: Sync>(
+        &mut self,
+        g: &DiGraph<N, Qos>,
+        changes: &[EdgeChange],
+        workers: usize,
+    ) -> PatchStats {
+        let n = g.node_count();
+        if n != self.trees.len() {
+            *self = all_pairs_parallel_with(g, workers);
+            return PatchStats {
+                trees_recomputed: n,
+                trees_total: n,
+                full_rebuild: true,
+            };
+        }
+
+        let mut dirty = vec![false; n];
+        let mut degraded: Vec<bool> = Vec::new();
+        for change in changes.iter().filter(|c| !c.is_noop()) {
+            if change.is_degradation() {
+                if degraded.is_empty() {
+                    degraded = vec![false; g.edge_count()];
+                }
+                degraded[change.edge.index()] = true;
+            } else {
+                // Improvement (or mixed): every path through `u → v` must
+                // first reach `u`, so only sources reaching the tail can
+                // gain a better path. This also covers the degradation side
+                // of a mixed change, because any tree traversing the edge
+                // necessarily reaches its tail.
+                let (tail, _, _) = g.edge_parts(change.edge);
+                mark_sources_reaching(g, tail, &mut dirty);
+            }
+        }
+        if !degraded.is_empty() {
+            for (i, tree) in self.trees.iter().enumerate() {
+                if !dirty[i] && tree.traverses_any(&degraded) {
+                    dirty[i] = true;
+                }
+            }
+        }
+
+        let sources: Vec<NodeIx> = (0..n)
+            .filter(|&i| dirty[i])
+            .map(NodeIx::from_index)
+            .collect();
+        if sources.is_empty() {
+            return PatchStats {
+                trees_recomputed: 0,
+                trees_total: n,
+                full_rebuild: false,
+            };
+        }
+        let workers = effective_workers(workers, sources.len());
+        let mut fresh: Vec<Option<PathTree>> = Vec::with_capacity(n);
+        fresh.resize_with(n, || None);
+        compute_trees(g, &sources, workers, &mut fresh);
+        for (slot, tree) in fresh.into_iter().enumerate() {
+            if let Some(tree) = tree {
+                self.trees[slot] = tree;
+            }
+        }
+        PatchStats {
+            trees_recomputed: sources.len(),
+            trees_total: n,
+            full_rebuild: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Latency, Qos};
+
+    fn q(bw: u64, lat: u64) -> Qos {
+        Qos::new(Bandwidth::kbps(bw), Latency::from_micros(lat))
+    }
+
+    /// A 5-node world with an unused backup edge and a clear main artery.
+    fn world() -> (DiGraph<(), Qos>, Vec<NodeIx>, Vec<EdgeIx>) {
+        let mut g = DiGraph::new();
+        let n: Vec<NodeIx> = (0..5).map(|_| g.add_node(())).collect();
+        let e = vec![
+            g.add_edge(n[0], n[1], q(10, 1)), // artery
+            g.add_edge(n[1], n[2], q(10, 1)),
+            g.add_edge(n[2], n[3], q(10, 1)),
+            g.add_edge(n[0], n[4], q(2, 5)), // spur to a leaf
+            g.add_edge(n[4], n[3], q(1, 9)), // narrow backup
+            g.add_edge(n[0], n[1], q(1, 0)), // dead parallel: loses on bw
+        ];
+        (g, n, e)
+    }
+
+    fn assert_tables_equal(a: &AllPairs, b: &AllPairs, g: &DiGraph<(), Qos>) {
+        for u in g.node_ids() {
+            for v in g.node_ids() {
+                assert_eq!(a.qos(u, v), b.qos(u, v), "{u:?} -> {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (g, ..) = world();
+        for workers in [0, 1, 2, 7, 64] {
+            let par = all_pairs_parallel_with(&g, workers);
+            assert_tables_equal(&par, &all_pairs(&g), &g);
+        }
+        assert_tables_equal(&all_pairs_parallel(&g), &all_pairs(&g), &g);
+    }
+
+    #[test]
+    fn parallel_handles_empty_graph() {
+        let g: DiGraph<(), Qos> = DiGraph::new();
+        assert!(all_pairs_parallel(&g).is_empty());
+        assert!(all_pairs_parallel_with(&g, 8).is_empty());
+    }
+
+    #[test]
+    fn noop_change_recomputes_nothing() {
+        let (g, _, e) = world();
+        let mut ap = all_pairs(&g);
+        let stats = ap.patch(
+            &g,
+            &[EdgeChange {
+                edge: e[0],
+                old: q(10, 1),
+                new: q(10, 1),
+            }],
+        );
+        assert_eq!(stats.trees_recomputed, 0);
+        assert!(!stats.full_rebuild);
+        assert_tables_equal(&ap, &all_pairs(&g), &g);
+    }
+
+    #[test]
+    fn degrading_an_unused_edge_touches_no_tree() {
+        let (mut g, _, e) = world();
+        let mut ap = all_pairs(&g);
+        // The dead parallel n0→n1 loses on bandwidth everywhere: it is on
+        // nobody's shortest-widest path.
+        let old = *g.edge(e[5]);
+        *g.edge_mut(e[5]) = q(1, 50);
+        let stats = ap.patch(
+            &g,
+            &[EdgeChange {
+                edge: e[5],
+                old,
+                new: q(1, 50),
+            }],
+        );
+        assert_eq!(stats.trees_recomputed, 0);
+        assert_tables_equal(&ap, &all_pairs(&g), &g);
+    }
+
+    #[test]
+    fn degrading_the_artery_dirties_only_trees_crossing_it() {
+        let (mut g, _, e) = world();
+        let mut ap = all_pairs(&g);
+        // n1→n2 is used by the trees rooted at n0 and n1 only.
+        let old = *g.edge(e[1]);
+        *g.edge_mut(e[1]) = q(3, 4);
+        let stats = ap.patch(
+            &g,
+            &[EdgeChange {
+                edge: e[1],
+                old,
+                new: q(3, 4),
+            }],
+        );
+        assert_eq!(stats.trees_recomputed, 2);
+        assert!(stats.trees_recomputed < stats.trees_total);
+        assert_tables_equal(&ap, &all_pairs(&g), &g);
+    }
+
+    #[test]
+    fn improving_an_edge_dirties_sources_reaching_its_tail() {
+        let (mut g, _, e) = world();
+        let mut ap = all_pairs(&g);
+        // Improving n4→n3 can only help sources that reach n4: n0 and n4.
+        let old = *g.edge(e[4]);
+        *g.edge_mut(e[4]) = q(50, 0);
+        let stats = ap.patch(
+            &g,
+            &[EdgeChange {
+                edge: e[4],
+                old,
+                new: q(50, 0),
+            }],
+        );
+        assert_eq!(stats.trees_recomputed, 2);
+        assert_tables_equal(&ap, &all_pairs(&g), &g);
+    }
+
+    #[test]
+    fn mixed_change_is_treated_as_improvement() {
+        let (mut g, _, e) = world();
+        let mut ap = all_pairs(&g);
+        // Wider but slower: must use the reach-the-tail rule.
+        let old = *g.edge(e[1]);
+        *g.edge_mut(e[1]) = q(20, 9);
+        let stats = ap.patch(
+            &g,
+            &[EdgeChange {
+                edge: e[1],
+                old,
+                new: q(20, 9),
+            }],
+        );
+        assert!(stats.trees_recomputed >= 2);
+        assert_tables_equal(&ap, &all_pairs(&g), &g);
+    }
+
+    #[test]
+    fn structural_mismatch_forces_full_rebuild() {
+        let (mut g, ..) = world();
+        let mut ap = all_pairs(&g);
+        let extra = g.add_node(());
+        g.add_edge(extra, NodeIx::from_index(0), q(5, 5));
+        let stats = ap.patch(&g, &[]);
+        assert!(stats.full_rebuild);
+        assert_eq!(stats.trees_recomputed, g.node_count());
+        assert_tables_equal(&ap, &all_pairs(&g), &g);
+    }
+
+    #[test]
+    fn batched_changes_union_their_dirty_sets() {
+        let (mut g, _, e) = world();
+        let mut ap = all_pairs(&g);
+        let old1 = *g.edge(e[2]);
+        let old4 = *g.edge(e[4]);
+        *g.edge_mut(e[2]) = q(10, 7); // degrade n2→n3
+        *g.edge_mut(e[4]) = q(9, 1); // improve n4→n3
+        let stats = ap.patch(
+            &g,
+            &[
+                EdgeChange {
+                    edge: e[2],
+                    old: old1,
+                    new: q(10, 7),
+                },
+                EdgeChange {
+                    edge: e[4],
+                    old: old4,
+                    new: q(9, 1),
+                },
+            ],
+        );
+        assert!(stats.trees_recomputed < stats.trees_total);
+        assert_tables_equal(&ap, &all_pairs(&g), &g);
+    }
+
+    #[test]
+    fn edge_change_classification() {
+        let c = |old, new| EdgeChange {
+            edge: EdgeIx::from_index(0),
+            old,
+            new,
+        };
+        assert!(c(q(5, 5), q(5, 5)).is_noop());
+        assert!(c(q(5, 5), q(4, 6)).is_degradation());
+        assert!(c(q(5, 5), q(5, 6)).is_degradation());
+        assert!(!c(q(5, 5), q(6, 4)).is_degradation());
+        assert!(!c(q(5, 5), q(6, 6)).is_degradation()); // mixed
+    }
+}

@@ -20,7 +20,11 @@
 //! * [`classic`]: plain widest and shortest (latency) Dijkstra variants used
 //!   as ablation baselines;
 //! * [`AllPairs`]: the all-pairs table the sFlow baseline algorithm (Table 1
-//!   of the paper) starts from.
+//!   of the paper) starts from;
+//! * [`engine`]: parallel all-pairs construction over a scoped worker pool
+//!   ([`all_pairs_parallel`]) and incremental maintenance after edge-QoS
+//!   changes ([`AllPairs::patch`]), with per-worker [`DijkstraScratch`]
+//!   buffer reuse.
 //!
 //! # Example
 //!
@@ -47,9 +51,13 @@
 #![warn(missing_docs)]
 
 pub mod classic;
+pub mod engine;
 mod metrics;
 pub mod pareto;
 pub mod shortest_widest;
 
+pub use engine::{
+    all_pairs_parallel, all_pairs_parallel_with, auto_workers, EdgeChange, PatchStats,
+};
 pub use metrics::{Bandwidth, Latency, Qos};
-pub use shortest_widest::{all_pairs, AllPairs, PathTree};
+pub use shortest_widest::{all_pairs, AllPairs, DijkstraScratch, PathTree};

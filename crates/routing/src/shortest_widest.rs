@@ -77,9 +77,71 @@ impl PathTree {
     pub fn hops_to(&self, node: NodeIx) -> Option<usize> {
         self.path_to(node).map(|p| p.len() - 1)
     }
+
+    /// Returns `true` if any path this tree can reconstruct traverses an
+    /// edge `e` with `marked[e.index()]` set (indices beyond `marked` count
+    /// as unmarked).
+    ///
+    /// This is the dirtiness test of the incremental all-pairs engine: a
+    /// tree that never crosses a *degraded* edge is provably unaffected by
+    /// the degradation (every path avoiding the edge kept its exact QoS,
+    /// and no path through a worsened edge can newly beat them), so it can
+    /// be reused verbatim. The walk visits each node at most once per
+    /// bandwidth level, i.e. `O(V · L)` worst case and `O(V)` typically.
+    pub fn traverses_any(&self, marked: &[bool]) -> bool {
+        let n = self.dist.len();
+        let source = self.source.index();
+        // Generation stamps instead of per-level bitmaps: level `li` owns
+        // stamp `li + 1`, so one allocation serves every level.
+        let mut stamp: Vec<u32> = vec![0; n];
+        for (li, preds) in self.level_preds.iter().enumerate() {
+            let tag = li as u32 + 1;
+            for start in 0..n {
+                if start == source || self.dist[start].is_none() || self.node_level[start] != li {
+                    continue;
+                }
+                let mut cur = start;
+                while cur != source && stamp[cur] != tag {
+                    stamp[cur] = tag;
+                    let Some((prev, e)) = preds[cur] else {
+                        break;
+                    };
+                    if marked.get(e.index()).copied().unwrap_or(false) {
+                        return true;
+                    }
+                    cur = prev.index();
+                }
+            }
+        }
+        false
+    }
 }
 
-#[derive(PartialEq, Eq)]
+/// Reusable buffers for repeated single-source computations.
+///
+/// [`single_source`] allocates (and throws away) per-node distance, done and
+/// heap storage once per bandwidth level; a scratch keeps those allocations
+/// alive across calls so a worker sweeping many sources — the all-pairs
+/// engine, the incremental patcher — touches the allocator only for the
+/// predecessor arrays that end up owned by the resulting [`PathTree`].
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    widest: Vec<Option<Bandwidth>>,
+    lat: Vec<Option<Latency>>,
+    done: Vec<bool>,
+    widest_heap: BinaryHeap<WidestEntry>,
+    latency_heap: BinaryHeap<LatencyEntry>,
+    levels: Vec<Bandwidth>,
+}
+
+impl DijkstraScratch {
+    /// An empty scratch; buffers grow to the graph size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
 struct WidestEntry {
     bandwidth: Bandwidth,
     node: NodeIx,
@@ -99,13 +161,19 @@ impl PartialOrd for WidestEntry {
     }
 }
 
-/// Widest-path (max–min bandwidth) Dijkstra. Returns per-node optimal
-/// bottleneck bandwidth; the source gets [`Bandwidth::INFINITE`].
-fn widest_bandwidths<N>(g: &DiGraph<N, Qos>, source: NodeIx) -> Vec<Option<Bandwidth>> {
-    let mut best: Vec<Option<Bandwidth>> = vec![None; g.node_count()];
-    let mut done = vec![false; g.node_count()];
+/// Widest-path (max–min bandwidth) Dijkstra into `scratch.widest`; the
+/// source gets [`Bandwidth::INFINITE`].
+fn widest_bandwidths_into<N>(g: &DiGraph<N, Qos>, source: NodeIx, scratch: &mut DijkstraScratch) {
+    let n = g.node_count();
+    scratch.widest.clear();
+    scratch.widest.resize(n, None);
+    scratch.done.clear();
+    scratch.done.resize(n, false);
+    let best = &mut scratch.widest;
+    let done = &mut scratch.done;
+    let heap = &mut scratch.widest_heap;
+    heap.clear();
     best[source.index()] = Some(Bandwidth::INFINITE);
-    let mut heap = BinaryHeap::new();
     heap.push(WidestEntry {
         bandwidth: Bandwidth::INFINITE,
         node: source,
@@ -115,25 +183,31 @@ fn widest_bandwidths<N>(g: &DiGraph<N, Qos>, source: NodeIx) -> Vec<Option<Bandw
             continue;
         }
         done[node.index()] = true;
-        for e in g.out_edges(node) {
-            let cand = bandwidth.bottleneck(e.weight.bandwidth);
+        for &eid in g.out_edge_ids(node) {
+            let (_, to, weight) = g.edge_parts(eid);
+            // A settled head can never improve; skipping it here (rather
+            // than relying on the pop-time check) keeps the entry out of
+            // the heap entirely.
+            if done[to.index()] {
+                continue;
+            }
+            let cand = bandwidth.bottleneck(weight.bandwidth);
             if cand == Bandwidth::ZERO {
                 continue;
             }
-            let slot = &mut best[e.to.index()];
+            let slot = &mut best[to.index()];
             if slot.map_or(true, |b| cand > b) {
                 *slot = Some(cand);
                 heap.push(WidestEntry {
                     bandwidth: cand,
-                    node: e.to,
+                    node: to,
                 });
             }
         }
     }
-    best
 }
 
-#[derive(PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 struct LatencyEntry {
     latency: Latency,
     node: NodeIx,
@@ -156,16 +230,26 @@ impl PartialOrd for LatencyEntry {
 }
 
 /// Latency Dijkstra over the subgraph of links with bandwidth ≥ `floor`.
-fn latency_dijkstra_at_level<N>(
+///
+/// Distances land in `scratch.lat`; only the predecessor array — which the
+/// caller's [`PathTree`] keeps — is freshly allocated.
+fn latency_dijkstra_at_level_into<N>(
     g: &DiGraph<N, Qos>,
     source: NodeIx,
     floor: Bandwidth,
-) -> (Vec<Option<Latency>>, Vec<Option<(NodeIx, EdgeIx)>>) {
-    let mut dist: Vec<Option<Latency>> = vec![None; g.node_count()];
-    let mut pred: Vec<Option<(NodeIx, EdgeIx)>> = vec![None; g.node_count()];
-    let mut done = vec![false; g.node_count()];
+    scratch: &mut DijkstraScratch,
+) -> Vec<Option<(NodeIx, EdgeIx)>> {
+    let n = g.node_count();
+    scratch.lat.clear();
+    scratch.lat.resize(n, None);
+    scratch.done.clear();
+    scratch.done.resize(n, false);
+    let dist = &mut scratch.lat;
+    let done = &mut scratch.done;
+    let heap = &mut scratch.latency_heap;
+    heap.clear();
+    let mut pred: Vec<Option<(NodeIx, EdgeIx)>> = vec![None; n];
     dist[source.index()] = Some(Latency::ZERO);
-    let mut heap = BinaryHeap::new();
     heap.push(LatencyEntry {
         latency: Latency::ZERO,
         node: source,
@@ -175,23 +259,26 @@ fn latency_dijkstra_at_level<N>(
             continue;
         }
         done[node.index()] = true;
-        for e in g.out_edges(node) {
-            if e.weight.bandwidth < floor {
+        for &eid in g.out_edge_ids(node) {
+            let (_, to, weight) = g.edge_parts(eid);
+            // Stale at push time: a settled head cannot improve, so don't
+            // even form the candidate, let alone grow the heap.
+            if done[to.index()] || weight.bandwidth < floor {
                 continue;
             }
-            let cand = latency + e.weight.latency;
-            let slot = &mut dist[e.to.index()];
+            let cand = latency + weight.latency;
+            let slot = &mut dist[to.index()];
             if slot.map_or(true, |l| cand < l) {
                 *slot = Some(cand);
-                pred[e.to.index()] = Some((node, e.id));
+                pred[to.index()] = Some((node, eid));
                 heap.push(LatencyEntry {
                     latency: cand,
-                    node: e.to,
+                    node: to,
                 });
             }
         }
     }
-    (dist, pred)
+    pred
 }
 
 /// Exact single-source shortest-widest paths over a graph whose edges carry
@@ -214,15 +301,32 @@ fn latency_dijkstra_at_level<N>(
 /// assert_eq!(tree.qos_to(a), Some(Qos::IDENTITY));
 /// ```
 pub fn single_source<N>(g: &DiGraph<N, Qos>, source: NodeIx) -> PathTree {
-    let widest = widest_bandwidths(g, source);
+    single_source_with(g, source, &mut DijkstraScratch::new())
+}
+
+/// [`single_source`] with caller-provided scratch buffers.
+///
+/// Repeated sweeps — all-pairs, the incremental patcher, per-worker loops —
+/// should allocate one [`DijkstraScratch`] per worker and reuse it; results
+/// are identical to [`single_source`].
+pub fn single_source_with<N>(
+    g: &DiGraph<N, Qos>,
+    source: NodeIx,
+    scratch: &mut DijkstraScratch,
+) -> PathTree {
+    widest_bandwidths_into(g, source, scratch);
 
     // Distinct bottleneck levels of non-source reachable nodes, widest first.
-    let mut levels: Vec<Bandwidth> = widest
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| *i != source.index())
-        .filter_map(|(_, b)| *b)
-        .collect();
+    let mut levels = std::mem::take(&mut scratch.levels);
+    levels.clear();
+    levels.extend(
+        scratch
+            .widest
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != source.index())
+            .filter_map(|(_, b)| *b),
+    );
     levels.sort_unstable_by(|a, b| b.cmp(a));
     levels.dedup();
 
@@ -232,12 +336,12 @@ pub fn single_source<N>(g: &DiGraph<N, Qos>, source: NodeIx) -> PathTree {
     dist[source.index()] = Some(Qos::IDENTITY);
 
     for (li, &b) in levels.iter().enumerate() {
-        let (lat, pred) = latency_dijkstra_at_level(g, source, b);
+        let pred = latency_dijkstra_at_level_into(g, source, b, scratch);
         for n in g.node_ids() {
-            if n == source || widest[n.index()] != Some(b) {
+            if n == source || scratch.widest[n.index()] != Some(b) {
                 continue;
             }
-            let l = lat[n.index()].expect(
+            let l = scratch.lat[n.index()].expect(
                 "a node with optimal bottleneck b must be reachable over links of bandwidth ≥ b",
             );
             dist[n.index()] = Some(Qos::new(b, l));
@@ -251,6 +355,7 @@ pub fn single_source<N>(g: &DiGraph<N, Qos>, source: NodeIx) -> PathTree {
         level_preds.push(vec![None; g.node_count()]);
     }
 
+    scratch.levels = levels; // hand the buffer back for the next sweep
     PathTree {
         source,
         dist,
@@ -330,7 +435,7 @@ pub fn single_source_lexicographic<N>(g: &DiGraph<N, Qos>, source: NodeIx) -> Pa
 /// all-pairs shortest-widest path … using the Wang-Crowcroft algorithm."
 #[derive(Clone, Debug)]
 pub struct AllPairs {
-    trees: Vec<PathTree>,
+    pub(crate) trees: Vec<PathTree>,
 }
 
 impl AllPairs {
@@ -525,6 +630,37 @@ mod tests {
         let g: DiGraph<(), Qos> = DiGraph::new();
         let ap = all_pairs(&g);
         assert!(ap.is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_is_observationally_identical() {
+        let (g, s, _) = trap();
+        let mut scratch = DijkstraScratch::new();
+        for n in g.node_ids() {
+            let fresh = single_source(&g, n);
+            let reused = single_source_with(&g, n, &mut scratch);
+            for m in g.node_ids() {
+                assert_eq!(fresh.qos_to(m), reused.qos_to(m));
+                assert_eq!(fresh.path_to(m), reused.path_to(m));
+            }
+        }
+        let _ = s;
+    }
+
+    #[test]
+    fn traverses_any_sees_exactly_the_tree_edges() {
+        let mut g: DiGraph<(), Qos> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let wide = g.add_edge(a, b, q(10, 1));
+        let narrow = g.add_edge(a, b, q(1, 0)); // loses on bandwidth: unused
+        let tree = single_source(&g, a);
+        let mut marked = vec![false; g.edge_count()];
+        marked[narrow.index()] = true;
+        assert!(!tree.traverses_any(&marked));
+        marked[wide.index()] = true;
+        assert!(tree.traverses_any(&marked));
+        assert!(!tree.traverses_any(&[]));
     }
 
     #[test]

@@ -55,6 +55,9 @@ pub struct ServerConfig {
     /// Hard cap on live sessions; `Federate` beyond it is answered with an
     /// error rather than growing without bound.
     pub max_sessions: usize,
+    /// Worker threads for routing-table rebuilds and patches after
+    /// mutations; `0` auto-sizes from `available_parallelism`.
+    pub route_workers: usize,
     /// Test hook: hold every admitted job this long before solving, so
     /// tests can fill the admission queue deterministically.
     pub debug_delay: Option<Duration>,
@@ -66,6 +69,7 @@ impl Default for ServerConfig {
             workers: 4,
             queue_depth: 64,
             max_sessions: 16_384,
+            route_workers: 0,
             debug_delay: None,
         }
     }
@@ -183,8 +187,9 @@ pub fn serve(world: World, config: &ServerConfig) -> io::Result<ServerHandle> {
 /// # Errors
 ///
 /// Propagates the bind failure.
-pub fn serve_on(addr: &str, world: World, config: &ServerConfig) -> io::Result<ServerHandle> {
+pub fn serve_on(addr: &str, mut world: World, config: &ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
+    world.set_route_workers(config.route_workers);
     let shared = Arc::new(Shared {
         addr: listener.local_addr()?,
         config: *config,
@@ -329,7 +334,9 @@ fn execute(shared: &Shared, request: Request) -> Response {
         // in dispatch, answered defensively rather than panicking a worker.
         Request::Stats | Request::Shutdown => Response::Error("control request in queue".into()),
     };
-    shared.metrics.record_latency_us(duration_us(start.elapsed()));
+    shared
+        .metrics
+        .record_latency_us(duration_us(start.elapsed()));
     response
 }
 
@@ -393,14 +400,29 @@ fn federate(
 /// against the new topology — sFlow's agility as a server operation.
 fn mutate(shared: &Shared, mutation: &crate::Mutation) -> Response {
     let mut world = shared.world.write();
-    if let Err(e) = world.apply(mutation) {
-        shared.metrics.failed();
-        return Response::Error(e.to_string());
-    }
+    let rebuild = match world.apply(mutation) {
+        Ok(rebuild) => rebuild,
+        Err(e) => {
+            shared.metrics.failed();
+            return Response::Error(e.to_string());
+        }
+    };
+    shared
+        .metrics
+        .rebuild(duration_us(rebuild.duration), rebuild.trees_recomputed);
     let epoch = world.epoch();
-    // The epoch tag already invalidates the cached matrix; dropping it
-    // eagerly also frees the memory of a large stale matrix right away.
-    *shared.hop_cache.lock() = None;
+    // The hop matrix is purely structural (BFS hop counts, no QoS), so a
+    // QoS-only mutation leaves it valid: retag the cached entry with the
+    // new epoch and the next solver reuses it. Structural mutations
+    // (instance failure) renumber the overlay; drop the matrix eagerly.
+    let mut hop_cache = shared.hop_cache.lock();
+    match (mutation, hop_cache.take()) {
+        (crate::Mutation::SetLinkQos { .. }, Some((_, matrix))) => {
+            *hop_cache = Some((epoch, matrix));
+        }
+        _ => *hop_cache = None,
+    }
+    drop(hop_cache);
 
     let ctx = world.context();
     let mut sessions = shared.sessions.lock();

@@ -34,6 +34,13 @@ pub struct StatsSnapshot {
     pub latency_p90_us: u64,
     /// 99th-percentile request latency, microseconds.
     pub latency_p99_us: u64,
+    /// Routing-table rebuilds/patches triggered by mutations.
+    pub rebuilds: u64,
+    /// Total wall-clock spent in those rebuilds, microseconds.
+    pub rebuild_us_total: u64,
+    /// Source trees recomputed across all rebuilds (incremental patches
+    /// recompute far fewer than `rebuilds * instances`).
+    pub trees_recomputed: u64,
 }
 
 /// Shared, interior-mutable counters. Workers record; any connection thread
@@ -45,6 +52,9 @@ pub struct Metrics {
     failed: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    rebuilds: AtomicU64,
+    rebuild_us_total: AtomicU64,
+    trees_recomputed: AtomicU64,
     latencies_us: Mutex<LatencyWindow>,
 }
 
@@ -80,6 +90,14 @@ impl Metrics {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One routing-table rebuild or patch: its wall-clock cost and how many
+    /// source trees it actually recomputed.
+    pub fn rebuild(&self, us: u64, trees: u64) {
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        self.rebuild_us_total.fetch_add(us, Ordering::Relaxed);
+        self.trees_recomputed.fetch_add(trees, Ordering::Relaxed);
+    }
+
     /// Records one request's end-to-end service latency.
     pub fn record_latency_us(&self, us: u64) {
         let mut w = self.latencies_us.lock();
@@ -108,6 +126,9 @@ impl Metrics {
             latency_p50_us: percentile(&sorted, 50),
             latency_p90_us: percentile(&sorted, 90),
             latency_p99_us: percentile(&sorted, 99),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            rebuild_us_total: self.rebuild_us_total.load(Ordering::Relaxed),
+            trees_recomputed: self.trees_recomputed.load(Ordering::Relaxed),
         }
     }
 }
@@ -131,9 +152,14 @@ mod tests {
         for us in 1..=100 {
             m.record_latency_us(us);
         }
+        m.rebuild(120, 3);
+        m.rebuild(80, 1);
         let s = m.snapshot(3, 7);
         assert_eq!(s.epoch, 3);
         assert_eq!(s.sessions, 7);
+        assert_eq!(s.rebuilds, 2);
+        assert_eq!(s.rebuild_us_total, 200);
+        assert_eq!(s.trees_recomputed, 4);
         assert_eq!(s.latency_p50_us, 51); // round-half-up nearest rank
         assert_eq!(s.latency_p90_us, 90);
         assert_eq!(s.latency_p99_us, 99);

@@ -126,7 +126,10 @@ mod tests {
         };
         let mut buf = Vec::new();
         write_frame(&mut buf, &req).unwrap();
-        assert_eq!(buf.len(), 4 + u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize);
+        assert_eq!(
+            buf.len(),
+            4 + u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize
+        );
         let back: Request = read_frame(&mut buf.as_slice()).unwrap().unwrap();
         assert_eq!(back, req);
     }

@@ -7,6 +7,8 @@
 //! [`HopMatrix`](sflow_core::baseline::HopMatrix)) use the bump as their
 //! invalidation signal.
 
+use std::time::{Duration, Instant};
+
 use sflow_core::fixtures::Fixture;
 use sflow_core::FederationContext;
 use sflow_graph::NodeIx;
@@ -42,6 +44,24 @@ impl std::fmt::Display for WorldError {
 
 impl std::error::Error for WorldError {}
 
+/// How much routing work one applied mutation cost.
+///
+/// `SetLinkQos` goes through the incremental
+/// [`AllPairs::patch`](sflow_routing::AllPairs::patch) path, so
+/// `trees_recomputed` is typically far below `trees_total`; instance
+/// failures renumber the overlay and force a full parallel rebuild.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RebuildStats {
+    /// Wall-clock spent rebuilding or patching the routing table.
+    pub duration: Duration,
+    /// Source trees actually recomputed.
+    pub trees_recomputed: u64,
+    /// Source trees in the table (== overlay instances).
+    pub trees_total: u64,
+    /// `true` if the whole table was rebuilt (structural mutation).
+    pub full_rebuild: bool,
+}
+
 /// The shared world a federation server owns.
 #[derive(Clone, Debug)]
 pub struct World {
@@ -51,10 +71,12 @@ pub struct World {
     source: ServiceInstance,
     source_node: NodeIx,
     epoch: u64,
+    /// Worker threads for routing rebuilds/patches; 0 = auto-size.
+    route_workers: usize,
 }
 
 impl World {
-    /// Adopts a fixture as the world at epoch 0.
+    /// Adopts a fixture as the world at epoch 0 (auto-sized routing pool).
     pub fn new(fixture: Fixture) -> Self {
         let source = fixture.overlay.instance(fixture.source);
         World {
@@ -64,7 +86,14 @@ impl World {
             source,
             source_node: fixture.source,
             epoch: 0,
+            route_workers: 0,
         }
+    }
+
+    /// Sets the routing worker-pool size used by rebuilds and patches
+    /// (`0` = auto-size from `available_parallelism`).
+    pub fn set_route_workers(&mut self, workers: usize) {
+        self.route_workers = workers;
     }
 
     /// A federation context borrowing this world's current topology.
@@ -92,15 +121,17 @@ impl World {
         self.epoch
     }
 
-    /// Applies one mutation: updates the overlay, rebuilds the [`AllPairs`]
-    /// table, re-pins the source and bumps the epoch.
+    /// Applies one mutation: updates the overlay, repairs the [`AllPairs`]
+    /// table (incrementally for link-QoS changes, full parallel rebuild for
+    /// structural ones), re-pins the source and bumps the epoch. Returns
+    /// how much routing work the mutation cost.
     ///
     /// # Errors
     ///
     /// Returns a [`WorldError`] (and leaves the world untouched) if the
     /// mutation names an unknown instance or link, or would fail the source.
-    pub fn apply(&mut self, mutation: &Mutation) -> Result<(), WorldError> {
-        match *mutation {
+    pub fn apply(&mut self, mutation: &Mutation) -> Result<RebuildStats, WorldError> {
+        let stats = match *mutation {
             Mutation::SetLinkQos {
                 from,
                 to,
@@ -119,8 +150,22 @@ impl World {
                     Bandwidth::kbps(bandwidth_kbps),
                     Latency::from_micros(latency_us),
                 );
-                if !self.overlay.set_link_qos(f, t, qos) {
-                    return Err(WorldError::NoSuchLink(from, to));
+                let change = self
+                    .overlay
+                    .update_link_qos(f, t, qos)
+                    .ok_or(WorldError::NoSuchLink(from, to))?;
+                // The overlay kept its node set, so the table can be
+                // patched in place: only trees the change can affect are
+                // recomputed, the rest are reused across the epoch bump.
+                let started = Instant::now();
+                let patched =
+                    self.all_pairs
+                        .patch_with(self.overlay.graph(), &[change], self.route_workers);
+                RebuildStats {
+                    duration: started.elapsed(),
+                    trees_recomputed: patched.trees_recomputed as u64,
+                    trees_total: patched.trees_total as u64,
+                    full_rebuild: patched.full_rebuild,
                 }
             }
             Mutation::FailInstance { instance } => {
@@ -131,17 +176,26 @@ impl World {
                     return Err(WorldError::UnknownInstance(instance));
                 }
                 // Failure rebuilds the overlay and renumbers its nodes; the
-                // source must be re-resolved by identity.
+                // source must be re-resolved by identity and the routing
+                // table rebuilt from scratch (on the worker pool).
                 self.overlay = self.overlay.without_instances(&[instance]);
                 self.source_node = self
                     .overlay
                     .node_of(self.source)
                     .expect("source survives non-source failure");
+                let started = Instant::now();
+                self.all_pairs = self.overlay.all_pairs_parallel_with(self.route_workers);
+                let trees = self.all_pairs.len() as u64;
+                RebuildStats {
+                    duration: started.elapsed(),
+                    trees_recomputed: trees,
+                    trees_total: trees,
+                    full_rebuild: true,
+                }
             }
-        }
-        self.all_pairs = self.overlay.all_pairs();
+        };
         self.epoch += 1;
-        Ok(())
+        Ok(stats)
     }
 }
 
@@ -172,7 +226,8 @@ mod tests {
             .values()
             .find(|i| **i != w.source())
             .unwrap();
-        w.apply(&Mutation::FailInstance { instance: victim }).unwrap();
+        w.apply(&Mutation::FailInstance { instance: victim })
+            .unwrap();
         assert_eq!(w.epoch(), 1);
         assert!(w.overlay().node_of(victim).is_none());
         let after = SflowAlgorithm::default()

@@ -7,9 +7,7 @@ use std::time::Duration;
 
 use sflow_core::algorithms::{FederationAlgorithm, SflowAlgorithm};
 use sflow_core::fixtures::{diamond_fixture, diamond_requirement};
-use sflow_server::{
-    serve, Algorithm, Client, Mutation, Request, Response, ServerConfig, World,
-};
+use sflow_server::{serve, Algorithm, Client, Mutation, Request, Response, ServerConfig, World};
 
 const DIAMOND_SPEC: &str = "0>1>3, 0>2>3";
 const CLIENTS: usize = 4;
@@ -111,6 +109,106 @@ fn concurrent_clients_match_the_centralized_result() {
         misses_before + 1,
         "epoch bump must invalidate the hop-matrix cache"
     );
+
+    handle.shutdown();
+}
+
+/// A QoS-only mutation goes down the incremental patch path: the rebuild
+/// counters record it, and the structural hop-matrix cache stays warm
+/// (retagged to the new epoch) — only an instance failure clears it.
+#[test]
+fn qos_mutations_patch_and_keep_the_hop_cache_warm() {
+    let handle = serve(World::new(diamond_fixture()), &ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Prime the hop-matrix cache.
+    match client
+        .federate(DIAMOND_SPEC, Algorithm::Sflow, Some(2))
+        .unwrap()
+    {
+        Response::Federated(_) => {}
+        other => panic!("expected Federated, got {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.rebuilds, 0);
+
+    // Find a real overlay link via a probe fixture (same topology).
+    let probe = diamond_fixture();
+    let link = probe
+        .overlay
+        .graph()
+        .out_edges(probe.source)
+        .next()
+        .unwrap();
+    let from = probe.overlay.instance(link.from);
+    let to = probe.overlay.instance(link.to);
+    match client
+        .mutate(Mutation::SetLinkQos {
+            from,
+            to,
+            bandwidth_kbps: 500,
+            latency_us: 1,
+        })
+        .unwrap()
+    {
+        Response::Mutated { epoch, .. } => assert_eq!(epoch, 1),
+        other => panic!("expected Mutated, got {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.rebuilds, 1, "the patch must be recorded: {stats:?}");
+    assert!(
+        stats.trees_recomputed < 4,
+        "a single-edge QoS change must not recompute every diamond tree: {stats:?}"
+    );
+
+    // The hop matrix is structural, so the QoS mutation must NOT cost a
+    // rebuild: the cached matrix is retagged and the next solve hits.
+    let hits_before = stats.cache_hits;
+    match client
+        .federate(DIAMOND_SPEC, Algorithm::Sflow, Some(2))
+        .unwrap()
+    {
+        Response::Federated(summary) => assert_eq!(summary.epoch, 1),
+        other => panic!("expected Federated, got {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.cache_misses, 1,
+        "retag must avoid a rebuild: {stats:?}"
+    );
+    assert_eq!(stats.cache_hits, hits_before + 1);
+
+    // An instance failure renumbers the overlay; the cache must clear.
+    let expected = SflowAlgorithm::default()
+        .federate(&probe.context(), &diamond_requirement())
+        .unwrap();
+    let victim = *expected
+        .instances()
+        .values()
+        .find(|i| **i != probe.overlay.instance(probe.source))
+        .unwrap();
+    match client
+        .mutate(Mutation::FailInstance { instance: victim })
+        .unwrap()
+    {
+        Response::Mutated { epoch, .. } => assert_eq!(epoch, 2),
+        other => panic!("expected Mutated, got {other:?}"),
+    }
+    match client
+        .federate(DIAMOND_SPEC, Algorithm::Sflow, Some(2))
+        .unwrap()
+    {
+        Response::Federated(summary) => assert_eq!(summary.epoch, 2),
+        other => panic!("expected Federated, got {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.cache_misses, 2,
+        "structural mutations must clear the hop cache: {stats:?}"
+    );
+    assert_eq!(stats.rebuilds, 2);
+    assert!(stats.rebuild_us_total > 0);
 
     handle.shutdown();
 }

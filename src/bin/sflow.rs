@@ -72,6 +72,7 @@ fn usage() -> ExitCode {
          \x20            [--vars N] [--clauses M] [--seed S]\n\
          \x20 serve      run the federation server (default world: Fig. 4)\n\
          \x20            [--addr IP:PORT] [--workers N] [--queue D]\n\
+         \x20            [--route-workers N] routing rebuild pool (0 = auto)\n\
          \x20            [--hosts N --services K --instances M --seed S]\n\
          \x20 request    talk to a running server\n\
          \x20            --addr IP:PORT --edges \"0>1>3,0>2>3\"\n\
@@ -268,6 +269,7 @@ fn serve(flags: &Flags) -> Result<(), String> {
     let config = ServerConfig {
         workers: get(flags, "workers", ServerConfig::default().workers)?,
         queue_depth: get(flags, "queue", ServerConfig::default().queue_depth)?,
+        route_workers: get(flags, "route-workers", 0usize)?,
         ..ServerConfig::default()
     };
     // Default world: the paper's Fig. 4. With --hosts, a seeded random world
@@ -343,6 +345,10 @@ fn request(flags: &Flags) -> Result<(), String> {
             "latency: p50 {} µs  p90 {} µs  p99 {} µs",
             s.latency_p50_us, s.latency_p90_us, s.latency_p99_us
         );
+        println!(
+            "routing rebuilds: {} ({} µs total, {} trees recomputed)",
+            s.rebuilds, s.rebuild_us_total, s.trees_recomputed
+        );
         return Ok(());
     }
     if flags.contains_key("shutdown") {
@@ -375,7 +381,11 @@ fn request(flags: &Flags) -> Result<(), String> {
     let spec = flags
         .get("edges")
         .ok_or("request needs --edges (or --stats/--shutdown/--fail/--set-link)")?;
-    let algorithm = match flags.get("algorithm").map(String::as_str).unwrap_or("sflow") {
+    let algorithm = match flags
+        .get("algorithm")
+        .map(String::as_str)
+        .unwrap_or("sflow")
+    {
         "sflow" => Algorithm::Sflow,
         "global" => Algorithm::Global,
         "fixed" => Algorithm::Fixed,
