@@ -1,0 +1,95 @@
+//! `sflow-audit`: a dependency-free workspace lint engine.
+//!
+//! Enforces sflow-specific source discipline that generic tooling cannot:
+//! panic-freedom on server/routing hot paths, `parking_lot`-only locking,
+//! allocation-free Dijkstra kernels, print-free libraries, `forbid(unsafe)`
+//! crate roots, and single-acquisition world-lock discipline. See
+//! [`rules::RULES`] for the catalogue and `DESIGN.md` §8 for rationale.
+//!
+//! The crate intentionally has **zero dependencies** — not even the
+//! workspace's vendored shims — so the audit gate stays green-buildable even
+//! when the rest of the tree is broken mid-refactor.
+
+#![forbid(unsafe_code)]
+
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use report::{AuditReport, Finding};
+pub use rules::{scan_source, FileClass, Rule, RULES};
+
+use std::path::{Path, PathBuf};
+
+/// Walks up from `start` to the workspace root (the directory whose
+/// `Cargo.toml` declares `[workspace]`).
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Collects every workspace `.rs` source under `root`: the top-level `src/`
+/// tree plus each `crates/*/src`, `crates/*/tests`, `crates/*/benches`.
+/// Vendored shims (`vendor/`) are third-party style and exempt.
+pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files);
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let dir = entry.path();
+            if dir.is_dir() {
+                collect_rs(&dir.join("src"), &mut files);
+                collect_rs(&dir.join("tests"), &mut files);
+                collect_rs(&dir.join("benches"), &mut files);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Audits the whole workspace rooted at `root`.
+pub fn audit_workspace(root: &Path) -> std::io::Result<AuditReport> {
+    let mut report = AuditReport::default();
+    for path in workspace_sources(root) {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let text = std::fs::read_to_string(&path)?;
+        let (findings, suppressed) = scan_source(&rel, &text);
+        report.findings.extend(findings);
+        report.suppressed += suppressed;
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.column).cmp(&(&b.path, b.line, b.column)));
+    Ok(report)
+}

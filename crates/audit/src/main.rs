@@ -1,0 +1,112 @@
+//! CLI entry point for the workspace lint engine.
+//!
+//! ```text
+//! cargo run -p sflow-audit -- --deny            # CI gate: exit 1 on findings
+//! cargo run -p sflow-audit -- --json report.json
+//! cargo run -p sflow-audit -- --list-rules
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sflow_audit::{audit_workspace, find_root, RULES};
+
+struct Args {
+    root: Option<PathBuf>,
+    deny: bool,
+    json: Option<PathBuf>,
+    quiet: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        deny: false,
+        json: None,
+        quiet: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => args.deny = true,
+            "--quiet" => args.quiet = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a path")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--json" => {
+                let v = it.next().ok_or("--json needs a path")?;
+                args.json = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "sflow-audit: workspace lint engine\n\n\
+                     USAGE: sflow-audit [--root DIR] [--deny] [--json FILE] [--quiet] [--list-rules]\n\n\
+                     --root DIR    workspace root (default: walk up from cwd)\n\
+                     --deny        exit non-zero if any finding remains\n\
+                     --json FILE   also write the report as JSON\n\
+                     --quiet       suppress the human report\n\
+                     --list-rules  print the rule catalogue and exit"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sflow-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for r in RULES {
+            println!("{:<18} {}", r.name, r.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match args
+        .root
+        .or_else(|| find_root(&std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."))))
+    {
+        Some(r) => r,
+        None => {
+            eprintln!("sflow-audit: no workspace root found (no Cargo.toml with [workspace])");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match audit_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sflow-audit: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("sflow-audit: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !args.quiet {
+        print!("{}", report.render_human());
+    }
+    if args.deny && !report.is_clean() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

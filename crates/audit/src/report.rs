@@ -1,0 +1,157 @@
+//! Diagnostics: findings, the aggregate report, and human/JSON rendering.
+//!
+//! JSON emission is hand-rolled because this crate is deliberately
+//! dependency-free (see `Cargo.toml`): the auditor must gate CI even when
+//! the vendored shims or the rest of the workspace fail to build.
+
+/// One rule violation at a specific source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired (stable name from [`crate::rules::RULES`]).
+    pub rule: &'static str,
+    /// Repo-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (chars).
+    pub column: usize,
+    /// What went wrong and what to do instead.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl Finding {
+    pub fn new(
+        rule: &'static str,
+        path: &str,
+        line: usize,
+        column: usize,
+        message: String,
+        snippet: String,
+    ) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            column,
+            message,
+            snippet,
+        }
+    }
+}
+
+/// The result of auditing a set of files.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// All unsuppressed findings, in (path, line, column) order.
+    pub findings: Vec<Finding>,
+    /// How many findings were silenced by `audit:allow` directives.
+    pub suppressed: usize,
+    /// How many source files were scanned.
+    pub files_scanned: usize,
+}
+
+impl AuditReport {
+    /// True when the tree is clean (no unsuppressed findings).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders a compiler-style human report.
+    pub fn render_human(&self) -> String {
+        let mut s = String::new();
+        for f in &self.findings {
+            s.push_str(&format!(
+                "error[{}]: {}\n  --> {}:{}:{}\n",
+                f.rule, f.message, f.path, f.line, f.column
+            ));
+            if !f.snippet.is_empty() {
+                s.push_str(&format!("   | {}\n", f.snippet));
+            }
+        }
+        s.push_str(&format!(
+            "audit: {} file(s) scanned, {} finding(s), {} suppressed\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.suppressed
+        ));
+        s
+    }
+
+    /// Renders the report as a JSON document (machine-readable CI artifact).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+        s.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"column\": {}, \
+                 \"message\": {}, \"snippet\": {}}}",
+                json_str(f.rule),
+                json_str(&f.path),
+                f.line,
+                f.column,
+                json_str(&f.message),
+                json_str(&f.snippet)
+            ));
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Escapes `v` as a JSON string literal.
+fn json_str(v: &str) -> String {
+    let mut s = String::with_capacity(v.len() + 2);
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let mut r = AuditReport::default();
+        r.files_scanned = 2;
+        r.findings.push(Finding::new(
+            "no-unwrap",
+            "crates/server/src/x.rs",
+            3,
+            7,
+            "msg".to_string(),
+            "let x = y.unwrap();".to_string(),
+        ));
+        let j = r.to_json();
+        assert!(j.contains("\"clean\": false"));
+        assert!(j.contains("\"rule\": \"no-unwrap\""));
+        assert!(j.contains("\"line\": 3"));
+    }
+}

@@ -1,0 +1,499 @@
+//! The rule catalogue and the per-file lint engine.
+//!
+//! Each rule is repo-specific discipline that `clippy` cannot express
+//! (because it needs workspace-level policy, not local syntax):
+//!
+//! | rule | scope | what it enforces |
+//! |---|---|---|
+//! | `no-unwrap` | `crates/server`, `crates/routing` non-test code | no `.unwrap()` / `.expect(` on hot paths |
+//! | `std-sync-lock` | all non-test sources | `parking_lot` locks, never `std::sync::{Mutex, RwLock}` |
+//! | `kernel-discipline` | `crates/routing` heap-pop loops | no `Instant::now()` / allocation inside a Dijkstra inner kernel |
+//! | `no-print` | library sources | no `println!` family / `dbg!` (binaries excepted) |
+//! | `forbid-unsafe` | every crate root | `#![forbid(unsafe_code)]` present |
+//! | `lock-discipline` | `crates/server` non-test code | no repeated `world.read()` / `world.write()` in one function |
+//!
+//! Findings can be suppressed per site with `// audit:allow(rule-name)` on
+//! the same line or the line directly above; the file-level `forbid-unsafe`
+//! rule accepts the directive anywhere in the file.
+
+use crate::report::Finding;
+use crate::scan::{self, Masked};
+
+/// One lint rule: stable name, scope summary, rationale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rule {
+    /// Stable kebab-case identifier, as used by `audit:allow(...)`.
+    pub name: &'static str,
+    /// One-line description of scope and intent.
+    pub description: &'static str,
+}
+
+/// The full rule catalogue, in reporting order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "no-unwrap",
+        description: "no .unwrap()/.expect() in non-test code of crates/server and crates/routing \
+                      (a panic there kills a worker or poisons a shared table)",
+    },
+    Rule {
+        name: "std-sync-lock",
+        description: "no std::sync::Mutex/RwLock where parking_lot is mandated \
+                      (poisoning semantics differ; the workspace standardises on parking_lot)",
+    },
+    Rule {
+        name: "kernel-discipline",
+        description: "no Instant::now()/allocation inside the Dijkstra heap-pop kernels of \
+                      crates/routing (the all-pairs engine calls them O(V) times per rebuild)",
+    },
+    Rule {
+        name: "no-print",
+        description: "no println!/eprintln!/dbg! in library crates (binaries own the terminal)",
+    },
+    Rule {
+        name: "forbid-unsafe",
+        description: "#![forbid(unsafe_code)] present in every crate root",
+    },
+    Rule {
+        name: "lock-discipline",
+        description: "no repeated world.read()/world.write() acquisitions within one function in \
+                      crates/server (re-entrant RwLock acquisition can deadlock under writers)",
+    },
+];
+
+/// How a source file is classified, derived purely from its repo-relative
+/// path (always `/`-separated).
+#[derive(Clone, Debug)]
+pub struct FileClass {
+    /// The crate directory (`"crates/server"`, …; `""` for the root crate).
+    pub crate_dir: String,
+    /// Lives under a `tests/`, `benches/` or `examples/` directory.
+    pub in_tests: bool,
+    /// A binary source (`src/main.rs` or under `src/bin/`).
+    pub is_bin: bool,
+    /// A crate root (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`).
+    pub is_crate_root: bool,
+}
+
+impl FileClass {
+    /// Classifies a repo-relative path such as `crates/server/src/wire.rs`.
+    pub fn of(rel: &str) -> FileClass {
+        let parts: Vec<&str> = rel.split('/').collect();
+        let crate_dir = if parts.first() == Some(&"crates") && parts.len() > 2 {
+            format!("crates/{}", parts[1])
+        } else {
+            String::new()
+        };
+        let in_tests = parts
+            .iter()
+            .any(|p| *p == "tests" || *p == "benches" || *p == "examples");
+        let is_bin = parts.contains(&"bin") || rel.ends_with("src/main.rs");
+        let is_crate_root = rel.ends_with("src/lib.rs")
+            || rel.ends_with("src/main.rs")
+            || (parts.len() >= 2 && parts[parts.len() - 2] == "bin" && rel.ends_with(".rs"));
+        FileClass {
+            crate_dir,
+            in_tests,
+            is_bin,
+            is_crate_root,
+        }
+    }
+}
+
+/// Scans one source file; returns `(findings, suppressed_count)`.
+///
+/// `rel` is the repo-relative path (used for rule scoping and reporting),
+/// `text` the file contents.
+pub fn scan_source(rel: &str, text: &str) -> (Vec<Finding>, usize) {
+    if !rel.ends_with(".rs") {
+        return (Vec::new(), 0);
+    }
+    let class = FileClass::of(rel);
+    let masked = scan::mask(text);
+    let lines: Vec<&str> = masked.text.lines().collect();
+    let orig_lines: Vec<&str> = text.lines().collect();
+    let in_test_region = test_line_mask(&masked.text, lines.len());
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let hot_crate = class.crate_dir == "crates/server" || class.crate_dir == "crates/routing";
+
+    if hot_crate && !class.in_tests {
+        no_unwrap(rel, &lines, &in_test_region, &mut raw);
+    }
+    if !class.in_tests {
+        std_sync_lock(rel, &lines, &in_test_region, &mut raw);
+    }
+    if class.crate_dir == "crates/routing" && !class.in_tests {
+        kernel_discipline(rel, &masked, &in_test_region, &mut raw);
+    }
+    if !class.is_bin && !class.in_tests {
+        no_print(rel, &lines, &in_test_region, &mut raw);
+    }
+    if class.is_crate_root && !masked.text.contains("#![forbid(unsafe_code)]") {
+        raw.push(Finding::new(
+            "forbid-unsafe",
+            rel,
+            1,
+            1,
+            "crate root is missing #![forbid(unsafe_code)]".to_string(),
+            orig_lines.first().unwrap_or(&"").trim().to_string(),
+        ));
+    }
+    if class.crate_dir == "crates/server" && !class.in_tests {
+        lock_discipline(rel, &masked, &in_test_region, &mut raw);
+    }
+
+    // Attach snippets from the original (unmasked) source.
+    for f in &mut raw {
+        if f.snippet.is_empty() {
+            f.snippet = orig_lines
+                .get(f.line.saturating_sub(1))
+                .unwrap_or(&"")
+                .trim()
+                .to_string();
+        }
+    }
+
+    // Apply suppressions: same line, the line directly above, or (for the
+    // file-level forbid-unsafe rule) anywhere in the file.
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    for f in raw {
+        let allowed = masked.allows.iter().any(|(line, rule)| {
+            rule == f.rule && (*line == f.line || *line + 1 == f.line || f.rule == "forbid-unsafe")
+        });
+        if allowed {
+            suppressed += 1;
+        } else {
+            findings.push(f);
+        }
+    }
+    (findings, suppressed)
+}
+
+/// Marks every line that lies inside a `#[cfg(test)]` / `#[test]` item body.
+fn test_line_mask(masked: &str, n_lines: usize) -> Vec<bool> {
+    let chars: Vec<char> = masked.chars().collect();
+    let mut mask = vec![false; n_lines];
+    let mut line = 0usize; // 0-based while walking
+    let mut depth = 0i64;
+    let mut pending: Option<i64> = None;
+    let mut regions: Vec<i64> = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        match chars[i] {
+            '\n' => line += 1,
+            '{' => {
+                if pending == Some(depth) {
+                    regions.push(depth);
+                    pending = None;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if !regions.is_empty() && line < mask.len() {
+                    mask[line] = true; // the closing brace's own line
+                }
+                if regions.last() == Some(&depth) {
+                    regions.pop();
+                }
+            }
+            // An attribute on a brace-less item (`#[cfg(test)] mod t;`)
+            // does not open an inline region.
+            ';' if pending == Some(depth) => pending = None,
+            '#' => {
+                let ahead: String = chars[i..chars.len().min(i + 16)].iter().collect();
+                if ahead.starts_with("#[test]")
+                    || ahead.starts_with("#[cfg(test")
+                    || ahead.starts_with("#[cfg(all(test")
+                {
+                    pending = Some(depth);
+                }
+            }
+            _ => {}
+        }
+        if !regions.is_empty() && line < mask.len() {
+            mask[line] = true;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Every char-index occurrence of `pat` in `line` (masked text).
+fn occurrences(line: &str, pat: &str) -> Vec<usize> {
+    let mut at = 0usize;
+    let mut hits = Vec::new();
+    while let Some(rel) = line[at..].find(pat) {
+        hits.push(at + rel);
+        at += rel + pat.len();
+    }
+    hits
+}
+
+fn no_unwrap(rel: &str, lines: &[&str], test: &[bool], out: &mut Vec<Finding>) {
+    for (ix, l) in lines.iter().enumerate() {
+        if test.get(ix).copied().unwrap_or(false) {
+            continue;
+        }
+        for pat in [".unwrap()", ".expect("] {
+            for col in occurrences(l, pat) {
+                out.push(Finding::new(
+                    "no-unwrap",
+                    rel,
+                    ix + 1,
+                    col + 1,
+                    format!("`{pat}` in hot-path crate: return a typed error instead"),
+                    String::new(),
+                ));
+            }
+        }
+    }
+}
+
+fn std_sync_lock(rel: &str, lines: &[&str], test: &[bool], out: &mut Vec<Finding>) {
+    for (ix, l) in lines.iter().enumerate() {
+        if test.get(ix).copied().unwrap_or(false) {
+            continue;
+        }
+        let mut cols: Vec<(usize, &str)> = Vec::new();
+        for pat in ["std::sync::Mutex", "std::sync::RwLock"] {
+            for col in occurrences(l, pat) {
+                cols.push((col, pat));
+            }
+        }
+        // Brace imports: `use std::sync::{Arc, Mutex}`.
+        if l.trim_start().starts_with("use std::sync::") && l.contains('{') {
+            for name in ["Mutex", "RwLock"] {
+                for col in occurrences(l, name) {
+                    if !cols.iter().any(|(c, p)| col >= *c && col < *c + p.len()) {
+                        cols.push((col, name));
+                    }
+                }
+            }
+        }
+        for (col, pat) in cols {
+            out.push(Finding::new(
+                "std-sync-lock",
+                rel,
+                ix + 1,
+                col + 1,
+                format!("`{pat}`: this workspace mandates parking_lot locks"),
+                String::new(),
+            ));
+        }
+    }
+}
+
+fn no_print(rel: &str, lines: &[&str], test: &[bool], out: &mut Vec<Finding>) {
+    for (ix, l) in lines.iter().enumerate() {
+        if test.get(ix).copied().unwrap_or(false) {
+            continue;
+        }
+        for col in occurrences(l, "dbg!") {
+            out.push(Finding::new(
+                "no-print",
+                rel,
+                ix + 1,
+                col + 1,
+                "`dbg!` in a library crate".to_string(),
+                String::new(),
+            ));
+        }
+        // Classify every `print` occurrence into its exact macro name, so
+        // `eprintln!` is reported once (not also as `println!`).
+        for col in occurrences(l, "print") {
+            let chars: Vec<char> = l.chars().collect();
+            let start = if col > 0 && chars[col - 1] == 'e' {
+                col - 1
+            } else {
+                col
+            };
+            if start < col && col > 1 && is_ident_char(chars[col - 2]) {
+                continue; // `…eprint` inside a longer identifier
+            }
+            if start == col && col > 0 && is_ident_char(chars[col - 1]) {
+                continue; // `…print` inside a longer identifier (incl. eprint, handled above)
+            }
+            let mut end = col + "print".len();
+            if chars.get(end) == Some(&'l') && chars.get(end + 1) == Some(&'n') {
+                end += 2;
+            }
+            if chars.get(end) != Some(&'!') {
+                continue; // not a macro invocation
+            }
+            let name: String = chars[start..=end].iter().collect();
+            out.push(Finding::new(
+                "no-print",
+                rel,
+                ix + 1,
+                start + 1,
+                format!("`{name}` in a library crate: route output through the caller"),
+                String::new(),
+            ));
+        }
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokens that betray an allocation or a clock read inside a kernel loop.
+const KERNEL_BANNED: &[&str] = &[
+    "Instant::now",
+    "SystemTime::now",
+    "Vec::new",
+    "VecDeque::new",
+    "vec!",
+    "with_capacity",
+    "Box::new",
+    "String::new",
+    "String::from",
+    "format!",
+    "to_vec()",
+    "to_owned()",
+    "to_string()",
+    ".collect()",
+    "HashMap::new",
+    "HashSet::new",
+    "BTreeMap::new",
+];
+
+fn kernel_discipline(rel: &str, masked: &Masked, test: &[bool], out: &mut Vec<Finding>) {
+    let chars: Vec<char> = masked.text.chars().collect();
+    for start in occurrences(&masked.text, "while let") {
+        // The loop header runs up to the body's opening brace; only loops
+        // draining a heap (`.pop()`, not a deque's `.pop_front()`) are
+        // Dijkstra kernels.
+        let Some(open) = find_forward(&chars, char_index_of(&masked.text, start), '{') else {
+            continue;
+        };
+        let header: String = chars[char_index_of(&masked.text, start)..open]
+            .iter()
+            .collect();
+        if !header.contains(".pop()") || header.contains(".pop_front") {
+            continue;
+        }
+        let Some(close) = matching_brace(&chars, open) else {
+            continue;
+        };
+        let body_first_line = line_of(&chars, open);
+        if test.get(body_first_line).copied().unwrap_or(false) {
+            continue;
+        }
+        let body: String = chars[open..=close].iter().collect();
+        let body_start_line = line_of(&chars, open); // 0-based
+        for pat in KERNEL_BANNED {
+            for rel_col in occurrences(&body, pat) {
+                let line0 = body_start_line + body[..rel_col].matches('\n').count();
+                let col = body[..rel_col]
+                    .rfind('\n')
+                    .map_or(rel_col + open, |nl| rel_col - nl - 1);
+                out.push(Finding::new(
+                    "kernel-discipline",
+                    rel,
+                    line0 + 1,
+                    col + 1,
+                    format!("`{pat}` inside a heap-pop kernel loop: hoist it out of the kernel"),
+                    String::new(),
+                ));
+            }
+        }
+    }
+}
+
+fn lock_discipline(rel: &str, masked: &Masked, test: &[bool], out: &mut Vec<Finding>) {
+    let chars: Vec<char> = masked.text.chars().collect();
+    for at in occurrences(&masked.text, "fn ") {
+        let ci = char_index_of(&masked.text, at);
+        if ci > 0 && is_ident_char(chars[ci - 1]) {
+            continue; // part of a longer identifier
+        }
+        // Find the body `{`, skipping the parameter list and return type; a
+        // `;` at paren depth 0 means a body-less declaration.
+        let mut j = ci;
+        let mut paren = 0i64;
+        let mut open = None;
+        while j < chars.len() {
+            match chars[j] {
+                '(' | '[' => paren += 1,
+                ')' | ']' => paren -= 1,
+                '{' if paren == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                ';' if paren == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let Some(close) = matching_brace(&chars, open) else {
+            continue;
+        };
+        if test.get(line_of(&chars, ci)).copied().unwrap_or(false) {
+            continue;
+        }
+        let body: String = chars[open..=close].iter().collect();
+        let body_start_line = line_of(&chars, open);
+        let mut hits: Vec<(usize, &str)> = Vec::new();
+        for pat in ["world.read()", "world.write()"] {
+            for rel_col in occurrences(&body, pat) {
+                hits.push((rel_col, pat));
+            }
+        }
+        hits.sort_unstable();
+        for (n, (rel_col, pat)) in hits.iter().enumerate().skip(1) {
+            let line0 = body_start_line + body[..*rel_col].matches('\n').count();
+            let col = body[..*rel_col]
+                .rfind('\n')
+                .map_or(*rel_col, |nl| *rel_col - nl - 1);
+            out.push(Finding::new(
+                "lock-discipline",
+                rel,
+                line0 + 1,
+                col + 1,
+                format!(
+                    "`{pat}` is world-lock acquisition #{} in this function: a second \
+                     acquisition while the first guard lives can deadlock behind a writer",
+                    n + 1
+                ),
+                String::new(),
+            ));
+        }
+    }
+}
+
+/// Converts a byte offset in `text` to its char index.
+fn char_index_of(text: &str, byte_at: usize) -> usize {
+    text[..byte_at].chars().count()
+}
+
+/// The 0-based line of char index `at`.
+fn line_of(chars: &[char], at: usize) -> usize {
+    chars[..at].iter().filter(|&&c| c == '\n').count()
+}
+
+/// First occurrence of `what` at or after char index `from`.
+fn find_forward(chars: &[char], from: usize, what: char) -> Option<usize> {
+    (from..chars.len()).find(|&k| chars[k] == what)
+}
+
+/// The index of the `}` matching the `{` at `open`.
+fn matching_brace(chars: &[char], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, &c) in chars.iter().enumerate().skip(open) {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}

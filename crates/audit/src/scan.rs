@@ -1,0 +1,299 @@
+//! Source masking: a hand-rolled scanner that blanks comments and literals.
+//!
+//! Every lint rule in this crate is textual, so the first job is making sure
+//! a pattern inside a string literal, a doc comment or a `/* … */` block can
+//! never trigger (or suppress) a rule. [`mask`] walks the source once,
+//! character by character, and produces a same-shape copy in which the
+//! *contents* of comments and string/char literals are replaced by spaces —
+//! newlines and everything else are preserved, so line and column numbers in
+//! the masked text map 1:1 onto the original.
+//!
+//! While blanking comments, the scanner also harvests
+//! `audit:allow(rule-a, rule-b)` suppression directives, attributed to the
+//! line the directive appears on.
+
+/// The result of masking one source file.
+#[derive(Debug)]
+pub struct Masked {
+    /// The masked source: identical line structure, with comment and literal
+    /// contents blanked to spaces (string quotes are kept).
+    pub text: String,
+    /// `audit:allow(...)` directives found in comments: `(line, rule-name)`,
+    /// lines 1-based.
+    pub allows: Vec<(usize, String)>,
+}
+
+/// Extracts `audit:allow(a, b)` rule names from one line of comment text.
+fn harvest_allows(comment: &str, line: usize, allows: &mut Vec<(usize, String)>) {
+    let mut rest = comment;
+    while let Some(at) = rest.find("audit:allow(") {
+        rest = &rest[at + "audit:allow(".len()..];
+        let Some(close) = rest.find(')') else { return };
+        for rule in rest[..close].split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                allows.push((line, rule.to_string()));
+            }
+        }
+        rest = &rest[close + 1..];
+    }
+}
+
+/// Masks `src`: blanks comment and literal contents, collects directives.
+///
+/// The scanner understands line comments, nested block comments, string
+/// literals with escapes, raw strings (`r"…"`, `r#"…"#`, any hash count),
+/// byte/raw-byte strings, and char literals (distinguished from lifetimes).
+pub fn mask(src: &str) -> Masked {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(chars.len());
+    let mut allows = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    // Comment text accumulated for the current line (directive harvesting).
+    let mut comment_buf = String::new();
+
+    /// What the previous *code* character was — used to tell `r"` (raw
+    /// string) apart from `var"` and `'a` (lifetime) from `'a'` (char).
+    fn is_ident(c: char) -> bool {
+        c.is_alphanumeric() || c == '_'
+    }
+
+    let mut prev_code: char = '\n';
+    while i < chars.len() {
+        let c = chars[i];
+        // --- line comment -------------------------------------------------
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            comment_buf.clear();
+            while i < chars.len() && chars[i] != '\n' {
+                comment_buf.push(chars[i]);
+                out.push(' ');
+                i += 1;
+            }
+            harvest_allows(&comment_buf, line, &mut allows);
+            continue;
+        }
+        // --- block comment (nested) --------------------------------------
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 0usize;
+            comment_buf.clear();
+            while i < chars.len() {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if chars[i] == '\n' {
+                    harvest_allows(&comment_buf, line, &mut allows);
+                    comment_buf.clear();
+                    out.push('\n');
+                    line += 1;
+                    i += 1;
+                } else {
+                    comment_buf.push(chars[i]);
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            harvest_allows(&comment_buf, line, &mut allows);
+            continue;
+        }
+        // --- raw strings: r"…", r#"…"#, br"…" ------------------------------
+        if (c == 'r' || (c == 'b' && chars.get(i + 1) == Some(&'r'))) && !is_ident(prev_code) {
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                // Copy the prefix and opening quote, blank the body.
+                for &p in &chars[i..=j] {
+                    out.push(p);
+                }
+                i = j + 1;
+                'raw: while i < chars.len() {
+                    if chars[i] == '"' {
+                        let mut k = 0;
+                        while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            for &p in &chars[i..=i + hashes] {
+                                out.push(p);
+                            }
+                            i += hashes + 1;
+                            break 'raw;
+                        }
+                    }
+                    if chars[i] == '\n' {
+                        out.push('\n');
+                        line += 1;
+                    } else {
+                        out.push(' ');
+                    }
+                    i += 1;
+                }
+                prev_code = '"';
+                continue;
+            }
+        }
+        // --- plain / byte strings -----------------------------------------
+        if c == '"' || (c == 'b' && chars.get(i + 1) == Some(&'"') && !is_ident(prev_code)) {
+            if c == 'b' {
+                out.push('b');
+                i += 1;
+            }
+            out.push('"');
+            i += 1;
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => {
+                        // An escape: blank both characters, but keep a
+                        // line-continuation's newline so line numbers hold.
+                        out.push(' ');
+                        if chars.get(i + 1) == Some(&'\n') {
+                            out.push('\n');
+                            line += 1;
+                        } else if chars.get(i + 1).is_some() {
+                            out.push(' ');
+                        }
+                        i += 2;
+                    }
+                    '"' => {
+                        out.push('"');
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        out.push('\n');
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+            prev_code = '"';
+            continue;
+        }
+        // --- char literal vs lifetime -------------------------------------
+        if c == '\'' && !is_ident(prev_code) {
+            let is_char = match chars.get(i + 1) {
+                Some('\\') => true,
+                Some(_) => chars.get(i + 2) == Some(&'\''),
+                None => false,
+            };
+            if is_char {
+                out.push('\'');
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => {
+                            out.push(' ');
+                            if chars.get(i + 1).is_some() {
+                                out.push(' ');
+                            }
+                            i += 2;
+                        }
+                        '\'' => {
+                            out.push('\'');
+                            i += 1;
+                            break;
+                        }
+                        _ => {
+                            out.push(' ');
+                            i += 1;
+                        }
+                    }
+                }
+                prev_code = '\'';
+                continue;
+            }
+        }
+        // --- ordinary code -------------------------------------------------
+        if c == '\n' {
+            line += 1;
+        }
+        if !c.is_whitespace() {
+            prev_code = c;
+        }
+        out.push(c);
+        i += 1;
+    }
+
+    Masked {
+        text: out.into_iter().collect(),
+        allows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let m = mask("let x = \".unwrap()\"; // .unwrap()\nlet y = 1;\n");
+        assert!(!m.text.contains(".unwrap()"));
+        assert!(m.text.contains("let x = \""));
+        assert!(m.text.contains("let y = 1;"));
+        assert_eq!(m.text.lines().count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let m = mask("let s = r#\"println!(\"hidden\")\"#; print_me();");
+        assert!(!m.text.contains("hidden"));
+        assert!(m.text.contains("print_me();"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let m = mask("fn f<'a>(x: &'a str) { let c = '{'; let d = '\\n'; }");
+        // The brace inside the char literal must not survive masking…
+        let braces = m.text.matches('{').count();
+        assert_eq!(braces, 1, "masked: {}", m.text);
+        // …and the lifetime must.
+        assert!(m.text.contains("<'a>"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let m = mask("a /* outer /* inner */ still comment */ b");
+        assert!(m.text.contains('a'));
+        assert!(m.text.contains('b'));
+        assert!(!m.text.contains("comment"));
+    }
+
+    #[test]
+    fn allow_directives_are_harvested_with_lines() {
+        let m = mask(
+            "x(); // audit:allow(no-unwrap, no-print)\n// audit:allow(lock-discipline)\ny();\n",
+        );
+        assert_eq!(
+            m.allows,
+            vec![
+                (1, "no-unwrap".to_string()),
+                (1, "no-print".to_string()),
+                (2, "lock-discipline".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn directives_inside_strings_do_not_count() {
+        let m = mask("let s = \"audit:allow(no-unwrap)\";\n");
+        assert!(m.allows.is_empty());
+    }
+}

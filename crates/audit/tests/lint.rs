@@ -1,0 +1,222 @@
+//! Rule-engine tests over synthetic sources, plus a whole-repo integration
+//! check that the real workspace audits clean.
+
+use sflow_audit::{audit_workspace, find_root, scan_source, FileClass};
+
+fn findings_for(rel: &str, src: &str) -> Vec<String> {
+    let (fs, _) = scan_source(rel, src);
+    fs.iter()
+        .map(|f| format!("{}@{}:{}", f.rule, f.line, f.column))
+        .collect()
+}
+
+#[test]
+fn unwrap_in_server_non_test_code_is_flagged() {
+    let src = "#![forbid(unsafe_code)]\nfn f() { let x = y.unwrap(); }\n";
+    let hits = findings_for("crates/server/src/world.rs", src);
+    assert_eq!(hits, vec!["no-unwrap@2:19"]);
+}
+
+#[test]
+fn expect_is_flagged_like_unwrap() {
+    let src = "fn f() { let x = y.expect(\"boom\"); }\n";
+    let (fs, _) = scan_source("crates/routing/src/engine.rs", src);
+    assert!(fs.iter().any(|f| f.rule == "no-unwrap"), "{fs:?}");
+}
+
+#[test]
+fn unwrap_outside_hot_crates_is_not_flagged() {
+    let src = "fn f() { let x = y.unwrap(); }\n";
+    let (fs, _) = scan_source("crates/core/src/solver.rs", src);
+    assert!(!fs.iter().any(|f| f.rule == "no-unwrap"), "{fs:?}");
+}
+
+#[test]
+fn unwrap_in_test_region_is_exempt() {
+    let src = "fn f() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   #[test]\n\
+                   fn t() { x.unwrap(); }\n\
+               }\n";
+    let (fs, _) = scan_source("crates/server/src/wire.rs", src);
+    assert!(!fs.iter().any(|f| f.rule == "no-unwrap"), "{fs:?}");
+}
+
+#[test]
+fn unwrap_in_tests_directory_is_exempt() {
+    let src = "fn f() { let x = y.unwrap(); }\n";
+    let (fs, _) = scan_source("crates/server/tests/smoke.rs", src);
+    assert!(!fs.iter().any(|f| f.rule == "no-unwrap"), "{fs:?}");
+}
+
+#[test]
+fn unwrap_in_string_or_comment_is_invisible() {
+    let src = "fn f() { let s = \".unwrap()\"; } // .unwrap()\n";
+    let (fs, _) = scan_source("crates/server/src/world.rs", src);
+    assert!(!fs.iter().any(|f| f.rule == "no-unwrap"), "{fs:?}");
+}
+
+#[test]
+fn allow_directive_suppresses_same_line_and_line_above() {
+    let same = "fn f() { y.unwrap(); } // audit:allow(no-unwrap)\n";
+    let (fs, sup) = scan_source("crates/server/src/world.rs", same);
+    assert!(fs.is_empty(), "{fs:?}");
+    assert_eq!(sup, 1);
+
+    let above = "// audit:allow(no-unwrap)\nfn f() { y.unwrap(); }\n";
+    let (fs, sup) = scan_source("crates/server/src/world.rs", above);
+    assert!(fs.is_empty(), "{fs:?}");
+    assert_eq!(sup, 1);
+
+    let wrong_rule = "fn f() { y.unwrap(); } // audit:allow(no-print)\n";
+    let (fs, _) = scan_source("crates/server/src/world.rs", wrong_rule);
+    assert_eq!(fs.len(), 1);
+}
+
+#[test]
+fn std_sync_locks_are_flagged_including_brace_imports() {
+    let src = "use std::sync::{Arc, Mutex};\nfn f(x: std::sync::RwLock<u32>) {}\n";
+    let (fs, _) = scan_source("crates/core/src/context.rs", src);
+    let rules: Vec<_> = fs.iter().map(|f| (f.rule, f.line)).collect();
+    assert!(rules.contains(&("std-sync-lock", 1)), "{rules:?}");
+    assert!(rules.contains(&("std-sync-lock", 2)), "{rules:?}");
+    // Arc alone must not fire.
+    let clean = "use std::sync::Arc;\nuse std::sync::atomic::AtomicU64;\n";
+    let (fs, _) = scan_source("crates/core/src/context.rs", clean);
+    assert!(fs.iter().all(|f| f.rule != "std-sync-lock"), "{fs:?}");
+}
+
+#[test]
+fn print_macros_in_libraries_are_flagged_binaries_exempt() {
+    let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); print!(\"z\"); dbg!(1); }\n";
+    let (fs, _) = scan_source("crates/core/src/solver.rs", src);
+    let n_print = fs.iter().filter(|f| f.rule == "no-print").count();
+    // println!, eprintln!, print!, dbg! — each exactly once.
+    assert_eq!(n_print, 4, "{fs:?}");
+
+    let (fs, _) = scan_source("src/bin/sflow.rs", src);
+    assert!(fs.iter().all(|f| f.rule != "no-print"), "{fs:?}");
+}
+
+#[test]
+fn eprintln_is_not_double_counted_as_println() {
+    let src = "fn f() { eprintln!(\"y\"); }\n";
+    let (fs, _) = scan_source("crates/core/src/lib.rs", src);
+    let prints: Vec<_> = fs.iter().filter(|f| f.rule == "no-print").collect();
+    assert_eq!(prints.len(), 1, "{prints:?}");
+    assert!(prints[0].message.contains("eprintln"), "{prints:?}");
+}
+
+#[test]
+fn missing_forbid_unsafe_in_crate_root_is_flagged() {
+    let (fs, _) = scan_source("crates/core/src/lib.rs", "pub mod x;\n");
+    assert!(fs.iter().any(|f| f.rule == "forbid-unsafe"), "{fs:?}");
+
+    let (fs, _) = scan_source(
+        "crates/core/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub mod x;\n",
+    );
+    assert!(fs.iter().all(|f| f.rule != "forbid-unsafe"), "{fs:?}");
+
+    // Non-root files are not required to carry the attribute.
+    let (fs, _) = scan_source("crates/core/src/solver.rs", "pub fn f() {}\n");
+    assert!(fs.iter().all(|f| f.rule != "forbid-unsafe"), "{fs:?}");
+}
+
+#[test]
+fn kernel_discipline_flags_allocation_in_heap_pop_loop() {
+    let src = "fn relax() {\n\
+                   let mut heap = std::collections::BinaryHeap::new();\n\
+                   while let Some(x) = heap.pop() {\n\
+                       let v = Vec::new();\n\
+                       let t = std::time::Instant::now();\n\
+                   }\n\
+               }\n";
+    let (fs, _) = scan_source("crates/routing/src/shortest_widest.rs", src);
+    let kd: Vec<_> = fs
+        .iter()
+        .filter(|f| f.rule == "kernel-discipline")
+        .collect();
+    assert_eq!(kd.len(), 2, "{kd:?}");
+    assert!(kd.iter().any(|f| f.message.contains("Vec::new")));
+    assert!(kd.iter().any(|f| f.message.contains("Instant::now")));
+}
+
+#[test]
+fn kernel_discipline_ignores_pop_front_bfs_loops_and_other_crates() {
+    let bfs = "fn walk() {\n\
+                   while let Some(x) = queue.pop_front() {\n\
+                       let v = Vec::new();\n\
+                   }\n\
+               }\n";
+    let (fs, _) = scan_source("crates/routing/src/engine.rs", bfs);
+    assert!(fs.iter().all(|f| f.rule != "kernel-discipline"), "{fs:?}");
+
+    let heap = "fn relax() { while let Some(x) = heap.pop() { let v = Vec::new(); } }\n";
+    let (fs, _) = scan_source("crates/core/src/solver.rs", heap);
+    assert!(fs.iter().all(|f| f.rule != "kernel-discipline"), "{fs:?}");
+}
+
+#[test]
+fn lock_discipline_flags_second_world_acquisition_in_one_fn() {
+    let src = "fn f(world: &RwLock<World>) {\n\
+                   let a = world.read();\n\
+                   let b = world.read();\n\
+               }\n";
+    let (fs, _) = scan_source("crates/server/src/server.rs", src);
+    let ld: Vec<_> = fs.iter().filter(|f| f.rule == "lock-discipline").collect();
+    assert_eq!(ld.len(), 1, "{ld:?}");
+    assert_eq!(ld[0].line, 3);
+
+    // One acquisition per function is fine, even across many functions.
+    let clean = "fn f() { let a = world.read(); }\nfn g() { let b = world.write(); }\n";
+    let (fs, _) = scan_source("crates/server/src/server.rs", clean);
+    assert!(fs.iter().all(|f| f.rule != "lock-discipline"), "{fs:?}");
+}
+
+#[test]
+fn file_classification() {
+    let c = FileClass::of("crates/server/src/wire.rs");
+    assert_eq!(c.crate_dir, "crates/server");
+    assert!(!c.in_tests && !c.is_bin && !c.is_crate_root);
+
+    let c = FileClass::of("crates/server/tests/wire_negative.rs");
+    assert!(c.in_tests);
+
+    let c = FileClass::of("src/bin/sflow.rs");
+    assert!(c.is_bin && c.is_crate_root);
+    assert_eq!(c.crate_dir, "");
+
+    let c = FileClass::of("crates/audit/src/main.rs");
+    assert!(c.is_bin && c.is_crate_root);
+}
+
+/// The acceptance criterion from the issue: the shipped tree must audit
+/// clean, and a seeded `unwrap()` in `crates/server/src/world.rs` must fail.
+#[test]
+fn real_workspace_audits_clean_and_seeded_violation_fails() {
+    let root = find_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/audit");
+    let report = audit_workspace(&root).expect("scan workspace");
+    assert!(
+        report.is_clean(),
+        "workspace must audit clean:\n{}",
+        report.render_human()
+    );
+    assert!(
+        report.files_scanned > 30,
+        "scanned {}",
+        report.files_scanned
+    );
+
+    // Seeding a violation into the real world.rs source must be caught.
+    let world = std::fs::read_to_string(root.join("crates/server/src/world.rs")).unwrap();
+    let seeded = world.replace(
+        "impl World {",
+        "impl World {\n    fn bad() { x.unwrap(); }\n",
+    );
+    assert_ne!(world, seeded, "seed point missing from world.rs");
+    let (fs, _) = scan_source("crates/server/src/world.rs", &seeded);
+    assert!(fs.iter().any(|f| f.rule == "no-unwrap"), "{fs:?}");
+}

@@ -13,6 +13,8 @@
 //! on a multi-core host; `available_parallelism` is recorded so a 1-core
 //! container's ~1.0× reads as what it is.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use rand::rngs::StdRng;

@@ -98,11 +98,17 @@ impl FlowGraph {
         req: &ServiceRequirement,
         selection: &BTreeMap<ServiceId, NodeIx>,
     ) -> Result<Self, FederationError> {
-        for sid in req.services() {
+        // Callers (the solver's split/merge path, repair) may hand in a
+        // wider map than the requirement needs; the flow graph keeps exactly
+        // one instance per *required* service — no more, no less.
+        let mut selection: BTreeMap<ServiceId, NodeIx> = selection.clone();
+        let required: Vec<ServiceId> = req.services();
+        for &sid in &required {
             if !selection.contains_key(&sid) {
                 return Err(FederationError::NoInstances(sid));
             }
         }
+        selection.retain(|sid, _| required.contains(sid));
         let mut edges = Vec::with_capacity(req.edge_count());
         let mut bandwidth = Bandwidth::INFINITE;
         for (from, to) in req.edge_pairs() {
@@ -157,13 +163,27 @@ impl FlowGraph {
             .map(|(&sid, &n)| (sid, ctx.overlay().instance(n)))
             .collect();
 
-        Ok(FlowGraph {
+        let flow = FlowGraph {
             source: req.source(),
-            selection: selection.clone(),
+            selection,
             instances,
             edges,
             quality: FlowQuality { bandwidth, latency },
-        })
+        };
+
+        // Under strict-invariants every assembled flow graph is re-derived
+        // from raw overlay links and cross-checked against the paper's model
+        // before anyone sees it (see `validate`).
+        #[cfg(feature = "strict-invariants")]
+        {
+            let report = crate::validate::FlowGraphAuditor::new(ctx, req).audit(&flow);
+            assert!(
+                report.is_clean(),
+                "strict-invariants: assembled flow graph violates the model\n{report}\n{flow}"
+            );
+        }
+
+        Ok(flow)
     }
 
     /// The requirement's source service.

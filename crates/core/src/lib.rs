@@ -55,6 +55,7 @@ pub mod reduction;
 pub mod repair;
 mod requirement;
 mod solver;
+pub mod validate;
 
 pub use abstract_graph::{AbstractGraph, AbstractInstance};
 pub use context::FederationContext;
@@ -65,3 +66,4 @@ pub use requirement::{
     ServiceRequirement,
 };
 pub use solver::{Selection, Solver};
+pub use validate::{FlowGraphAuditor, InvariantReport, Violation};

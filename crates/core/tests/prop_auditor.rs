@@ -1,0 +1,97 @@
+//! Property test: every answer the solver produces over random
+//! requirement/overlay pairs must satisfy the paper's model invariants, as
+//! re-derived from raw overlay links by [`FlowGraphAuditor`].
+//!
+//! Two requirement families are generated so both solving regimes are
+//! covered: **paths** (the exact baseline / chain solver) and **DAGs**
+//! (the parallel and split-and-merge reductions of Sec. 3.4). A requirement
+//! the world cannot satisfy (missing instances, disconnection) is simply
+//! skipped — the property is about answers, not satisfiability. Any
+//! violation fails the test with the offending flow graph debug-printed.
+
+use proptest::prelude::*;
+use sflow_core::algorithms::{FederationAlgorithm, SflowAlgorithm};
+use sflow_core::fixtures::random_fixture;
+use sflow_core::validate::FlowGraphAuditor;
+use sflow_core::{ServiceRequirement, Solver};
+use sflow_net::ServiceId;
+
+/// World parameters: host count, instances per service, RNG seed.
+fn world_strategy() -> impl Strategy<Value = (usize, usize, u64)> {
+    (8usize..16, 1usize..4, any::<u64>())
+}
+
+/// A random DAG over `k` services: every service above the source gets one
+/// parent below it (connectivity), plus extra forward edges from a bitmask
+/// (acyclicity by index order).
+fn dag_requirement(k: usize, parents: &[usize], extra: u64) -> ServiceRequirement {
+    let s = |i: usize| ServiceId::new(i as u32);
+    let mut edges = Vec::new();
+    for j in 1..k {
+        edges.push((s(parents[j - 1] % j), s(j)));
+    }
+    let mut bit = 0;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if extra & (1 << (bit % 64)) != 0 {
+                edges.push((s(i), s(j)));
+            }
+            bit += 1;
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    ServiceRequirement::from_edges(edges).expect("indexed-forward edges form a valid DAG")
+}
+
+/// Audits one solve; `Err` answers are skipped, violating answers panic
+/// with the full flow graph.
+fn solve_and_audit(fx: &sflow_core::fixtures::Fixture, req: &ServiceRequirement) {
+    let ctx = fx.context();
+    // Full-view solve (reduction dispatch) and a horizon-limited solve (the
+    // distributed divide-and-pin discipline) both go through the auditor.
+    let solves = [
+        SflowAlgorithm::default().federate(&ctx, req),
+        Solver::new(&ctx).with_hop_limit(2).solve(req),
+    ];
+    for solved in solves {
+        let Ok(flow) = solved else { continue };
+        let report = FlowGraphAuditor::new(&ctx, req).audit(&flow);
+        assert!(
+            report.is_clean(),
+            "auditor rejected a solver answer\n{report}\nrequirement: {req:?}\nflow graph: {flow:#?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Path requirements: the exact baseline (chain) solver.
+    #[test]
+    fn baseline_answers_satisfy_the_model(
+        world in world_strategy(),
+        k in 3usize..6,
+    ) {
+        let (hosts, per_service, seed) = world;
+        let services: Vec<ServiceId> = (0..k as u32).map(ServiceId::new).collect();
+        let fx = random_fixture(hosts, &services, per_service, None, seed);
+        let req = ServiceRequirement::path(&services).expect("distinct ids form a path");
+        solve_and_audit(&fx, &req);
+    }
+
+    /// DAG requirements: the parallel / split-and-merge reductions.
+    #[test]
+    fn reduction_answers_satisfy_the_model(
+        world in world_strategy(),
+        k in 3usize..6,
+        parents in proptest::collection::vec(any::<usize>(), 5),
+        extra in any::<u64>(),
+    ) {
+        let (hosts, per_service, seed) = world;
+        let services: Vec<ServiceId> = (0..k as u32).map(ServiceId::new).collect();
+        let fx = random_fixture(hosts, &services, per_service, None, seed);
+        let req = dag_requirement(k, &parents, extra);
+        solve_and_audit(&fx, &req);
+    }
+}

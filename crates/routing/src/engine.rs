@@ -110,7 +110,7 @@ pub fn all_pairs_parallel_with<N: Sync>(g: &DiGraph<N, Qos>, workers: usize) -> 
     AllPairs {
         trees: trees
             .into_iter()
-            .map(|t| t.expect("every source index is claimed exactly once"))
+            .map(|t| t.expect("every source index is claimed exactly once")) // audit:allow(no-unwrap)
             .collect(),
     }
 }
@@ -160,7 +160,7 @@ fn compute_trees<N: Sync>(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("routing worker panicked"))
+            .map(|h| h.join().expect("routing worker panicked")) // audit:allow(no-unwrap)
             .collect()
     });
     for batch in computed {

@@ -64,7 +64,8 @@ impl PathTree {
         let mut cur = node;
         while cur != self.source {
             let (prev, _) =
-                preds[cur.index()].expect("reachable non-source node must have a predecessor");
+                preds[cur.index()] // audit:allow(no-unwrap): pred invariant
+                    .expect("reachable non-source node must have a predecessor");
             path.push(prev);
             cur = prev;
         }
@@ -341,9 +342,9 @@ pub fn single_source_with<N>(
             if n == source || scratch.widest[n.index()] != Some(b) {
                 continue;
             }
-            let l = scratch.lat[n.index()].expect(
-                "a node with optimal bottleneck b must be reachable over links of bandwidth ≥ b",
-            );
+            let l = scratch.lat[n.index()]
+                // audit:allow(no-unwrap): level invariant, see module docs
+                .expect("a node with optimal bottleneck b is reachable at level b");
             dist[n.index()] = Some(Qos::new(b, l));
             node_level[n.index()] = li;
         }

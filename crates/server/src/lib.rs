@@ -61,6 +61,7 @@ pub mod world;
 pub use client::Client;
 pub use server::{serve, serve_on, ServerConfig, ServerHandle};
 pub use stats::StatsSnapshot;
+pub use wire::WireError;
 pub use world::World;
 
 /// Which federation algorithm a [`Request::Federate`] should run.

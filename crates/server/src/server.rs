@@ -23,7 +23,7 @@
 //! build it at most once per epoch and every later solve reuses the `Arc`.
 
 use std::collections::BTreeMap;
-use std::io::{self, ErrorKind};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -37,7 +37,8 @@ use sflow_core::algorithms::{
 };
 use sflow_core::baseline::HopMatrix;
 use sflow_core::repair::repair;
-use sflow_core::{FlowGraph, ServiceRequirement, Solver};
+use sflow_core::validate::FlowGraphAuditor;
+use sflow_core::{FederationContext, FlowGraph, ServiceRequirement, Solver};
 use sflow_runtime::duration_us;
 
 use crate::stats::Metrics;
@@ -58,6 +59,11 @@ pub struct ServerConfig {
     /// Worker threads for routing-table rebuilds and patches after
     /// mutations; `0` auto-sizes from `available_parallelism`.
     pub route_workers: usize,
+    /// Audit every solved or repaired flow graph with
+    /// [`FlowGraphAuditor`] and count violations in the server stats
+    /// (`serve --audit`). Non-fatal: a violating answer is still served,
+    /// but the counter makes it visible.
+    pub audit: bool,
     /// Test hook: hold every admitted job this long before solving, so
     /// tests can fill the admission queue deterministically.
     pub debug_delay: Option<Duration>,
@@ -70,6 +76,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             max_sessions: 16_384,
             route_workers: 0,
+            audit: false,
             debug_delay: None,
         }
     }
@@ -250,10 +257,22 @@ fn connection_loop(shared: &Shared, job_tx: &Sender<Job>, mut stream: TcpStream)
         let request = match read_frame::<Request>(&mut stream) {
             Ok(Some(request)) => request,
             Ok(None) => return, // client hung up cleanly
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+            Err(e) if e.is_idle() => {
                 continue; // idle tick; re-check the shutdown flag
             }
-            Err(_) => return, // torn frame or dead transport
+            Err(e) if e.is_protocol() => {
+                // The peer broke framing (oversized prefix, torn frame,
+                // garbage JSON). Count it, answer an error if the stream is
+                // still writable, and degrade *this connection only* — the
+                // workers and every other connection are untouched.
+                shared.metrics.wire_error();
+                let _ = write_frame(
+                    &mut stream,
+                    &Response::Error(format!("protocol error: {e}")),
+                );
+                return;
+            }
+            Err(_) => return, // dead transport
         };
         let shutting_down = matches!(request, Request::Shutdown);
         let response = dispatch(shared, job_tx, request);
@@ -375,6 +394,7 @@ fn federate(
             return Response::Error(e.to_string());
         }
     };
+    audit_flow(shared, &ctx, &requirement, &flow);
 
     // Lock order: world before sessions, always.
     let mut sessions = shared.sessions.lock();
@@ -394,6 +414,27 @@ fn federate(
     sessions.live.insert(session, Session { requirement, flow });
     shared.metrics.served();
     Response::Federated(summary)
+}
+
+/// Under `--audit`, re-derives every answer's invariants from raw overlay
+/// links ([`FlowGraphAuditor`]) and counts violations in the server stats.
+/// Counting, not fatal: operators watch `audit_violations`, answers still
+/// flow.
+fn audit_flow(
+    shared: &Shared,
+    ctx: &FederationContext<'_>,
+    requirement: &ServiceRequirement,
+    flow: &FlowGraph,
+) {
+    if !shared.config.audit {
+        return;
+    }
+    let report = FlowGraphAuditor::new(ctx, requirement).audit(flow);
+    if !report.is_clean() {
+        shared
+            .metrics
+            .audit_violations(report.violations.len() as u64);
+    }
 }
 
 /// Applies one mutation under the write lock, then repairs every session
@@ -431,6 +472,7 @@ fn mutate(shared: &Shared, mutation: &crate::Mutation) -> Response {
     for (&id, session) in sessions.live.iter_mut() {
         match repair(&ctx, &session.requirement, &session.flow) {
             Ok(outcome) => {
+                audit_flow(shared, &ctx, &session.requirement, &outcome.flow);
                 session.flow = outcome.flow;
                 repaired += 1;
             }

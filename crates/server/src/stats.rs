@@ -41,6 +41,12 @@ pub struct StatsSnapshot {
     /// Source trees recomputed across all rebuilds (incremental patches
     /// recompute far fewer than `rebuilds * instances`).
     pub trees_recomputed: u64,
+    /// Malformed frames answered and degraded (oversized prefix, torn
+    /// frame, non-JSON body). A peer problem, never a worker problem.
+    pub wire_errors: u64,
+    /// Model-invariant violations found by the flow-graph auditor
+    /// (`serve --audit`); 0 when auditing is off or every answer checked out.
+    pub audit_violations: u64,
 }
 
 /// Shared, interior-mutable counters. Workers record; any connection thread
@@ -55,6 +61,8 @@ pub struct Metrics {
     rebuilds: AtomicU64,
     rebuild_us_total: AtomicU64,
     trees_recomputed: AtomicU64,
+    wire_errors: AtomicU64,
+    audit_violations: AtomicU64,
     latencies_us: Mutex<LatencyWindow>,
 }
 
@@ -98,6 +106,16 @@ impl Metrics {
         self.trees_recomputed.fetch_add(trees, Ordering::Relaxed);
     }
 
+    /// One malformed frame was answered and its connection degraded.
+    pub fn wire_error(&self) {
+        self.wire_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The auditor found `count` invariant violations in one answer.
+    pub fn audit_violations(&self, count: u64) {
+        self.audit_violations.fetch_add(count, Ordering::Relaxed);
+    }
+
     /// Records one request's end-to-end service latency.
     pub fn record_latency_us(&self, us: u64) {
         let mut w = self.latencies_us.lock();
@@ -129,6 +147,8 @@ impl Metrics {
             rebuilds: self.rebuilds.load(Ordering::Relaxed),
             rebuild_us_total: self.rebuild_us_total.load(Ordering::Relaxed),
             trees_recomputed: self.trees_recomputed.load(Ordering::Relaxed),
+            wire_errors: self.wire_errors.load(Ordering::Relaxed),
+            audit_violations: self.audit_violations.load(Ordering::Relaxed),
         }
     }
 }

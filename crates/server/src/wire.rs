@@ -4,7 +4,14 @@
 //! bytes of compact JSON. The length prefix makes message boundaries explicit
 //! on a stream transport; the [`MAX_FRAME`] guard bounds what a peer can make
 //! the server allocate.
+//!
+//! Decoding failures are typed ([`WireError`]) so the server can tell a
+//! malicious or broken *peer* (oversized prefix, torn frame, garbage JSON —
+//! degrade that connection, answer an error if the stream is still writable)
+//! from a *transport* condition (idle-tick timeout, dead socket). A malformed
+//! frame must never take down more than its own connection.
 
+use std::fmt;
 use std::io::{self, ErrorKind, Read, Write};
 
 use serde::de::FromContent;
@@ -15,25 +22,113 @@ use serde::Serialize;
 /// protocol error, not a workload.
 pub const MAX_FRAME: usize = 1 << 20;
 
+/// Why a frame could not be written or read.
+#[derive(Debug)]
+pub enum WireError {
+    /// A transport-level I/O error (including `WouldBlock`/`TimedOut` idle
+    /// ticks on sockets with a read timeout — see [`WireError::is_idle`]).
+    Io(io::Error),
+    /// The stream ended mid-frame: the peer died or sent a short frame.
+    Truncated {
+        /// Bytes the frame (prefix or body) still owed.
+        expected: usize,
+        /// Bytes actually received before the stream ended.
+        got: usize,
+    },
+    /// The declared frame length exceeds [`MAX_FRAME`] — a protocol error
+    /// caught *before* allocating the buffer.
+    Oversized {
+        /// The length the prefix declared.
+        declared: usize,
+    },
+    /// The frame body is not valid UTF-8.
+    Utf8(String),
+    /// The frame body is not valid JSON for the expected type.
+    Json(String),
+}
+
+impl WireError {
+    /// True for the read-timeout ticks a socket with `set_read_timeout`
+    /// produces while idle at a frame boundary — the caller's cue to poll
+    /// its shutdown flag and retry, not a failure.
+    pub fn is_idle(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+        )
+    }
+
+    /// True when the *peer* violated the protocol (as opposed to the
+    /// transport failing): oversized prefix, torn frame, non-UTF-8 or
+    /// non-JSON body. These are what a server should count and answer.
+    pub fn is_protocol(&self) -> bool {
+        matches!(
+            self,
+            WireError::Truncated { .. }
+                | WireError::Oversized { .. }
+                | WireError::Utf8(_)
+                | WireError::Json(_)
+        )
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+            WireError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {got}")
+            }
+            WireError::Oversized { declared } => write!(
+                f,
+                "frame of {declared} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+            ),
+            WireError::Utf8(e) => write!(f, "frame is not UTF-8: {e}"),
+            WireError::Json(e) => write!(f, "frame is not valid JSON: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Collapses a [`WireError`] back into an `io::Error` for callers (the
+/// blocking [`Client`](crate::Client)) that expose a plain `io::Result` API.
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(e) => e,
+            WireError::Truncated { .. } => io::Error::new(ErrorKind::UnexpectedEof, e.to_string()),
+            WireError::Oversized { .. } | WireError::Utf8(_) | WireError::Json(_) => {
+                io::Error::new(ErrorKind::InvalidData, e.to_string())
+            }
+        }
+    }
+}
+
 /// Serialises `value` as one frame onto `w`.
 ///
 /// # Errors
 ///
-/// I/O errors from the transport, or `InvalidData` if `value` exceeds
-/// [`MAX_FRAME`] once encoded.
-pub fn write_frame<T: Serialize>(w: &mut impl Write, value: &T) -> io::Result<()> {
-    let body = serde_json::to_string(value)
-        .map_err(|e| io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+/// [`WireError::Io`] from the transport, or [`WireError::Oversized`] if
+/// `value` exceeds [`MAX_FRAME`] once encoded.
+pub fn write_frame<T: Serialize>(w: &mut impl Write, value: &T) -> Result<(), WireError> {
+    let body = serde_json::to_string(value).map_err(|e| WireError::Json(e.to_string()))?;
     if body.len() > MAX_FRAME {
-        return Err(io::Error::new(
-            ErrorKind::InvalidData,
-            format!("frame of {} bytes exceeds MAX_FRAME", body.len()),
-        ));
+        return Err(WireError::Oversized {
+            declared: body.len(),
+        });
     }
     let len = (body.len() as u32).to_be_bytes();
     w.write_all(&len)?;
     w.write_all(body.as_bytes())?;
-    w.flush()
+    w.flush()?;
+    Ok(())
 }
 
 /// Reads one frame from `r` and deserialises it.
@@ -43,31 +138,34 @@ pub fn write_frame<T: Serialize>(w: &mut impl Write, value: &T) -> io::Result<()
 ///
 /// # Errors
 ///
-/// I/O errors from the transport (including timeouts, which callers use to
-/// poll a shutdown flag), `UnexpectedEof` mid-frame, `InvalidData` on an
-/// oversized prefix or malformed JSON.
-pub fn read_frame<T: FromContent>(r: &mut impl Read) -> io::Result<Option<T>> {
+/// [`WireError::Io`] from the transport (including timeouts, which callers
+/// use to poll a shutdown flag — see [`WireError::is_idle`]),
+/// [`WireError::Truncated`] on EOF mid-frame, [`WireError::Oversized`] on a
+/// prefix beyond [`MAX_FRAME`], [`WireError::Utf8`]/[`WireError::Json`] on a
+/// malformed body.
+pub fn read_frame<T: FromContent>(r: &mut impl Read) -> Result<Option<T>, WireError> {
     let mut prefix = [0u8; 4];
     match read_exact_or_eof(r, &mut prefix, false)? {
         0 => return Ok(None),
         4 => {}
-        _ => return Err(ErrorKind::UnexpectedEof.into()),
+        got => {
+            return Err(WireError::Truncated {
+                expected: prefix.len(),
+                got,
+            })
+        }
     }
     let len = u32::from_be_bytes(prefix) as usize;
     if len > MAX_FRAME {
-        return Err(io::Error::new(
-            ErrorKind::InvalidData,
-            format!("frame prefix of {len} bytes exceeds MAX_FRAME"),
-        ));
+        return Err(WireError::Oversized { declared: len });
     }
     let mut body = vec![0u8; len];
-    if read_exact_or_eof(r, &mut body, true)? != len {
-        return Err(ErrorKind::UnexpectedEof.into());
+    let got = read_exact_or_eof(r, &mut body, true)?;
+    if got != len {
+        return Err(WireError::Truncated { expected: len, got });
     }
-    let text = String::from_utf8(body)
-        .map_err(|e| io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
-    let value = serde_json::from_str(&text)
-        .map_err(|e| io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+    let text = String::from_utf8(body).map_err(|e| WireError::Utf8(e.to_string()))?;
+    let value = serde_json::from_str(&text).map_err(|e| WireError::Json(e.to_string()))?;
     Ok(Some(value))
 }
 
@@ -142,22 +240,62 @@ mod tests {
     }
 
     #[test]
-    fn truncated_frame_is_an_error() {
+    fn truncated_frame_is_typed() {
         let mut buf = Vec::new();
         write_frame(&mut buf, &Request::Stats).unwrap();
         buf.truncate(buf.len() - 1);
         let err = read_frame::<Request>(&mut buf.as_slice()).unwrap_err();
-        assert_eq!(err.kind(), ErrorKind::UnexpectedEof);
-        // A torn length prefix is also an error, not a clean EOF.
+        assert!(matches!(err, WireError::Truncated { .. }), "{err:?}");
+        assert!(err.is_protocol() && !err.is_idle());
+        // A torn length prefix is also truncation, not a clean EOF.
         let err = read_frame::<Request>(&mut &buf[..2]).unwrap_err();
-        assert_eq!(err.kind(), ErrorKind::UnexpectedEof);
+        assert!(
+            matches!(
+                err,
+                WireError::Truncated {
+                    expected: 4,
+                    got: 2
+                }
+            ),
+            "{err:?}"
+        );
+        assert_eq!(io::Error::from(err).kind(), ErrorKind::UnexpectedEof);
     }
 
     #[test]
-    fn oversized_prefix_is_rejected() {
+    fn oversized_prefix_is_rejected_before_allocation() {
         let mut buf = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
         buf.extend_from_slice(b"x");
         let err = read_frame::<Request>(&mut buf.as_slice()).unwrap_err();
-        assert_eq!(err.kind(), ErrorKind::InvalidData);
+        assert!(
+            matches!(err, WireError::Oversized { declared } if declared == MAX_FRAME + 1),
+            "{err:?}"
+        );
+        assert!(err.is_protocol());
+        assert_eq!(io::Error::from(err).kind(), ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn invalid_utf8_and_json_are_typed() {
+        let mut buf = 2u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let err = read_frame::<Request>(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, WireError::Utf8(_)), "{err:?}");
+
+        let body = b"{\"nope\": 1}";
+        let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(body);
+        let err = read_frame::<Request>(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, WireError::Json(_)), "{err:?}");
+        assert!(err.is_protocol());
+        assert!(err.to_string().contains("JSON"));
+    }
+
+    #[test]
+    fn idle_tick_is_not_a_protocol_error() {
+        let idle = WireError::Io(ErrorKind::WouldBlock.into());
+        assert!(idle.is_idle() && !idle.is_protocol());
+        let dead = WireError::Io(ErrorKind::ConnectionReset.into());
+        assert!(!dead.is_idle() && !dead.is_protocol());
     }
 }

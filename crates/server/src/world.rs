@@ -182,7 +182,7 @@ impl World {
                 self.source_node = self
                     .overlay
                     .node_of(self.source)
-                    .expect("source survives non-source failure");
+                    .expect("source survives non-source failure"); // audit:allow(no-unwrap)
                 let started = Instant::now();
                 self.all_pairs = self.overlay.all_pairs_parallel_with(self.route_workers);
                 let trees = self.all_pairs.len() as u64;

@@ -9,6 +9,8 @@
 //!       [--trials N] [--sizes 10,20,30,40,50] [--seed S] [--out DIR]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;

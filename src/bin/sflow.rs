@@ -9,6 +9,8 @@
 //! sflow proof --vars 4 --clauses 6 --seed 1
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -73,6 +75,7 @@ fn usage() -> ExitCode {
          \x20 serve      run the federation server (default world: Fig. 4)\n\
          \x20            [--addr IP:PORT] [--workers N] [--queue D]\n\
          \x20            [--route-workers N] routing rebuild pool (0 = auto)\n\
+         \x20            [--audit] verify every answer, count violations in stats\n\
          \x20            [--hosts N --services K --instances M --seed S]\n\
          \x20 request    talk to a running server\n\
          \x20            --addr IP:PORT --edges \"0>1>3,0>2>3\"\n\
@@ -94,7 +97,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("unexpected argument {a}"));
         };
         match key {
-            "dot" | "distributed" | "stats" | "shutdown" | "full-view" => {
+            "dot" | "distributed" | "stats" | "shutdown" | "full-view" | "audit" => {
                 flags.insert(key.into(), "true".into());
             }
             _ => {
@@ -270,6 +273,7 @@ fn serve(flags: &Flags) -> Result<(), String> {
         workers: get(flags, "workers", ServerConfig::default().workers)?,
         queue_depth: get(flags, "queue", ServerConfig::default().queue_depth)?,
         route_workers: get(flags, "route-workers", 0usize)?,
+        audit: flags.contains_key("audit"),
         ..ServerConfig::default()
     };
     // Default world: the paper's Fig. 4. With --hosts, a seeded random world
@@ -348,6 +352,10 @@ fn request(flags: &Flags) -> Result<(), String> {
         println!(
             "routing rebuilds: {} ({} µs total, {} trees recomputed)",
             s.rebuilds, s.rebuild_us_total, s.trees_recomputed
+        );
+        println!(
+            "correctness: {} wire errors, {} audit violations",
+            s.wire_errors, s.audit_violations
         );
         return Ok(());
     }
