@@ -139,8 +139,10 @@ mod tests {
 
     #[test]
     fn json_report_shape() {
-        let mut r = AuditReport::default();
-        r.files_scanned = 2;
+        let mut r = AuditReport {
+            files_scanned: 2,
+            ..Default::default()
+        };
         r.findings.push(Finding::new(
             "no-unwrap",
             "crates/server/src/x.rs",

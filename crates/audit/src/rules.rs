@@ -10,7 +10,7 @@
 //! | `kernel-discipline` | `crates/routing` heap-pop loops | no `Instant::now()` / allocation inside a Dijkstra inner kernel |
 //! | `no-print` | library sources | no `println!` family / `dbg!` (binaries excepted) |
 //! | `forbid-unsafe` | every crate root | `#![forbid(unsafe_code)]` present |
-//! | `lock-discipline` | `crates/server` non-test code | no repeated `world.read()` / `world.write()` in one function |
+//! | `guard-across-solve` | `crates/server` non-test code | no lock guard live across a solve/federate/repair call |
 //!
 //! Findings can be suppressed per site with `// audit:allow(rule-name)` on
 //! the same line or the line directly above; the file-level `forbid-unsafe`
@@ -54,9 +54,10 @@ pub const RULES: &[Rule] = &[
         description: "#![forbid(unsafe_code)] present in every crate root",
     },
     Rule {
-        name: "lock-discipline",
-        description: "no repeated world.read()/world.write() acquisitions within one function in \
-                      crates/server (re-entrant RwLock acquisition can deadlock under writers)",
+        name: "guard-across-solve",
+        description: "no lock guard may be live across a solve/federate/repair call in \
+                      crates/server (the read path loads an immutable snapshot and solves \
+                      off-lock; a guard spanning a solve reintroduces reader/mutator coupling)",
     },
 ];
 
@@ -139,7 +140,7 @@ pub fn scan_source(rel: &str, text: &str) -> (Vec<Finding>, usize) {
         ));
     }
     if class.crate_dir == "crates/server" && !class.in_tests {
-        lock_discipline(rel, &masked, &in_test_region, &mut raw);
+        guard_across_solve(rel, &masked, &in_test_region, &mut raw);
     }
 
     // Attach snippets from the original (unmasked) source.
@@ -403,7 +404,15 @@ fn kernel_discipline(rel: &str, masked: &Masked, test: &[bool], out: &mut Vec<Fi
     }
 }
 
-fn lock_discipline(rel: &str, masked: &Masked, test: &[bool], out: &mut Vec<Finding>) {
+/// Calls that run a federation solve (directly or via repair). A lock guard
+/// live across any of these couples readers to mutators again — exactly
+/// what the snapshot architecture removed.
+const SOLVE_TOKENS: &[&str] = &[".solve(", ".solve_pinned(", ".federate(", "repair("];
+
+/// Statement-final lock acquisitions whose `let` binding creates a guard.
+const GUARD_TOKENS: &[&str] = &[".lock();", ".read();", ".write();"];
+
+fn guard_across_solve(rel: &str, masked: &Masked, test: &[bool], out: &mut Vec<Finding>) {
     let chars: Vec<char> = masked.text.chars().collect();
     for at in occurrences(&masked.text, "fn ") {
         let ci = char_index_of(&masked.text, at);
@@ -436,31 +445,90 @@ fn lock_discipline(rel: &str, masked: &Masked, test: &[bool], out: &mut Vec<Find
             continue;
         }
         let body: String = chars[open..=close].iter().collect();
-        let body_start_line = line_of(&chars, open);
-        let mut hits: Vec<(usize, &str)> = Vec::new();
-        for pat in ["world.read()", "world.write()"] {
+        let body_start_line = line_of(&chars, open); // 0-based, line of `{`
+        let body_lines: Vec<&str> = body.lines().collect();
+
+        // Solve call sites, as 0-based line indices within the body. A
+        // `repair(` preceded by an identifier char is a longer name, not
+        // the repair entry point.
+        let mut solves: Vec<(usize, &str)> = Vec::new();
+        for pat in SOLVE_TOKENS {
             for rel_col in occurrences(&body, pat) {
-                hits.push((rel_col, pat));
+                if *pat == "repair("
+                    && body[..rel_col]
+                        .chars()
+                        .next_back()
+                        .is_some_and(is_ident_char)
+                {
+                    continue;
+                }
+                solves.push((body[..rel_col].matches('\n').count(), pat));
             }
         }
-        hits.sort_unstable();
-        for (n, (rel_col, pat)) in hits.iter().enumerate().skip(1) {
-            let line0 = body_start_line + body[..*rel_col].matches('\n').count();
-            let col = body[..*rel_col]
-                .rfind('\n')
-                .map_or(*rel_col, |nl| *rel_col - nl - 1);
-            out.push(Finding::new(
-                "lock-discipline",
-                rel,
-                line0 + 1,
-                col + 1,
-                format!(
-                    "`{pat}` is world-lock acquisition #{} in this function: a second \
-                     acquisition while the first guard lives can deadlock behind a writer",
-                    n + 1
-                ),
-                String::new(),
-            ));
+        solves.sort_unstable();
+
+        // Guard bindings: `let [mut] <ident> = …​.lock();` (or .read()/
+        // .write()). The guard is live from its binding line until a
+        // `drop(<ident>)` or the end of the function — conservative on
+        // inner blocks, which is the point: shrinking a guard's scope
+        // below a solve should be explicit (`drop`) or allowed per site.
+        for (li, line) in body_lines.iter().enumerate() {
+            let trimmed = line.trim_start();
+            let is_guard_binding =
+                trimmed.starts_with("let ") && GUARD_TOKENS.iter().any(|g| line.contains(g));
+            if !is_guard_binding {
+                // A guard temporary and a solve in one statement is the
+                // same coupling without even a name to drop.
+                if GUARD_TOKENS
+                    .iter()
+                    .any(|g| line.contains(&g[..g.len() - 1]))
+                    && SOLVE_TOKENS.iter().any(|s| line.contains(s))
+                {
+                    out.push(Finding::new(
+                        "guard-across-solve",
+                        rel,
+                        body_start_line + li + 1,
+                        line.len() - trimmed.len() + 1,
+                        "lock acquired and solve run in one statement: the temporary guard \
+                         spans the solve"
+                            .to_string(),
+                        String::new(),
+                    ));
+                }
+                continue;
+            }
+            let rest = trimmed.trim_start_matches("let ");
+            let ident: String = rest
+                .strip_prefix("mut ")
+                .unwrap_or(rest)
+                .chars()
+                .take_while(|&c| is_ident_char(c))
+                .collect();
+            if ident.is_empty() {
+                continue;
+            }
+            let dropped_at = body_lines
+                .iter()
+                .enumerate()
+                .skip(li + 1)
+                .find(|(_, l)| l.contains(&format!("drop({ident})")))
+                .map_or(body_lines.len(), |(di, _)| di);
+            if let Some((solve_line, pat)) =
+                solves.iter().find(|(sl, _)| (li..dropped_at).contains(sl))
+            {
+                out.push(Finding::new(
+                    "guard-across-solve",
+                    rel,
+                    body_start_line + li + 1,
+                    line.len() - trimmed.len() + 1,
+                    format!(
+                        "lock guard `{ident}` is live across a `{pat}` call on line {}: \
+                         load a snapshot and solve off-lock instead",
+                        body_start_line + solve_line + 1
+                    ),
+                    String::new(),
+                ));
+            }
         }
     }
 }

@@ -279,14 +279,14 @@ mod tests {
     #[test]
     fn allow_directives_are_harvested_with_lines() {
         let m = mask(
-            "x(); // audit:allow(no-unwrap, no-print)\n// audit:allow(lock-discipline)\ny();\n",
+            "x(); // audit:allow(no-unwrap, no-print)\n// audit:allow(guard-across-solve)\ny();\n",
         );
         assert_eq!(
             m.allows,
             vec![
                 (1, "no-unwrap".to_string()),
                 (1, "no-print".to_string()),
-                (2, "lock-discipline".to_string()),
+                (2, "guard-across-solve".to_string()),
             ]
         );
     }

@@ -63,7 +63,7 @@ impl FederationAlgorithm for FixedAlgorithm {
                     else {
                         continue;
                     };
-                    if best.map_or(true, |(_, bq)| direct.is_better_than(&bq)) {
+                    if best.is_none_or(|(_, bq)| direct.is_better_than(&bq)) {
                         best = Some((c, direct));
                     }
                 }

@@ -261,7 +261,7 @@ impl<'a> ChainSolver<'a> {
         let mut best: Option<(usize, usize, Qos)> = None;
         for (ci, frontier) in last.iter().enumerate() {
             for (xi, lab) in frontier.iter().enumerate() {
-                if best.map_or(true, |(_, _, q)| lab.qos.is_better_than(&q)) {
+                if best.is_none_or(|(_, _, q)| lab.qos.is_better_than(&q)) {
                     best = Some((ci, xi, lab.qos));
                 }
             }

@@ -58,7 +58,7 @@ mod solver;
 pub mod validate;
 
 pub use abstract_graph::{AbstractGraph, AbstractInstance};
-pub use context::FederationContext;
+pub use context::{FederationContext, OwnedFederationContext};
 pub use error::FederationError;
 pub use flow_graph::{FlowEdge, FlowGraph, FlowQuality};
 pub use requirement::{

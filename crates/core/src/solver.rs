@@ -196,7 +196,7 @@ impl<'a> Solver<'a> {
             let combined = Qos::new(bw, lat);
             if best
                 .as_ref()
-                .map_or(true, |(_, _, q)| combined.is_better_than(q))
+                .is_none_or(|(_, _, q)| combined.is_better_than(q))
             {
                 best = Some((t, sols, combined));
             }

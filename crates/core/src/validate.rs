@@ -436,7 +436,7 @@ fn longest_branch(req: &ServiceRequirement, flow: &FlowGraph) -> Option<Latency>
             let step = lat[&(s, t)].as_micros();
             let cand = d + step;
             let slot = dist.get_mut(&t)?;
-            if slot.map_or(true, |cur| cand > cur) {
+            if slot.is_none_or(|cur| cand > cur) {
                 *slot = Some(cand);
             }
         }

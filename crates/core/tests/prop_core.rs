@@ -38,7 +38,7 @@ fn brute_force_chain(fx: &Fixture, chain: &[ServiceId]) -> Option<Qos> {
             };
         }
         if let Some(q) = qos {
-            if best.map_or(true, |b| q.is_better_than(&b)) {
+            if best.is_none_or(|b| q.is_better_than(&b)) {
                 best = Some(q);
             }
         }

@@ -24,7 +24,7 @@ fn flow_graph_serializes_with_expected_fields() {
     let edges = json["edges"].as_array().unwrap();
     assert_eq!(edges.len(), 4);
     for e in edges {
-        assert!(e["overlay_path"].as_array().unwrap().len() >= 1);
+        assert!(!e["overlay_path"].as_array().unwrap().is_empty());
         assert!(e.get("qos").is_some());
     }
 }

@@ -374,7 +374,7 @@ pub fn dag_longest_paths<N, E>(
         for e in g.out_edges(n) {
             let cand = d.saturating_add(len(e));
             let slot = &mut dist[e.to.index()];
-            if slot.map_or(true, |cur| cand > cur) {
+            if slot.is_none_or(|cur| cand > cur) {
                 *slot = Some(cand);
             }
         }

@@ -337,6 +337,30 @@ impl OverlayGraph {
         })
     }
 
+    /// Copy-on-write form of [`OverlayGraph::update_link_qos`]: leaves
+    /// `self` untouched and returns a fresh overlay carrying the new QoS,
+    /// plus the [`EdgeChange`] that
+    /// [`AllPairs::patched`](sflow_routing::AllPairs::patched) needs to
+    /// derive a fresh routing table from a predecessor. `None` if no such
+    /// service link exists.
+    ///
+    /// This is the mutation entry point of an epoch-published world: the
+    /// current overlay stays immutable (readers keep solving against it)
+    /// while the successor is assembled off to the side.
+    pub fn with_link_qos(
+        &self,
+        from: NodeIx,
+        to: NodeIx,
+        qos: Qos,
+    ) -> Option<(OverlayGraph, EdgeChange)> {
+        self.graph.find_edge(from, to)?;
+        let mut next = self.clone();
+        let change = next
+            .update_link_qos(from, to, qos)
+            .expect("edge existence checked above");
+        Some((next, change))
+    }
+
     /// Rebuilds the overlay with the given instances removed — the substrate
     /// for failure injection and repair ("agile" federation). Service links
     /// between surviving instances keep their QoS.
@@ -670,6 +694,30 @@ mod tests {
             }
         }
         assert_eq!(ov.update_link_qos(near, s0, q(1, 1)), None);
+    }
+
+    #[test]
+    fn with_link_qos_leaves_the_predecessor_untouched() {
+        let (net, p, compat) = line_world();
+        let ov = OverlayGraph::build(&net, &p, &compat).unwrap();
+        let s0 = ov.instances_of(sid(0))[0];
+        let near = ov
+            .instances_of(sid(1))
+            .iter()
+            .copied()
+            .find(|&n| ov.instance(n).host == HostId::new(1))
+            .unwrap();
+        let (next, change) = ov.with_link_qos(s0, near, q(3, 7)).unwrap();
+        assert_eq!(change.old, q(10, 1));
+        assert_eq!(change.new, q(3, 7));
+        // The predecessor still carries the old weight, the successor the new.
+        let e_old = ov.graph().find_edge(s0, near).unwrap();
+        assert_eq!(*ov.graph().edge(e_old), q(10, 1));
+        let e_new = next.graph().find_edge(s0, near).unwrap();
+        assert_eq!(*next.graph().edge(e_new), q(3, 7));
+        // No reverse link: the copy-on-write entry point reports it without
+        // allocating a successor.
+        assert!(ov.with_link_qos(near, s0, q(1, 1)).is_none());
     }
 
     #[test]

@@ -171,7 +171,7 @@ pub fn waxman(
                     for j in 0..n {
                         if find(&mut comp, j) == root0 {
                             let d = dist(pts[i], pts[j]);
-                            if best.map_or(true, |(_, _, bd)| d < bd) {
+                            if best.is_none_or(|(_, _, bd)| d < bd) {
                                 best = Some((i, j, d));
                             }
                         }

@@ -99,7 +99,7 @@ fn dijkstra<N>(
             }
             let cand = cur.then(*e.weight);
             let slot = &mut qos[e.to.index()];
-            if slot.map_or(true, |q| key_of(cand) > key_of(q)) {
+            if slot.is_none_or(|q| key_of(cand) > key_of(q)) {
                 *slot = Some(cand);
                 pred[e.to.index()] = Some((node, e.id));
                 heap.push(Entry {

@@ -203,6 +203,35 @@ impl AllPairs {
         self.patch_with(g, changes, 0)
     }
 
+    /// Copy-on-write form of [`AllPairs::patch`]: treats `self` as an
+    /// immutable predecessor and returns a *fresh* table for the changed
+    /// graph, recomputing only the dirty source trees and sharing nothing
+    /// mutable with the predecessor. Readers concurrently solving against
+    /// the predecessor are never disturbed — this is the routing half of an
+    /// epoch-published world, where the successor table is assembled
+    /// entirely off-lock and swapped in with one pointer store.
+    ///
+    /// `g` must already carry the new weights. Uses [`auto_workers`].
+    pub fn patched<N: Sync>(
+        &self,
+        g: &DiGraph<N, Qos>,
+        changes: &[EdgeChange],
+    ) -> (AllPairs, PatchStats) {
+        self.patched_with(g, changes, 0)
+    }
+
+    /// [`AllPairs::patched`] with an explicit worker count (`0` = auto).
+    pub fn patched_with<N: Sync>(
+        &self,
+        g: &DiGraph<N, Qos>,
+        changes: &[EdgeChange],
+        workers: usize,
+    ) -> (AllPairs, PatchStats) {
+        let mut next = self.clone();
+        let stats = next.patch_with(g, changes, workers);
+        (next, stats)
+    }
+
     /// [`AllPairs::patch`] with an explicit worker count (`0` = auto).
     pub fn patch_with<N: Sync>(
         &mut self,
@@ -416,6 +445,29 @@ mod tests {
         );
         assert!(stats.trees_recomputed >= 2);
         assert_tables_equal(&ap, &all_pairs(&g), &g);
+    }
+
+    #[test]
+    fn patched_produces_a_fresh_table_and_preserves_the_predecessor() {
+        let (mut g, n, e) = world();
+        let before = all_pairs(&g);
+        let old = *g.edge(e[1]);
+        *g.edge_mut(e[1]) = q(3, 4);
+        let (next, stats) = before.patched(
+            &g,
+            &[EdgeChange {
+                edge: e[1],
+                old,
+                new: q(3, 4),
+            }],
+        );
+        assert_eq!(stats.trees_recomputed, 2);
+        assert!(!stats.full_rebuild);
+        // The successor matches a from-scratch rebuild of the new graph…
+        assert_tables_equal(&next, &all_pairs(&g), &g);
+        // …while the predecessor still answers with the pre-change QoS.
+        assert_eq!(before.qos(n[0], n[3]), Some(q(10, 3)));
+        assert_eq!(next.qos(n[0], n[3]), Some(q(3, 6)));
     }
 
     #[test]

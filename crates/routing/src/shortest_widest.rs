@@ -197,7 +197,7 @@ fn widest_bandwidths_into<N>(g: &DiGraph<N, Qos>, source: NodeIx, scratch: &mut 
                 continue;
             }
             let slot = &mut best[to.index()];
-            if slot.map_or(true, |b| cand > b) {
+            if slot.is_none_or(|b| cand > b) {
                 *slot = Some(cand);
                 heap.push(WidestEntry {
                     bandwidth: cand,
@@ -269,7 +269,7 @@ fn latency_dijkstra_at_level_into<N>(
             }
             let cand = latency + weight.latency;
             let slot = &mut dist[to.index()];
-            if slot.map_or(true, |l| cand < l) {
+            if slot.is_none_or(|l| cand < l) {
                 *slot = Some(cand);
                 pred[to.index()] = Some((node, eid));
                 heap.push(LatencyEntry {
@@ -412,7 +412,7 @@ pub fn single_source_lexicographic<N>(g: &DiGraph<N, Qos>, source: NodeIx) -> Pa
             }
             let cand = qos.then(*e.weight);
             let slot = &mut dist[e.to.index()];
-            if slot.map_or(true, |q| cand.is_better_than(&q)) {
+            if slot.is_none_or(|q| cand.is_better_than(&q)) {
                 *slot = Some(cand);
                 pred[e.to.index()] = Some((node, e.id));
                 heap.push(LexEntry {

@@ -77,7 +77,7 @@ fn brute_force(g: &DiGraph<(), Qos>, from: NodeIx, to: NodeIx) -> Option<Qos> {
             }
         }
         for cand in partials {
-            if best.map_or(true, |b| cand.is_better_than(&b)) {
+            if best.is_none_or(|b| cand.is_better_than(&b)) {
                 best = Some(cand);
             }
         }

@@ -92,7 +92,7 @@ pub fn parse(input: &str) -> Result<Cnf, DimacsError> {
                 if current.is_empty() {
                     return Err(DimacsError::EmptyClause);
                 }
-                cnf_ref.add_clause(current.drain(..).collect::<Vec<_>>());
+                cnf_ref.add_clause(std::mem::take(&mut current));
             } else {
                 if v.abs() > num_vars {
                     return Err(DimacsError::OutOfRange(v));

@@ -85,7 +85,7 @@ pub fn max_bottleneck(inst: &MsfgInstance) -> Option<MsfgSolution> {
     let mut selection = vec![0usize; n];
     loop {
         if let Some(b) = selection_bottleneck(inst, &selection) {
-            if best.as_ref().map_or(true, |s| b > s.bottleneck) {
+            if best.as_ref().is_none_or(|s| b > s.bottleneck) {
                 best = Some(MsfgSolution {
                     selection: selection.clone(),
                     bottleneck: b,
@@ -121,9 +121,9 @@ mod tests {
     fn tiny() -> MsfgInstance {
         let mut graph = DiGraph::new();
         let mut groups = vec![Vec::new(), Vec::new()];
-        for g in 0..2usize {
+        for (g, group) in groups.iter_mut().enumerate() {
             for m in 0..2usize {
-                groups[g].push(graph.add_node(GroupedNode {
+                group.push(graph.add_node(GroupedNode {
                     group: g,
                     member: m,
                 }));

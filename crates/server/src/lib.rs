@@ -6,21 +6,26 @@
 //! *owns* a world and amortises its expensive routing artifacts across
 //! requests:
 //!
-//! * **Shared world** — the underlying network, overlay, [`AllPairs`] table
-//!   and topology epoch live in one [`World`] behind an
-//!   `Arc<parking_lot::RwLock<_>>`; concurrent `Federate` requests solve
-//!   under read locks, mutations take the write lock ([`world`]).
-//! * **Shared routing caches** — the [`HopMatrix`] the sFlow horizon needs is
-//!   built once per topology epoch and handed to every solver as an `Arc`
-//!   (via [`Solver::with_hop_matrix`]), instead of being rebuilt per call.
+//! * **Snapshot world** — the overlay, [`AllPairs`] table and topology epoch
+//!   live in an immutable [`WorldSnapshot`] published through a [`Snap`]
+//!   cell ([`snapshot`]). `Federate` requests load the current snapshot and
+//!   solve with **no shared lock held**; mutations build the successor
+//!   copy-on-write off to the side and publish it with one pointer swap
+//!   ([`world`]). Mutations serialize only against each other.
+//! * **Shared routing caches** — the [`HopMatrix`] the sFlow horizon needs
+//!   lives *inside* each snapshot (built lazily, at most once per epoch) and
+//!   is handed to every solver as an `Arc` (via [`Solver::with_hop_matrix`]);
+//!   QoS-only mutations carry it forward to the successor epoch.
 //! * **Admission control** — a crossbeam worker pool drains a *bounded* job
 //!   queue; when the queue is full, requests are shed immediately with
 //!   [`Response::Overloaded`] so overload degrades gracefully instead of
 //!   ballooning latency ([`server`]).
 //! * **Agility** — [`Request::Mutate`] applies a link-QoS update or an
-//!   instance failure, bumps the epoch, invalidates the caches and
-//!   re-federates every live session via [`sflow_core::repair`] — the
-//!   paper's headline claim made operational.
+//!   instance failure, publishes the next epoch and re-federates every live
+//!   session via [`sflow_core::repair`] — the paper's headline claim made
+//!   operational. A solve that a mutation overtakes is answered with the
+//!   typed [`Response::Stale`] rather than silently repaired across an
+//!   instance-failure renumbering.
 //! * **Wire protocol** — length-prefixed `serde_json` frames over `std::net`
 //!   TCP ([`wire`]), with a small blocking [`Client`] in [`client`].
 //!
@@ -54,12 +59,14 @@ use sflow_net::{ServiceId, ServiceInstance};
 
 pub mod client;
 pub mod server;
+pub mod snapshot;
 pub mod stats;
 pub mod wire;
 pub mod world;
 
 pub use client::Client;
 pub use server::{serve, serve_on, ServerConfig, ServerHandle};
+pub use snapshot::{Snap, WorldSnapshot};
 pub use stats::StatsSnapshot;
 pub use wire::WireError;
 pub use world::World;
@@ -153,6 +160,17 @@ pub enum Response {
         repaired: usize,
         /// Sessions that no longer fit and were closed.
         dropped: usize,
+    },
+    /// The solve completed, but a mutation published a newer epoch before
+    /// the session could be opened. The answer was solved against a world
+    /// that no longer exists (an instance failure renumbers the overlay, so
+    /// the flow cannot be trusted to translate); the client should re-issue
+    /// the federate against the current epoch.
+    Stale {
+        /// The epoch the discarded answer was solved against.
+        solved_epoch: u64,
+        /// The epoch published by the time the session would have opened.
+        current_epoch: u64,
     },
     /// Server counters.
     Stats(StatsSnapshot),

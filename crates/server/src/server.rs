@@ -7,7 +7,7 @@
 //!   response frames (responses stay ordered per connection because the
 //!   thread waits for each reply before reading the next frame);
 //! * a fixed pool of **worker** threads drains a *bounded* crossbeam job
-//!   queue and runs solves/mutations against the shared [`World`].
+//!   queue and runs solves/mutations against the published world snapshot.
 //!
 //! Admission control happens where the connection thread hands a job to the
 //! pool: a `try_send` into the bounded queue either enqueues or fails
@@ -16,11 +16,16 @@
 //! inline on the connection thread so observability and operability survive
 //! overload.
 //!
-//! Locking: `Federate` solves under the world's read lock; `Mutate` holds
-//! the write lock across the mutation *and* session repair, so a response
-//! solved at epoch `e` was solved against exactly the epoch-`e` topology.
-//! The shared hop matrix lives in an epoch-tagged side cache — solvers
-//! build it at most once per epoch and every later solve reuses the `Arc`.
+//! Locking: there is none on the solve path. `Federate` loads the current
+//! [`WorldSnapshot`](crate::snapshot::WorldSnapshot) from the [`Snap`] cell
+//! (an `Arc` clone) and solves against that immutable epoch with zero shared
+//! locks held; the per-epoch hop matrix lives inside the snapshot and is
+//! built at most once however many solvers race on it. `Mutate` serializes
+//! against other mutations on the world mutex, assembles the successor
+//! snapshot off to the side, publishes it with one pointer swap and then
+//! repairs sessions. A solve overtaken by a mutation is answered
+//! [`Response::Stale`] instead of opening a session solved against a world
+//! that no longer exists.
 
 use std::collections::BTreeMap;
 use std::io;
@@ -31,16 +36,16 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
-use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use parking_lot::Mutex;
 use sflow_core::algorithms::{
     FederationAlgorithm, FixedAlgorithm, GlobalOptimalAlgorithm, ServicePathAlgorithm,
 };
-use sflow_core::baseline::HopMatrix;
 use sflow_core::repair::repair;
 use sflow_core::validate::FlowGraphAuditor;
 use sflow_core::{FederationContext, FlowGraph, ServiceRequirement, Solver};
 use sflow_runtime::duration_us;
 
+use crate::snapshot::Snap;
 use crate::stats::Metrics;
 use crate::wire::{read_frame, write_frame};
 use crate::world::World;
@@ -86,6 +91,11 @@ impl Default for ServerConfig {
 struct Session {
     requirement: ServiceRequirement,
     flow: FlowGraph,
+    /// The snapshot epoch `flow` was solved (or last repaired) against.
+    /// Repair sweeps re-resolve a session against exactly the epoch it was
+    /// solved under — a session somehow left behind by an earlier sweep is
+    /// dropped rather than silently repaired across a renumbering.
+    solved_epoch: u64,
 }
 
 #[derive(Default)]
@@ -98,35 +108,18 @@ struct Sessions {
 struct Shared {
     addr: SocketAddr,
     config: ServerConfig,
-    world: RwLock<World>,
-    /// The hop matrix for the *current* epoch, built lazily by the first
-    /// solver that needs it. A mutation bumps the epoch, so a stale entry
-    /// self-invalidates on the tag check (and `Mutate` clears it eagerly).
-    hop_cache: Mutex<Option<(u64, Arc<HopMatrix>)>>,
+    /// The publication cell readers load snapshots from. Never held — a
+    /// load is one `Arc` clone and the solve runs against the clone.
+    snap: Arc<Snap>,
+    /// The mutator. Only `Mutate` jobs take this lock; the read path never
+    /// touches it, so mutations serialize exclusively against each other.
+    world: Mutex<World>,
     sessions: Mutex<Sessions>,
     metrics: Metrics,
     shutdown: AtomicBool,
 }
 
 impl Shared {
-    /// The epoch-tagged shared hop matrix, built at most once per epoch.
-    /// `world` is the read guard the caller solves under, which ties the
-    /// returned matrix to exactly that topology.
-    fn hop_matrix(&self, world: &RwLockReadGuard<'_, World>) -> Arc<HopMatrix> {
-        let epoch = world.epoch();
-        let mut cache = self.hop_cache.lock();
-        if let Some((tag, matrix)) = cache.as_ref() {
-            if *tag == epoch {
-                self.metrics.cache_hit();
-                return Arc::clone(matrix);
-            }
-        }
-        self.metrics.cache_miss();
-        let matrix = Arc::new(HopMatrix::new(world.overlay()));
-        *cache = Some((epoch, Arc::clone(&matrix)));
-        matrix
-    }
-
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
@@ -200,8 +193,8 @@ pub fn serve_on(addr: &str, mut world: World, config: &ServerConfig) -> io::Resu
     let shared = Arc::new(Shared {
         addr: listener.local_addr()?,
         config: *config,
-        world: RwLock::new(world),
-        hop_cache: Mutex::new(None),
+        snap: world.handle(),
+        world: Mutex::new(world),
         sessions: Mutex::new(Sessions::default()),
         metrics: Metrics::default(),
         shutdown: AtomicBool::new(false),
@@ -285,9 +278,10 @@ fn connection_loop(shared: &Shared, job_tx: &Sender<Job>, mut stream: TcpStream)
 /// Routes one request: control-plane inline, data-plane through admission.
 fn dispatch(shared: &Shared, job_tx: &Sender<Job>, request: Request) -> Response {
     match request {
-        // Stats stays answerable under overload: it never takes a queue slot.
+        // Stats stays answerable under overload: it never takes a queue slot
+        // (and, like every read, never waits on a mutation).
         Request::Stats => {
-            let epoch = shared.world.read().epoch();
+            let epoch = shared.snap.epoch();
             let sessions = shared.sessions.lock().live.len() as u64;
             Response::Stats(shared.metrics.snapshot(epoch, sessions))
         }
@@ -359,7 +353,8 @@ fn execute(shared: &Shared, request: Request) -> Response {
     response
 }
 
-/// Solves one requirement under the world's read lock and opens a session.
+/// Solves one requirement against the current snapshot — no shared lock is
+/// held anywhere in the solve — and opens a session.
 fn federate(
     shared: &Shared,
     spec: &str,
@@ -373,12 +368,36 @@ fn federate(
             return Response::Error(format!("bad requirement {spec:?}: {e}"));
         }
     };
-    let world = shared.world.read();
-    let ctx = world.context();
+    // One Arc clone; everything below runs against this immutable epoch,
+    // concurrent mutations notwithstanding.
+    let snapshot = shared.snap.load();
+    federate_against(shared, snapshot, requirement, algorithm, hop_limit)
+}
+
+/// The epoch-pinned half of [`federate`]: solves against exactly
+/// `snapshot`, then opens a session — unless a mutation overtook the solve,
+/// in which case the answer is [`Response::Stale`]. Split out so the race
+/// window is testable with a deliberately outdated snapshot.
+fn federate_against(
+    shared: &Shared,
+    snapshot: Arc<crate::snapshot::WorldSnapshot>,
+    requirement: ServiceRequirement,
+    algorithm: Algorithm,
+    hop_limit: Option<usize>,
+) -> Response {
+    let ctx = snapshot.context();
     let solved = match algorithm {
         Algorithm::Sflow => {
             let solver = match hop_limit {
-                Some(limit) => Solver::new(&ctx).with_hop_matrix(limit, shared.hop_matrix(&world)),
+                Some(limit) => {
+                    let (matrix, built) = snapshot.hop_matrix_tracked();
+                    if built {
+                        shared.metrics.cache_miss();
+                    } else {
+                        shared.metrics.cache_hit();
+                    }
+                    Solver::new(&ctx).with_hop_matrix(limit, matrix)
+                }
                 None => Solver::new(&ctx),
             };
             solver.solve(&requirement)
@@ -396,8 +415,20 @@ fn federate(
     };
     audit_flow(shared, &ctx, &requirement, &flow);
 
-    // Lock order: world before sessions, always.
     let mut sessions = shared.sessions.lock();
+    // Epoch check under the sessions lock: repair sweeps also take it, so
+    // this decides atomically whether the session will be covered by every
+    // future sweep. If a mutation overtook the solve, the answer describes
+    // a world that no longer exists — say so instead of storing it.
+    let current_epoch = shared.snap.epoch();
+    if current_epoch != snapshot.epoch() {
+        drop(sessions);
+        shared.metrics.stale();
+        return Response::Stale {
+            solved_epoch: snapshot.epoch(),
+            current_epoch,
+        };
+    }
     if sessions.live.len() >= shared.config.max_sessions {
         shared.metrics.failed();
         return Response::Error("session table full".into());
@@ -406,12 +437,19 @@ fn federate(
     sessions.next_id += 1;
     let summary = FlowSummary {
         session,
-        epoch: world.epoch(),
+        epoch: snapshot.epoch(),
         bandwidth_kbps: flow.quality().bandwidth.as_kbps(),
         latency_us: flow.quality().latency.as_micros(),
         instances: flow.instances().clone(),
     };
-    sessions.live.insert(session, Session { requirement, flow });
+    sessions.live.insert(
+        session,
+        Session {
+            requirement,
+            flow,
+            solved_epoch: snapshot.epoch(),
+        },
+    );
     shared.metrics.served();
     Response::Federated(summary)
 }
@@ -437,10 +475,17 @@ fn audit_flow(
     }
 }
 
-/// Applies one mutation under the write lock, then repairs every session
-/// against the new topology — sFlow's agility as a server operation.
+/// Applies one mutation and repairs every session against the new epoch —
+/// sFlow's agility as a server operation.
+///
+/// The world mutex serializes mutations *against each other only*; readers
+/// load snapshots and never block here. The guard intentionally spans the
+/// repair sweep so sweeps from back-to-back mutations cannot interleave —
+/// the one sanctioned exception to the no-guard-across-solve invariant,
+/// which is why the binding carries an audit allow.
 fn mutate(shared: &Shared, mutation: &crate::Mutation) -> Response {
-    let mut world = shared.world.write();
+    let mut world = shared.world.lock(); // audit:allow(guard-across-solve)
+    let from_epoch = world.epoch();
     let rebuild = match world.apply(mutation) {
         Ok(rebuild) => rebuild,
         Err(e) => {
@@ -451,40 +496,122 @@ fn mutate(shared: &Shared, mutation: &crate::Mutation) -> Response {
     shared
         .metrics
         .rebuild(duration_us(rebuild.duration), rebuild.trees_recomputed);
-    let epoch = world.epoch();
-    // The hop matrix is purely structural (BFS hop counts, no QoS), so a
-    // QoS-only mutation leaves it valid: retag the cached entry with the
-    // new epoch and the next solver reuses it. Structural mutations
-    // (instance failure) renumber the overlay; drop the matrix eagerly.
-    let mut hop_cache = shared.hop_cache.lock();
-    match (mutation, hop_cache.take()) {
-        (crate::Mutation::SetLinkQos { .. }, Some((_, matrix))) => {
-            *hop_cache = Some((epoch, matrix));
-        }
-        _ => *hop_cache = None,
-    }
-    drop(hop_cache);
+    // `apply` has already published the successor: federates from here on
+    // solve at `epoch`, and any solve still in flight at `from_epoch` will
+    // answer `Stale` rather than slip into the session table behind us.
+    let snapshot = world.snapshot();
+    let epoch = snapshot.epoch();
+    let ctx = snapshot.context();
 
-    let ctx = world.context();
-    let mut sessions = shared.sessions.lock();
-    let mut repaired = 0;
-    let mut dropped = Vec::new();
-    for (&id, session) in sessions.live.iter_mut() {
+    // Sweep the sessions through repair. The map is *taken* out of the
+    // sessions lock so the lock itself is never held across a repair solve;
+    // federates landing mid-sweep open sessions at the new epoch and merge
+    // back untouched (ids stay unique — `next_id` is monotonic and stays in
+    // place).
+    let taken = std::mem::take(&mut shared.sessions.lock().live);
+    let mut kept = BTreeMap::new();
+    let mut repaired = 0usize;
+    let mut dropped = 0usize;
+    for (id, mut session) in taken {
+        if session.solved_epoch != from_epoch {
+            // Defensive: every sweep repairs sessions solved at exactly the
+            // epoch this mutation replaced. A session left behind at some
+            // older epoch has already been renumbered past — drop it rather
+            // than repair it against a world it was never solved in.
+            dropped += 1;
+            continue;
+        }
         match repair(&ctx, &session.requirement, &session.flow) {
             Ok(outcome) => {
                 audit_flow(shared, &ctx, &session.requirement, &outcome.flow);
                 session.flow = outcome.flow;
+                session.solved_epoch = epoch;
+                kept.insert(id, session);
                 repaired += 1;
             }
-            Err(_) => dropped.push(id),
+            Err(_) => dropped += 1,
         }
     }
-    for id in &dropped {
-        sessions.live.remove(id);
-    }
+    shared.sessions.lock().live.extend(kept);
     Response::Mutated {
         epoch,
         repaired,
-        dropped: dropped.len(),
+        dropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mutation;
+    use sflow_core::fixtures::{diamond_fixture, diamond_requirement};
+
+    /// A `Shared` with no listener behind it: enough to drive the worker
+    /// entry points (`federate_against`, `mutate`) directly.
+    fn shared_over_diamond() -> Shared {
+        let mut world = World::new(diamond_fixture());
+        world.set_route_workers(1);
+        Shared {
+            addr: "127.0.0.1:0".parse().unwrap(),
+            config: ServerConfig::default(),
+            snap: world.handle(),
+            world: Mutex::new(world),
+            sessions: Mutex::new(Sessions::default()),
+            metrics: Metrics::default(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Satellite regression: a solve that a mutation overtakes is answered
+    /// with the typed `Stale` response — carrying both epochs — instead of
+    /// opening a session solved against a renumbered world.
+    #[test]
+    fn a_solve_overtaken_by_a_mutation_is_answered_stale() {
+        let shared = shared_over_diamond();
+        let requirement = diamond_requirement();
+        // The solver's snapshot load...
+        let stale_snapshot = shared.snap.load();
+        // ...raced by an instance failure, which renumbers the overlay.
+        let victim = stale_snapshot
+            .overlay()
+            .graph()
+            .node_ids()
+            .map(|n| stale_snapshot.overlay().instance(n))
+            .find(|i| *i != stale_snapshot.source())
+            .unwrap();
+        match mutate(&shared, &Mutation::FailInstance { instance: victim }) {
+            Response::Mutated { epoch: 1, .. } => {}
+            other => panic!("expected Mutated at epoch 1, got {other:?}"),
+        }
+
+        match federate_against(
+            &shared,
+            stale_snapshot,
+            requirement.clone(),
+            Algorithm::Sflow,
+            Some(2),
+        ) {
+            Response::Stale {
+                solved_epoch,
+                current_epoch,
+            } => {
+                assert_eq!(solved_epoch, 0);
+                assert_eq!(current_epoch, 1);
+            }
+            other => panic!("expected Stale, got {other:?}"),
+        }
+        // No session opened; the stale counter moved; nothing was "served".
+        assert_eq!(shared.sessions.lock().live.len(), 0);
+        let stats = shared.metrics.snapshot(shared.snap.epoch(), 0);
+        assert_eq!(stats.stale, 1);
+        assert_eq!(stats.served, 0);
+
+        // A fresh load federates normally at the new epoch.
+        let fresh = shared.snap.load();
+        match federate_against(&shared, fresh, requirement, Algorithm::Sflow, Some(2)) {
+            Response::Federated(s) => assert_eq!(s.epoch, 1),
+            other => panic!("expected Federated, got {other:?}"),
+        }
+        assert_eq!(shared.sessions.lock().live.len(), 1);
     }
 }

@@ -1,0 +1,286 @@
+//! Epoch-published world snapshots: the server's lock-free read path.
+//!
+//! A [`WorldSnapshot`] is an immutable, `Send + Sync` bundle of everything a
+//! solve needs — the overlay, its all-pairs table, the pinned source and the
+//! topology epoch — plus the per-epoch [`HopMatrix`] materialised lazily
+//! *inside* the snapshot (a `OnceLock`, so concurrent first touches build it
+//! at most once and every later solve reuses the `Arc`).
+//!
+//! Snapshots are published through a [`Snap`] cell: mutators assemble the
+//! *next* snapshot entirely off to the side (copy-on-write overlay, routing
+//! table patched from the predecessor) and then [`Snap::store`] swaps one
+//! pointer. Readers call [`Snap::load`], which clones an `Arc` under a
+//! mutex held for a handful of instructions — no reader ever waits on a
+//! rebuild, and a solve runs against its snapshot with **zero shared locks
+//! held**. The previous epoch's snapshot stays alive (and solvable) for as
+//! long as any in-flight request still holds its `Arc`.
+
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+use sflow_core::baseline::HopMatrix;
+use sflow_core::{FederationContext, OwnedFederationContext};
+use sflow_graph::NodeIx;
+use sflow_net::{OverlayGraph, ServiceInstance};
+use sflow_routing::AllPairs;
+
+/// One immutable epoch of the world: overlay + routing table + source pin +
+/// epoch number, with the epoch's hop matrix built lazily on first use.
+#[derive(Debug)]
+pub struct WorldSnapshot {
+    overlay: Arc<OverlayGraph>,
+    all_pairs: Arc<AllPairs>,
+    source: ServiceInstance,
+    source_node: NodeIx,
+    epoch: u64,
+    /// The hop matrix for exactly this epoch's overlay, built by the first
+    /// solver that needs a horizon and shared by every later one. Lives in
+    /// the snapshot itself, so it can never be paired with the wrong epoch
+    /// and dies with the snapshot.
+    hop_matrix: OnceLock<Arc<HopMatrix>>,
+}
+
+impl WorldSnapshot {
+    /// Bundles one epoch of the world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source_node` is not a node of `overlay`.
+    pub fn new(
+        overlay: Arc<OverlayGraph>,
+        all_pairs: Arc<AllPairs>,
+        source_node: NodeIx,
+        epoch: u64,
+    ) -> Self {
+        assert!(
+            overlay.graph().contains_node(source_node),
+            "source instance must be an overlay node"
+        );
+        let source = overlay.instance(source_node);
+        WorldSnapshot {
+            overlay,
+            all_pairs,
+            source,
+            source_node,
+            epoch,
+            hop_matrix: OnceLock::new(),
+        }
+    }
+
+    /// The topology epoch this snapshot publishes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The overlay of this epoch.
+    pub fn overlay(&self) -> &OverlayGraph {
+        &self.overlay
+    }
+
+    /// The all-pairs shortest-widest table of this epoch.
+    pub fn all_pairs(&self) -> &AllPairs {
+        &self.all_pairs
+    }
+
+    /// The pinned source instance (survives every mutation).
+    pub fn source(&self) -> ServiceInstance {
+        self.source
+    }
+
+    /// The source's overlay node *in this epoch's numbering*.
+    pub fn source_node(&self) -> NodeIx {
+        self.source_node
+    }
+
+    /// An owned federation context sharing this snapshot's overlay and
+    /// table. The context is `'static` and `Send + Sync`: the solve it
+    /// feeds runs detached from any lock, against exactly this epoch.
+    pub fn context(&self) -> OwnedFederationContext {
+        FederationContext::from_arcs(
+            Arc::clone(&self.overlay),
+            Arc::clone(&self.all_pairs),
+            self.source_node,
+        )
+    }
+
+    /// This epoch's hop matrix, built on first touch and shared afterwards.
+    pub fn hop_matrix(&self) -> Arc<HopMatrix> {
+        self.hop_matrix_tracked().0
+    }
+
+    /// Like [`WorldSnapshot::hop_matrix`], but also reports whether *this*
+    /// call performed the build (`true` for exactly one caller per epoch,
+    /// however many race on the first touch) — the servers' cache-hit/miss
+    /// accounting without a side cache to tag.
+    pub fn hop_matrix_tracked(&self) -> (Arc<HopMatrix>, bool) {
+        let mut built = false;
+        let matrix = self.hop_matrix.get_or_init(|| {
+            built = true;
+            Arc::new(HopMatrix::new(&self.overlay))
+        });
+        (Arc::clone(matrix), built)
+    }
+
+    /// The hop matrix if some solve already built (or a mutation carried)
+    /// it; `None` before the epoch's first touch.
+    pub fn cached_hop_matrix(&self) -> Option<Arc<HopMatrix>> {
+        self.hop_matrix.get().map(Arc::clone)
+    }
+
+    /// Pre-seeds the hop matrix, used when assembling the successor of a
+    /// QoS-only mutation: hop counts are purely structural, so the
+    /// predecessor's matrix is still exact and first-touch cost is saved.
+    /// A no-op if this snapshot already built its own.
+    pub fn adopt_hop_matrix(&self, matrix: Arc<HopMatrix>) {
+        let _ = self.hop_matrix.set(matrix);
+    }
+}
+
+/// The publication cell: one `Arc<WorldSnapshot>` swapped atomically from
+/// the mutator's point of view, cloned on load from the readers'.
+///
+/// Hand-rolled over a `parking_lot::Mutex` rather than a vendored
+/// `arc-swap`: the critical section on either side is a single `Arc` clone
+/// or pointer store (never a rebuild, never a solve), so the cell behaves
+/// like an atomic pointer with reference counting. `load` is wait-free in
+/// practice; the invariant that matters — *no guard is ever held across a
+/// solve* — is enforced by the `guard-across-solve` audit rule.
+#[derive(Debug)]
+pub struct Snap {
+    current: Mutex<Arc<WorldSnapshot>>,
+}
+
+impl Snap {
+    /// A cell publishing `snapshot` as the current world.
+    pub fn new(snapshot: Arc<WorldSnapshot>) -> Self {
+        Snap {
+            current: Mutex::new(snapshot),
+        }
+    }
+
+    /// The current snapshot. Constant-time: clones the `Arc`, never blocks
+    /// on a rebuild (mutators prepare their successor *before* storing).
+    pub fn load(&self) -> Arc<WorldSnapshot> {
+        Arc::clone(&self.current.lock())
+    }
+
+    /// The current epoch without keeping the snapshot alive.
+    pub fn epoch(&self) -> u64 {
+        self.current.lock().epoch
+    }
+
+    /// Publishes `next` as the current snapshot. Readers that already
+    /// loaded the predecessor keep solving against it; everyone after this
+    /// call sees `next`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that epochs only move forward — a regressing store is
+    /// a mutator serialization bug.
+    pub fn store(&self, next: Arc<WorldSnapshot>) {
+        let mut current = self.current.lock();
+        debug_assert!(
+            next.epoch > current.epoch,
+            "snapshot epochs must be monotonic: {} -> {}",
+            current.epoch,
+            next.epoch
+        );
+        *current = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sflow_core::fixtures::diamond_fixture;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    fn snapshot_of_diamond() -> WorldSnapshot {
+        let fx = diamond_fixture();
+        WorldSnapshot::new(Arc::new(fx.overlay), Arc::new(fx.all_pairs), fx.source, 0)
+    }
+
+    /// Satellite regression: concurrent first-touch solves build the hop
+    /// matrix at most once per epoch, and all of them share the one build.
+    #[test]
+    fn concurrent_first_touches_build_the_hop_matrix_at_most_once() {
+        for _ in 0..20 {
+            let snap = Arc::new(snapshot_of_diamond());
+            let builds = Arc::new(AtomicUsize::new(0));
+            let matrices: Vec<Arc<HopMatrix>> = (0..8)
+                .map(|_| {
+                    let snap = Arc::clone(&snap);
+                    let builds = Arc::clone(&builds);
+                    thread::spawn(move || {
+                        let (matrix, built) = snap.hop_matrix_tracked();
+                        if built {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                        }
+                        matrix
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect();
+            assert_eq!(
+                builds.load(Ordering::SeqCst),
+                1,
+                "exactly one thread may build per epoch"
+            );
+            for m in &matrices {
+                assert!(Arc::ptr_eq(m, &matrices[0]), "all callers share one matrix");
+            }
+        }
+    }
+
+    #[test]
+    fn adopted_matrices_preempt_the_first_touch() {
+        let a = snapshot_of_diamond();
+        let (built_matrix, built) = a.hop_matrix_tracked();
+        assert!(built);
+        let b = snapshot_of_diamond();
+        b.adopt_hop_matrix(Arc::clone(&built_matrix));
+        let (reused, built) = b.hop_matrix_tracked();
+        assert!(!built, "an adopted matrix satisfies the first touch");
+        assert!(Arc::ptr_eq(&reused, &built_matrix));
+        // Adoption after the fact is a no-op.
+        a.adopt_hop_matrix(Arc::new(HopMatrix::new(a.overlay())));
+        assert!(Arc::ptr_eq(&a.hop_matrix(), &built_matrix));
+    }
+
+    #[test]
+    fn snap_load_returns_the_published_snapshot_and_keeps_old_epochs_alive() {
+        let first = Arc::new(snapshot_of_diamond());
+        let cell = Snap::new(Arc::clone(&first));
+        let held = cell.load();
+        assert_eq!(held.epoch(), 0);
+
+        let fx = diamond_fixture();
+        let next = Arc::new(WorldSnapshot::new(
+            Arc::new(fx.overlay),
+            Arc::new(fx.all_pairs),
+            fx.source,
+            1,
+        ));
+        cell.store(next);
+        assert_eq!(cell.epoch(), 1);
+        assert_eq!(cell.load().epoch(), 1);
+        // The reader that loaded before the store still solves against its
+        // own epoch — snapshots are immutable, not invalidated.
+        assert_eq!(held.epoch(), 0);
+        assert!(held
+            .context()
+            .qos(held.source_node(), held.source_node())
+            .is_some());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "monotonic")]
+    fn snap_store_rejects_epoch_regressions() {
+        let cell = Snap::new(Arc::new(snapshot_of_diamond()));
+        cell.store(Arc::new(snapshot_of_diamond())); // 0 -> 0 regresses
+    }
+}

@@ -19,11 +19,14 @@ pub struct StatsSnapshot {
     pub shed: u64,
     /// Admitted requests that failed (parse error, unsatisfiable, …).
     pub failed: u64,
-    /// Solves that reused the shared epoch-tagged `HopMatrix`.
+    /// Solves that reused the snapshot's already-built `HopMatrix` (its own
+    /// first touch, or one carried forward from a QoS-only predecessor).
     pub cache_hits: u64,
-    /// Solves that had to (re)build it — first use, or first after a
-    /// mutation invalidated it.
+    /// Solves that performed an epoch's first-touch `HopMatrix` build.
     pub cache_misses: u64,
+    /// Federate answers discarded as `Stale`: the solve raced a mutation
+    /// and its snapshot epoch was no longer current at session-open time.
+    pub stale: u64,
     /// Current topology epoch.
     pub epoch: u64,
     /// Live sessions held by the server.
@@ -58,6 +61,7 @@ pub struct Metrics {
     failed: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    stale: AtomicU64,
     rebuilds: AtomicU64,
     rebuild_us_total: AtomicU64,
     trees_recomputed: AtomicU64,
@@ -96,6 +100,11 @@ impl Metrics {
     /// One solve had to build the hop matrix.
     pub fn cache_miss(&self) {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One federate answer was discarded because a mutation raced the solve.
+    pub fn stale(&self) {
+        self.stale.fetch_add(1, Ordering::Relaxed);
     }
 
     /// One routing-table rebuild or patch: its wall-clock cost and how many
@@ -139,6 +148,7 @@ impl Metrics {
             failed: self.failed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            stale: self.stale.load(Ordering::Relaxed),
             epoch,
             sessions,
             latency_p50_us: percentile(&sorted, 50),

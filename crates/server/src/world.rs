@@ -1,24 +1,27 @@
-//! The server's shared world: topology, routing table, topology epoch.
+//! The server's world: a mutator that grows a chain of immutable snapshots.
 //!
-//! A [`World`] owns everything a [`FederationContext`] borrows (like
-//! [`Fixture`], which it is built from) plus a monotonically increasing
-//! *topology epoch*. Mutations rebuild the derived routing artifacts and bump
-//! the epoch; epoch-tagged caches elsewhere (the server's shared
-//! [`HopMatrix`](sflow_core::baseline::HopMatrix)) use the bump as their
-//! invalidation signal.
+//! A [`World`] no longer *is* the topology — it is the thing that builds the
+//! next [`WorldSnapshot`] and publishes it through a shared [`Snap`] cell.
+//! Readers never touch the `World` (or any lock it holds): they
+//! [`Snap::load`] the current snapshot and solve against it. Mutations
+//! assemble the successor epoch copy-on-write — a patched clone of the
+//! overlay and a routing table derived from the predecessor's — entirely
+//! off the published cell, then swap one pointer. The epoch is carried by
+//! the snapshots themselves: 0 at birth, +1 per applied mutation.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sflow_core::fixtures::Fixture;
-use sflow_core::FederationContext;
-use sflow_graph::NodeIx;
-use sflow_net::{OverlayGraph, ServiceInstance, UnderlyingNetwork};
-use sflow_routing::{AllPairs, Bandwidth, Latency, Qos};
+use sflow_core::OwnedFederationContext;
+use sflow_net::{ServiceInstance, UnderlyingNetwork};
+use sflow_routing::{Bandwidth, Latency, Qos};
 
+use crate::snapshot::{Snap, WorldSnapshot};
 use crate::Mutation;
 
-/// A mutation that could not be applied; the world is left untouched and the
-/// epoch is not bumped.
+/// A mutation that could not be applied; the published snapshot is left
+/// untouched and the epoch is not bumped.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WorldError {
     /// The named instance is not (or no longer) in the overlay.
@@ -28,6 +31,9 @@ pub enum WorldError {
     /// Refusing to fail the pinned source instance — it is the consumer's
     /// entry point, and every context needs it.
     SourceUnfailable(ServiceInstance),
+    /// Only link-QoS mutations can ride in a batch; structural mutations
+    /// renumber the overlay and must go through [`World::apply`] alone.
+    UnbatchableMutation,
 }
 
 impl std::fmt::Display for WorldError {
@@ -38,6 +44,9 @@ impl std::fmt::Display for WorldError {
             WorldError::SourceUnfailable(i) => {
                 write!(f, "cannot fail the source instance {i}")
             }
+            WorldError::UnbatchableMutation => {
+                write!(f, "only link-QoS mutations can be batched")
+            }
         }
     }
 }
@@ -47,7 +56,7 @@ impl std::error::Error for WorldError {}
 /// How much routing work one applied mutation cost.
 ///
 /// `SetLinkQos` goes through the incremental
-/// [`AllPairs::patch`](sflow_routing::AllPairs::patch) path, so
+/// [`AllPairs::patched`](sflow_routing::AllPairs::patched) path, so
 /// `trees_recomputed` is typically far below `trees_total`; instance
 /// failures renumber the overlay and force a full parallel rebuild.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -62,30 +71,32 @@ pub struct RebuildStats {
     pub full_rebuild: bool,
 }
 
-/// The shared world a federation server owns.
-#[derive(Clone, Debug)]
+/// The mutator side of a snapshot-published world.
+///
+/// Owns the [`Snap`] cell (handed to readers via [`World::handle`]) and the
+/// underlying physical network; everything topological lives in the
+/// currently published [`WorldSnapshot`].
+#[derive(Debug)]
 pub struct World {
     net: UnderlyingNetwork,
-    overlay: OverlayGraph,
-    all_pairs: AllPairs,
-    source: ServiceInstance,
-    source_node: NodeIx,
-    epoch: u64,
+    snap: Arc<Snap>,
     /// Worker threads for routing rebuilds/patches; 0 = auto-size.
     route_workers: usize,
 }
 
 impl World {
-    /// Adopts a fixture as the world at epoch 0 (auto-sized routing pool).
+    /// Adopts a fixture as the world, publishing its topology at epoch 0
+    /// (auto-sized routing pool).
     pub fn new(fixture: Fixture) -> Self {
-        let source = fixture.overlay.instance(fixture.source);
+        let first = WorldSnapshot::new(
+            Arc::new(fixture.overlay),
+            Arc::new(fixture.all_pairs),
+            fixture.source,
+            0,
+        );
         World {
             net: fixture.net,
-            overlay: fixture.overlay,
-            all_pairs: fixture.all_pairs,
-            source,
-            source_node: fixture.source,
-            epoch: 0,
+            snap: Arc::new(Snap::new(Arc::new(first))),
             route_workers: 0,
         }
     }
@@ -96,14 +107,20 @@ impl World {
         self.route_workers = workers;
     }
 
-    /// A federation context borrowing this world's current topology.
-    pub fn context(&self) -> FederationContext<'_> {
-        FederationContext::new(&self.overlay, &self.all_pairs, self.source_node)
+    /// The publication cell readers should hold: `load` it for the current
+    /// snapshot without ever coordinating with mutations.
+    pub fn handle(&self) -> Arc<Snap> {
+        Arc::clone(&self.snap)
     }
 
-    /// The current service overlay.
-    pub fn overlay(&self) -> &OverlayGraph {
-        &self.overlay
+    /// The currently published snapshot.
+    pub fn snapshot(&self) -> Arc<WorldSnapshot> {
+        self.snap.load()
+    }
+
+    /// An owned federation context over the current snapshot.
+    pub fn context(&self) -> OwnedFederationContext {
+        self.snapshot().context()
     }
 
     /// The underlying physical network (unchanged by overlay mutations).
@@ -113,88 +130,183 @@ impl World {
 
     /// The pinned source instance (survives every mutation).
     pub fn source(&self) -> ServiceInstance {
-        self.source
+        self.snapshot().source()
     }
 
     /// The topology epoch: 0 at birth, +1 per applied mutation.
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.snap.epoch()
     }
 
-    /// Applies one mutation: updates the overlay, repairs the [`AllPairs`]
-    /// table (incrementally for link-QoS changes, full parallel rebuild for
-    /// structural ones), re-pins the source and bumps the epoch. Returns
-    /// how much routing work the mutation cost.
+    /// Applies one mutation: builds the successor snapshot copy-on-write —
+    /// a patched overlay clone plus a routing table derived from the
+    /// predecessor's ([`AllPairs::patched`](sflow_routing::AllPairs::patched)
+    /// for link-QoS changes, full parallel rebuild for structural ones) —
+    /// and publishes it with a
+    /// single pointer swap. Readers keep solving against the predecessor
+    /// for as long as they hold it; the epoch bump is visible from the
+    /// moment of the swap. QoS-only successors adopt the predecessor's hop
+    /// matrix (hop counts are structural), so the per-epoch cache survives
+    /// non-structural churn for free.
     ///
     /// # Errors
     ///
-    /// Returns a [`WorldError`] (and leaves the world untouched) if the
-    /// mutation names an unknown instance or link, or would fail the source.
+    /// Returns a [`WorldError`] (and publishes nothing) if the mutation
+    /// names an unknown instance or link, or would fail the source.
     pub fn apply(&mut self, mutation: &Mutation) -> Result<RebuildStats, WorldError> {
-        let stats = match *mutation {
+        let prev = self.snap.load();
+        let (next, stats) = match *mutation {
             Mutation::SetLinkQos {
                 from,
                 to,
                 bandwidth_kbps,
                 latency_us,
             } => {
-                let f = self
-                    .overlay
+                let f = prev
+                    .overlay()
                     .node_of(from)
                     .ok_or(WorldError::UnknownInstance(from))?;
-                let t = self
-                    .overlay
+                let t = prev
+                    .overlay()
                     .node_of(to)
                     .ok_or(WorldError::UnknownInstance(to))?;
                 let qos = Qos::new(
                     Bandwidth::kbps(bandwidth_kbps),
                     Latency::from_micros(latency_us),
                 );
-                let change = self
-                    .overlay
-                    .update_link_qos(f, t, qos)
+                let (overlay, change) = prev
+                    .overlay()
+                    .with_link_qos(f, t, qos)
                     .ok_or(WorldError::NoSuchLink(from, to))?;
-                // The overlay kept its node set, so the table can be
-                // patched in place: only trees the change can affect are
-                // recomputed, the rest are reused across the epoch bump.
+                // The successor keeps the node set, so its table derives
+                // incrementally from the predecessor's: only trees the
+                // change can affect are recomputed, the rest are shared
+                // work carried across the epoch.
                 let started = Instant::now();
-                let patched =
-                    self.all_pairs
-                        .patch_with(self.overlay.graph(), &[change], self.route_workers);
-                RebuildStats {
+                let (table, patched) =
+                    prev.all_pairs()
+                        .patched_with(overlay.graph(), &[change], self.route_workers);
+                let stats = RebuildStats {
                     duration: started.elapsed(),
                     trees_recomputed: patched.trees_recomputed as u64,
                     trees_total: patched.trees_total as u64,
                     full_rebuild: patched.full_rebuild,
+                };
+                let next = WorldSnapshot::new(
+                    Arc::new(overlay),
+                    Arc::new(table),
+                    prev.source_node(),
+                    prev.epoch() + 1,
+                );
+                // QoS changes do not move nodes or edges, so the hop
+                // matrix (pure structure) is carried forward verbatim.
+                if let Some(matrix) = prev.cached_hop_matrix() {
+                    next.adopt_hop_matrix(matrix);
                 }
+                (next, stats)
             }
             Mutation::FailInstance { instance } => {
-                if instance == self.source {
+                if instance == prev.source() {
                     return Err(WorldError::SourceUnfailable(instance));
                 }
-                if self.overlay.node_of(instance).is_none() {
+                if prev.overlay().node_of(instance).is_none() {
                     return Err(WorldError::UnknownInstance(instance));
                 }
                 // Failure rebuilds the overlay and renumbers its nodes; the
-                // source must be re-resolved by identity and the routing
-                // table rebuilt from scratch (on the worker pool).
-                self.overlay = self.overlay.without_instances(&[instance]);
-                self.source_node = self
-                    .overlay
-                    .node_of(self.source)
+                // source must be re-resolved by identity, the routing table
+                // rebuilt from scratch (on the worker pool), and the hop
+                // matrix left for the successor's first touch.
+                let overlay = prev.overlay().without_instances(&[instance]);
+                let source_node = overlay
+                    .node_of(prev.source())
                     .expect("source survives non-source failure"); // audit:allow(no-unwrap)
                 let started = Instant::now();
-                self.all_pairs = self.overlay.all_pairs_parallel_with(self.route_workers);
-                let trees = self.all_pairs.len() as u64;
-                RebuildStats {
+                let table = overlay.all_pairs_parallel_with(self.route_workers);
+                let trees = table.len() as u64;
+                let stats = RebuildStats {
                     duration: started.elapsed(),
                     trees_recomputed: trees,
                     trees_total: trees,
                     full_rebuild: true,
-                }
+                };
+                let next = WorldSnapshot::new(
+                    Arc::new(overlay),
+                    Arc::new(table),
+                    source_node,
+                    prev.epoch() + 1,
+                );
+                (next, stats)
             }
         };
-        self.epoch += 1;
+        self.snap.store(Arc::new(next));
+        Ok(stats)
+    }
+
+    /// Applies a batch of link-QoS mutations as *one* epoch: the successor
+    /// overlay is cloned once, every change lands on the clone, and a
+    /// single incremental patch derives the routing table from the
+    /// predecessor's. Readers observe the whole event or none of it —
+    /// there is no published intermediate where half the batch has landed.
+    ///
+    /// An empty batch publishes nothing and bumps no epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WorldError`] (and publishes nothing) on the first
+    /// mutation that names an unknown instance or link, or that is not a
+    /// [`Mutation::SetLinkQos`] — structural mutations renumber the
+    /// overlay and must go through [`World::apply`] alone.
+    pub fn apply_batch(&mut self, mutations: &[Mutation]) -> Result<RebuildStats, WorldError> {
+        if mutations.is_empty() {
+            return Ok(RebuildStats::default());
+        }
+        let prev = self.snap.load();
+        let mut overlay = (*prev.overlay()).clone();
+        let mut changes = Vec::with_capacity(mutations.len());
+        for mutation in mutations {
+            match *mutation {
+                Mutation::SetLinkQos {
+                    from,
+                    to,
+                    bandwidth_kbps,
+                    latency_us,
+                } => {
+                    let f = overlay
+                        .node_of(from)
+                        .ok_or(WorldError::UnknownInstance(from))?;
+                    let t = overlay.node_of(to).ok_or(WorldError::UnknownInstance(to))?;
+                    let qos = Qos::new(
+                        Bandwidth::kbps(bandwidth_kbps),
+                        Latency::from_micros(latency_us),
+                    );
+                    let change = overlay
+                        .update_link_qos(f, t, qos)
+                        .ok_or(WorldError::NoSuchLink(from, to))?;
+                    changes.push(change);
+                }
+                Mutation::FailInstance { .. } => return Err(WorldError::UnbatchableMutation),
+            }
+        }
+        let started = Instant::now();
+        let (table, patched) =
+            prev.all_pairs()
+                .patched_with(overlay.graph(), &changes, self.route_workers);
+        let stats = RebuildStats {
+            duration: started.elapsed(),
+            trees_recomputed: patched.trees_recomputed as u64,
+            trees_total: patched.trees_total as u64,
+            full_rebuild: patched.full_rebuild,
+        };
+        let next = WorldSnapshot::new(
+            Arc::new(overlay),
+            Arc::new(table),
+            prev.source_node(),
+            prev.epoch() + 1,
+        );
+        if let Some(matrix) = prev.cached_hop_matrix() {
+            next.adopt_hop_matrix(matrix);
+        }
+        self.snap.store(Arc::new(next));
         Ok(stats)
     }
 }
@@ -229,7 +341,7 @@ mod tests {
         w.apply(&Mutation::FailInstance { instance: victim })
             .unwrap();
         assert_eq!(w.epoch(), 1);
-        assert!(w.overlay().node_of(victim).is_none());
+        assert!(w.snapshot().overlay().node_of(victim).is_none());
         let after = SflowAlgorithm::default()
             .federate(&w.context(), &req)
             .unwrap();
@@ -281,6 +393,122 @@ mod tests {
                 latency_us: 1,
             }),
             Err(WorldError::NoSuchLink(to, from))
+        );
+    }
+
+    #[test]
+    fn readers_holding_the_old_snapshot_survive_a_mutation() {
+        let mut w = World::new(diamond_fixture());
+        let held = w.snapshot();
+        let req = diamond_requirement();
+        let before = SflowAlgorithm::default()
+            .federate(&held.context(), &req)
+            .unwrap();
+
+        let &victim = before
+            .instances()
+            .values()
+            .find(|i| **i != w.source())
+            .unwrap();
+        w.apply(&Mutation::FailInstance { instance: victim })
+            .unwrap();
+
+        // The held snapshot is the untouched epoch-0 world: same solve,
+        // same answer — even though the published world moved on.
+        assert_eq!(held.epoch(), 0);
+        assert!(held.overlay().node_of(victim).is_some());
+        let again = SflowAlgorithm::default()
+            .federate(&held.context(), &req)
+            .unwrap();
+        assert_eq!(again.bandwidth(), before.bandwidth());
+        assert_eq!(w.snapshot().epoch(), 1);
+    }
+
+    #[test]
+    fn a_batch_of_qos_mutations_is_one_epoch() {
+        let mut w = World::new(diamond_fixture());
+        let first = w.snapshot();
+        let (matrix, _) = first.hop_matrix_tracked();
+        let ctx = first.context();
+        let overlay = ctx.overlay();
+        let batch: Vec<Mutation> = overlay
+            .graph()
+            .out_edges(ctx.source_instance())
+            .map(|link| Mutation::SetLinkQos {
+                from: overlay.instance(link.from),
+                to: overlay.instance(link.to),
+                bandwidth_kbps: 48,
+                latency_us: 7_000,
+            })
+            .collect();
+        assert!(batch.len() >= 2, "the diamond source fans out");
+        drop(ctx);
+
+        let stats = w.apply_batch(&batch).unwrap();
+        assert_eq!(w.epoch(), 1, "the whole batch is one epoch");
+        assert!(!stats.full_rebuild);
+        let next = w.snapshot();
+        let carried = next
+            .cached_hop_matrix()
+            .expect("QoS batch keeps the hop matrix");
+        assert!(Arc::ptr_eq(&carried, &matrix));
+
+        // A structural mutation poisons the batch and publishes nothing.
+        let victim = next
+            .overlay()
+            .graph()
+            .node_ids()
+            .map(|n| next.overlay().instance(n))
+            .find(|i| *i != w.source())
+            .unwrap();
+        assert_eq!(
+            w.apply_batch(&[Mutation::FailInstance { instance: victim }]),
+            Err(WorldError::UnbatchableMutation)
+        );
+        assert_eq!(w.epoch(), 1);
+        assert_eq!(w.apply_batch(&[]), Ok(RebuildStats::default()));
+        assert_eq!(w.epoch(), 1, "an empty batch publishes nothing");
+    }
+
+    #[test]
+    fn qos_mutations_carry_the_hop_matrix_forward_and_failures_do_not() {
+        let mut w = World::new(diamond_fixture());
+        let first = w.snapshot();
+        let (matrix, built) = first.hop_matrix_tracked();
+        assert!(built);
+
+        let ctx = first.context();
+        let link = ctx
+            .overlay()
+            .graph()
+            .out_edges(ctx.source_instance())
+            .next()
+            .unwrap();
+        let from = ctx.overlay().instance(link.from);
+        let to = ctx.overlay().instance(link.to);
+        w.apply(&Mutation::SetLinkQos {
+            from,
+            to,
+            bandwidth_kbps: 2,
+            latency_us: 40,
+        })
+        .unwrap();
+        let qos_next = w.snapshot();
+        let carried = qos_next.cached_hop_matrix().expect("carried forward");
+        assert!(Arc::ptr_eq(&carried, &matrix), "QoS keeps the hop matrix");
+
+        let victim = qos_next
+            .overlay()
+            .graph()
+            .node_ids()
+            .map(|n| qos_next.overlay().instance(n))
+            .find(|i| *i != w.source())
+            .unwrap();
+        w.apply(&Mutation::FailInstance { instance: victim })
+            .unwrap();
+        assert!(
+            w.snapshot().cached_hop_matrix().is_none(),
+            "structural mutations start the hop cache cold"
         );
     }
 }

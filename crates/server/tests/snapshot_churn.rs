@@ -1,0 +1,126 @@
+//! Churn stress for the snapshot world: one mutator thread cycles link-QoS
+//! flaps and instance failures while eight solver threads federate
+//! continuously. Every solve must observe a *consistent* snapshot — its
+//! flow graph passes the [`FlowGraphAuditor`] against its own snapshot's
+//! overlay, never against a half-mutated world — and the epochs each
+//! solver observes must be monotonic.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use sflow_core::algorithms::{FederationAlgorithm, SflowAlgorithm};
+use sflow_core::fixtures::random_fixture;
+use sflow_core::validate::FlowGraphAuditor;
+use sflow_core::ServiceRequirement;
+use sflow_net::ServiceId;
+use sflow_server::{Mutation, World};
+
+#[test]
+fn solvers_under_churn_always_observe_consistent_snapshots() {
+    const MUTATIONS: u64 = 60;
+    const SOLVERS: usize = 8;
+
+    // Services 0..=3 carry the requirement; service 4 exists to be failed,
+    // so instance failures renumber every overlay node without ever making
+    // the requirement unsatisfiable.
+    let sids: Vec<ServiceId> = (0..5).map(ServiceId::new).collect();
+    let fx = random_fixture(24, &sids, 3, None, 7);
+    let req: ServiceRequirement = "0>1>3, 0>2>3".parse().unwrap();
+
+    let mut world = World::new(fx);
+    SflowAlgorithm::default()
+        .federate(&world.context(), &req)
+        .expect("the epoch-0 world must be solvable");
+
+    let snap = world.handle();
+    let done = Arc::new(AtomicBool::new(false));
+
+    let solvers: Vec<_> = (0..SOLVERS)
+        .map(|_| {
+            let snap = Arc::clone(&snap);
+            let done = Arc::clone(&done);
+            let req = req.clone();
+            thread::spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut solved = 0u64;
+                loop {
+                    let snapshot = snap.load();
+                    assert!(
+                        snapshot.epoch() >= last_epoch,
+                        "published epochs regressed: {} after {}",
+                        snapshot.epoch(),
+                        last_epoch
+                    );
+                    last_epoch = snapshot.epoch();
+                    // The context shares the snapshot's overlay and table;
+                    // everything below is consistent with epoch `last_epoch`
+                    // no matter what the mutator publishes meanwhile.
+                    let ctx = snapshot.context();
+                    let flow = SflowAlgorithm::default()
+                        .federate(&ctx, &req)
+                        .expect("every published snapshot must stay solvable");
+                    let report = FlowGraphAuditor::new(&ctx, &req).audit(&flow);
+                    assert!(
+                        report.is_clean(),
+                        "flow violates invariants against its own snapshot \
+                         (epoch {last_epoch}): {report:?}"
+                    );
+                    solved += 1;
+                    if done.load(Ordering::SeqCst) {
+                        return (solved, last_epoch);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // The mutator: QoS-flap a source out-link on most ticks, fail a
+    // service-4 instance (forcing a full renumbering rebuild) on every
+    // tenth while any remain.
+    let spare = ServiceId::new(4);
+    for tick in 0..MUTATIONS {
+        let snapshot = world.snapshot();
+        let overlay = snapshot.overlay();
+        let victim = if tick % 10 == 9 {
+            overlay
+                .instances_of(spare)
+                .first()
+                .map(|&n| overlay.instance(n))
+        } else {
+            None
+        };
+        let mutation = match victim {
+            Some(instance) => Mutation::FailInstance { instance },
+            None => {
+                let link = overlay
+                    .graph()
+                    .out_edges(snapshot.source_node())
+                    .next()
+                    .expect("the source keeps an out-link");
+                let congested = tick % 2 == 0;
+                Mutation::SetLinkQos {
+                    from: overlay.instance(link.from),
+                    to: overlay.instance(link.to),
+                    bandwidth_kbps: if congested { 64 } else { 512 },
+                    latency_us: if congested { 9_000 } else { 2_000 },
+                }
+            }
+        };
+        world.apply(&mutation).expect("churn mutations must apply");
+    }
+    done.store(true, Ordering::SeqCst);
+
+    let mut total_solves = 0u64;
+    for handle in solvers {
+        let (solved, last_epoch) = handle.join().expect("solver thread must not panic");
+        assert!(solved >= 1, "every solver must complete at least one solve");
+        assert!(
+            last_epoch <= MUTATIONS,
+            "observed epoch {last_epoch} beyond the {MUTATIONS} applied"
+        );
+        total_solves += solved;
+    }
+    assert_eq!(world.epoch(), MUTATIONS, "one epoch per applied mutation");
+    assert!(total_solves >= SOLVERS as u64);
+}

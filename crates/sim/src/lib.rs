@@ -3,7 +3,7 @@
 //! The paper evaluates sFlow with an event-driven simulation: service nodes
 //! exchange `sfederate` messages carrying the residual service requirement
 //! and the partial service flow graph; each receiving node runs the baseline
-//! + reduction computation over its local view and forwards to its chosen
+//! plus reduction computation over its local view and forwards to its chosen
 //! immediate downstream instances; sink nodes finalise and report back to
 //! the source (Sec. 4, Fig. 9).
 //!
@@ -13,7 +13,7 @@
 //! * [`protocol`] — the per-node `sfederate` state machine, written once and
 //!   shared with the threaded actor runtime in `sflow-runtime`;
 //! * [`engine`] — the simulation driver: delivers messages with link-latency
-//!   + transmission delays, collects sink completions, assembles the final
+//!   plus transmission delays, collects sink completions, assembles the final
 //!   [`sflow_core::FlowGraph`] and reports [`SimStats`].
 //!
 //! # Example

@@ -291,12 +291,14 @@ fn serve(flags: &Flags) -> Result<(), String> {
         }
     };
     let world = World::new(fixture);
+    let snapshot = world.snapshot();
     println!(
         "world: {} instances, {} service links, source {}",
-        world.overlay().instance_count(),
-        world.overlay().link_count(),
-        world.source()
+        snapshot.overlay().instance_count(),
+        snapshot.overlay().link_count(),
+        snapshot.source()
     );
+    drop(snapshot);
     let handle = serve_on(addr, world, &config).map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
         "sflow-server listening on {} ({} workers, queue depth {})",
@@ -338,8 +340,8 @@ fn request(flags: &Flags) -> Result<(), String> {
     if flags.contains_key("stats") {
         let s = client.stats().map_err(|e| e.to_string())?;
         println!(
-            "epoch {}  sessions {}  served {}  shed {}  failed {}",
-            s.epoch, s.sessions, s.served, s.shed, s.failed
+            "epoch {}  sessions {}  served {}  shed {}  failed {}  stale {}",
+            s.epoch, s.sessions, s.served, s.shed, s.failed, s.stale
         );
         println!(
             "hop-matrix cache: {} hits / {} misses",
@@ -419,6 +421,12 @@ fn request(flags: &Flags) -> Result<(), String> {
             }
             Ok(())
         }
+        Response::Stale {
+            solved_epoch,
+            current_epoch,
+        } => Err(format!(
+            "stale: solved at epoch {solved_epoch}, world moved to {current_epoch}; re-issue"
+        )),
         Response::Overloaded => Err("server overloaded; request shed".into()),
         Response::Error(msg) => Err(msg),
         other => Err(format!("unexpected response {other:?}")),
