@@ -205,7 +205,8 @@ fn run_rwlock_mode(
     summarize("rwlock-world", samples, mutations)
 }
 
-/// After: solves load a published snapshot and run lock-free; the mutator
+/// After: solves load a published snapshot and hold no lock while solving;
+/// the mutator
 /// builds successors copy-on-write and swaps the pointer.
 fn run_snapshot_mode(mut world: World, req: &ServiceRequirement) -> ModeReport {
     // One rebuild worker: the copy-on-write patch must not win by (or be

@@ -30,7 +30,7 @@
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -115,6 +115,14 @@ struct Shared {
     /// touches it, so mutations serialize exclusively against each other.
     world: Mutex<World>,
     sessions: Mutex<Sessions>,
+    /// Live sessions, counted separately from `sessions.live` because a
+    /// repair sweep takes the map out of the lock while it re-resolves —
+    /// during that window `live.len()` reads 0 even though every swept-out
+    /// session is still live from the clients' point of view. Incremented
+    /// under the sessions lock when a session opens; decremented only when
+    /// a session is truly dropped. Admission and `Stats` read this, never
+    /// `live.len()`.
+    live_sessions: AtomicUsize,
     metrics: Metrics,
     shutdown: AtomicBool,
 }
@@ -196,6 +204,7 @@ pub fn serve_on(addr: &str, mut world: World, config: &ServerConfig) -> io::Resu
         snap: world.handle(),
         world: Mutex::new(world),
         sessions: Mutex::new(Sessions::default()),
+        live_sessions: AtomicUsize::new(0),
         metrics: Metrics::default(),
         shutdown: AtomicBool::new(false),
     });
@@ -282,7 +291,9 @@ fn dispatch(shared: &Shared, job_tx: &Sender<Job>, request: Request) -> Response
         // (and, like every read, never waits on a mutation).
         Request::Stats => {
             let epoch = shared.snap.epoch();
-            let sessions = shared.sessions.lock().live.len() as u64;
+            // The counter, not `live.len()`: a repair sweep in flight has
+            // the map taken out, but its sessions are still live.
+            let sessions = shared.live_sessions.load(Ordering::SeqCst) as u64;
             Response::Stats(shared.metrics.snapshot(epoch, sessions))
         }
         Request::Shutdown => {
@@ -429,7 +440,12 @@ fn federate_against(
             current_epoch,
         };
     }
-    if sessions.live.len() >= shared.config.max_sessions {
+    // The counter, not `live.len()`: a concurrent repair sweep empties the
+    // map while it re-resolves, and the cap must keep counting those
+    // sessions or a long sweep admits up to a full extra table. Opens all
+    // hold the sessions lock, so check-then-increment cannot over-admit;
+    // sweep decrements can only make this check conservative.
+    if shared.live_sessions.load(Ordering::SeqCst) >= shared.config.max_sessions {
         shared.metrics.failed();
         return Response::Error("session table full".into());
     }
@@ -450,6 +466,7 @@ fn federate_against(
             solved_epoch: snapshot.epoch(),
         },
     );
+    shared.live_sessions.fetch_add(1, Ordering::SeqCst);
     shared.metrics.served();
     Response::Federated(summary)
 }
@@ -513,12 +530,20 @@ fn mutate(shared: &Shared, mutation: &crate::Mutation) -> Response {
     let mut repaired = 0usize;
     let mut dropped = 0usize;
     for (id, mut session) in taken {
+        if session.solved_epoch == epoch {
+            // Opened by a federate that loaded the successor snapshot after
+            // `apply` published it but before this sweep took the map — it
+            // is already current; merge it back untouched.
+            kept.insert(id, session);
+            continue;
+        }
         if session.solved_epoch != from_epoch {
             // Defensive: every sweep repairs sessions solved at exactly the
             // epoch this mutation replaced. A session left behind at some
             // older epoch has already been renumbered past — drop it rather
             // than repair it against a world it was never solved in.
             dropped += 1;
+            shared.live_sessions.fetch_sub(1, Ordering::SeqCst);
             continue;
         }
         match repair(&ctx, &session.requirement, &session.flow) {
@@ -529,7 +554,10 @@ fn mutate(shared: &Shared, mutation: &crate::Mutation) -> Response {
                 kept.insert(id, session);
                 repaired += 1;
             }
-            Err(_) => dropped += 1,
+            Err(_) => {
+                dropped += 1;
+                shared.live_sessions.fetch_sub(1, Ordering::SeqCst);
+            }
         }
     }
     shared.sessions.lock().live.extend(kept);
@@ -557,6 +585,7 @@ mod tests {
             snap: world.handle(),
             world: Mutex::new(world),
             sessions: Mutex::new(Sessions::default()),
+            live_sessions: AtomicUsize::new(0),
             metrics: Metrics::default(),
             shutdown: AtomicBool::new(false),
         }
@@ -612,6 +641,103 @@ mod tests {
             Response::Federated(s) => assert_eq!(s.epoch, 1),
             other => panic!("expected Federated, got {other:?}"),
         }
+        assert_eq!(shared.sessions.lock().live.len(), 1);
+        assert_eq!(shared.live_sessions.load(Ordering::SeqCst), 1);
+    }
+
+    /// Regression: a federate can load the successor snapshot (published by
+    /// `World::apply` *before* the sweep takes the sessions map) and open a
+    /// session at the new epoch mid-sweep. The sweep must merge it back
+    /// untouched — not drop it as "left behind at some older epoch".
+    #[test]
+    fn a_session_opened_at_the_successor_epoch_survives_the_sweep() {
+        let shared = shared_over_diamond();
+        let requirement = diamond_requirement();
+        // A session legitimately opened at epoch 0 — the sweep's real work.
+        let fresh = shared.snap.load();
+        match federate_against(&shared, fresh, requirement.clone(), Algorithm::Sflow, None) {
+            Response::Federated(s) => assert_eq!(s.epoch, 0),
+            other => panic!("expected Federated, got {other:?}"),
+        }
+        // Emulate the publish-to-sweep race: a session already recorded at
+        // the epoch the mutation is about to land on (the federate passed
+        // the epoch check because `apply` had published the successor).
+        let flow = Solver::new(&shared.snap.load().context())
+            .solve(&requirement)
+            .unwrap();
+        shared.sessions.lock().live.insert(
+            99,
+            Session {
+                requirement: requirement.clone(),
+                flow,
+                solved_epoch: 1,
+            },
+        );
+        shared.live_sessions.fetch_add(1, Ordering::SeqCst);
+
+        let snapshot = shared.snap.load();
+        let victim = snapshot
+            .overlay()
+            .graph()
+            .node_ids()
+            .map(|n| snapshot.overlay().instance(n))
+            .find(|i| *i != snapshot.source())
+            .unwrap();
+        let (repaired, dropped) =
+            match mutate(&shared, &Mutation::FailInstance { instance: victim }) {
+                Response::Mutated {
+                    epoch: 1,
+                    repaired,
+                    dropped,
+                } => (repaired, dropped),
+                other => panic!("expected Mutated at epoch 1, got {other:?}"),
+            };
+        // Only the epoch-0 session was swept; the epoch-1 session is
+        // neither repaired nor dropped.
+        assert_eq!(repaired + dropped, 1);
+        let sessions = shared.sessions.lock();
+        let survivor = sessions.live.get(&99).expect("epoch-1 session survives");
+        assert_eq!(survivor.solved_epoch, 1);
+        assert_eq!(
+            shared.live_sessions.load(Ordering::SeqCst),
+            sessions.live.len(),
+            "counter tracks the table once the sweep is done"
+        );
+    }
+
+    /// Regression: while a repair sweep has the map taken out, admission and
+    /// the stats count must still see the swept-out sessions — otherwise a
+    /// long sweep admits up to a full extra table and Stats reports ~0.
+    #[test]
+    fn admission_and_stats_count_sessions_swept_out_for_repair() {
+        let mut shared = shared_over_diamond();
+        shared.config.max_sessions = 1;
+        let requirement = diamond_requirement();
+        match federate_against(
+            &shared,
+            shared.snap.load(),
+            requirement.clone(),
+            Algorithm::Sflow,
+            None,
+        ) {
+            Response::Federated(_) => {}
+            other => panic!("expected Federated, got {other:?}"),
+        }
+        // Simulate a sweep in progress: the map is taken out of the lock,
+        // but its session is still live from the clients' point of view.
+        let taken = std::mem::take(&mut shared.sessions.lock().live);
+        assert_eq!(shared.live_sessions.load(Ordering::SeqCst), 1);
+        match federate_against(
+            &shared,
+            shared.snap.load(),
+            requirement,
+            Algorithm::Sflow,
+            None,
+        ) {
+            Response::Error(e) => assert!(e.contains("session table full"), "got {e:?}"),
+            other => panic!("expected the session cap to hold mid-sweep, got {other:?}"),
+        }
+        shared.sessions.lock().live.extend(taken);
         assert_eq!(shared.sessions.lock().live.len(), 1);
     }
 }

@@ -1,4 +1,5 @@
-//! Epoch-published world snapshots: the server's lock-free read path.
+//! Epoch-published world snapshots: a read path that never waits on a
+//! rebuild.
 //!
 //! A [`WorldSnapshot`] is an immutable, `Send + Sync` bundle of everything a
 //! solve needs — the overlay, its all-pairs table, the pinned source and the
@@ -10,10 +11,11 @@
 //! *next* snapshot entirely off to the side (copy-on-write overlay, routing
 //! table patched from the predecessor) and then [`Snap::store`] swaps one
 //! pointer. Readers call [`Snap::load`], which clones an `Arc` under a
-//! mutex held for a handful of instructions — no reader ever waits on a
-//! rebuild, and a solve runs against its snapshot with **zero shared locks
-//! held**. The previous epoch's snapshot stays alive (and solvable) for as
-//! long as any in-flight request still holds its `Arc`.
+//! mutex held for a handful of instructions (short, but not lock-free) —
+//! no reader ever waits on a rebuild, and a solve runs against its snapshot
+//! with **zero shared locks held**. The previous epoch's snapshot stays
+//! alive (and solvable) for as long as any in-flight request still holds
+//! its `Arc`.
 
 use std::sync::{Arc, OnceLock};
 
@@ -141,10 +143,11 @@ impl WorldSnapshot {
 ///
 /// Hand-rolled over a `parking_lot::Mutex` rather than a vendored
 /// `arc-swap`: the critical section on either side is a single `Arc` clone
-/// or pointer store (never a rebuild, never a solve), so the cell behaves
-/// like an atomic pointer with reference counting. `load` is wait-free in
-/// practice; the invariant that matters — *no guard is ever held across a
-/// solve* — is enforced by the `guard-across-solve` audit rule.
+/// or pointer store (never a rebuild, never a solve). This is *not*
+/// lock-free — a holder preempted inside the critical section briefly
+/// blocks other loads and stores — merely a mutex held for a handful of
+/// instructions. The invariant that matters — *no guard is ever held
+/// across a solve* — is enforced by the `guard-across-solve` audit rule.
 #[derive(Debug)]
 pub struct Snap {
     current: Mutex<Arc<WorldSnapshot>>,
