@@ -24,10 +24,10 @@
 //! overlay hops, mirroring the paper's two-hop local views) and *virtual
 //! edges* (collapsed split-and-merge blocks, Sec. 3.4.2).
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::OnceLock;
 
-use sflow_graph::{algo, NodeIx};
+use sflow_graph::NodeIx;
 use sflow_net::ServiceId;
 use sflow_routing::Qos;
 
@@ -40,25 +40,52 @@ pub type VirtualEdges = HashMap<(ServiceId, ServiceId), HashMap<(NodeIx, NodeIx)
 
 /// Undirected hop distances between overlay instances, used to model the
 /// limited local views of the distributed algorithm.
+///
+/// Stored as a flat row-major `n × n` array (`u32::MAX` = disconnected), so
+/// the hot `hops`/`within` lookups the [`ChainSolver`] horizon makes per
+/// candidate edge are a single indexed load instead of a hash probe, and the
+/// whole matrix is one allocation. Overlay graphs are instance-sized
+/// (hundreds of nodes), so the `O(V²)` footprint is a few hundred KiB at
+/// most.
 #[derive(Clone, Debug)]
 pub struct HopMatrix {
-    dist: Vec<HashMap<NodeIx, usize>>,
+    n: usize,
+    dist: Vec<u32>,
 }
+
+const UNREACHED: u32 = u32::MAX;
 
 impl HopMatrix {
     /// Computes hop distances over the given overlay graph (`O(V·(V+E))`).
     pub fn new(overlay: &sflow_net::OverlayGraph) -> Self {
         let g = overlay.graph();
-        let dist = g
-            .node_ids()
-            .map(|n| algo::bfs_within(g, n, algo::Direction::Both, usize::MAX))
-            .collect();
-        HopMatrix { dist }
+        let n = g.node_count();
+        let mut dist = vec![UNREACHED; n * n];
+        let mut queue = VecDeque::new();
+        for source in g.node_ids() {
+            let row = &mut dist[source.index() * n..(source.index() + 1) * n];
+            row[source.index()] = 0;
+            queue.clear();
+            queue.push_back(source);
+            while let Some(v) = queue.pop_front() {
+                let d = row[v.index()];
+                for &eid in g.out_edge_ids(v).iter().chain(g.in_edge_ids(v)) {
+                    let (from, to, _) = g.edge_parts(eid);
+                    let next = if from == v { to } else { from };
+                    if row[next.index()] == UNREACHED {
+                        row[next.index()] = d + 1;
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        HopMatrix { n, dist }
     }
 
     /// Hop distance between two instances (`None` if disconnected).
     pub fn hops(&self, a: NodeIx, b: NodeIx) -> Option<usize> {
-        self.dist[a.index()].get(&b).copied()
+        let d = self.dist[a.index() * self.n + b.index()];
+        (d != UNREACHED).then_some(d as usize)
     }
 
     /// `true` if `b` lies within `limit` hops of `a`.

@@ -1,0 +1,183 @@
+//! Compressed-sparse-row (CSR) adjacency views of a [`DiGraph`].
+//!
+//! The adjacency-list [`DiGraph`] stores one `Vec<EdgeIx>` per node, so a
+//! traversal chases two pointers per visited edge (node arena → per-node
+//! vector → edge arena), each landing on a different heap allocation. A
+//! [`Csr`] flattens one direction of the adjacency into three parallel
+//! arrays — `offsets`, `targets`, `edges` — so the neighbourhood of a node
+//! is a contiguous slice and a full sweep touches memory strictly forward.
+//! This is the layout the routing crate's Dijkstra kernels run on; derived
+//! once per graph, it amortises to nothing over an all-pairs sweep.
+//!
+//! A CSR is a *view*: it borrows nothing and holds no weights. Callers that
+//! need weights in the same cache line (the routing kernels do) build their
+//! own parallel weight arrays indexed by CSR slot, using [`Csr::edges`] to
+//! map slots back to [`EdgeIx`] handles.
+
+use std::ops::Range;
+
+use crate::{DiGraph, EdgeIx, NodeIx};
+
+/// One direction of a graph's adjacency, flattened into parallel arrays.
+///
+/// For a node `u`, the slots `offsets[u] .. offsets[u + 1]` hold its
+/// incident edges in insertion order: `targets[s]` is the neighbour reached
+/// through slot `s` and `edges[s]` the original edge handle.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    /// `node_count() + 1` cumulative slot offsets.
+    offsets: Vec<u32>,
+    /// Neighbour per slot (edge heads for [`Csr::forward`], tails for
+    /// [`Csr::reverse`]).
+    targets: Vec<NodeIx>,
+    /// Original edge handle per slot.
+    edges: Vec<EdgeIx>,
+}
+
+impl Csr {
+    /// Flattens the *outgoing* adjacency of `g`: slot targets are edge
+    /// heads. `O(V + E)`.
+    pub fn forward<N, E>(g: &DiGraph<N, E>) -> Self {
+        Self::build(g, false)
+    }
+
+    /// Flattens the *incoming* adjacency of `g`: slot targets are edge
+    /// tails. `O(V + E)`.
+    pub fn reverse<N, E>(g: &DiGraph<N, E>) -> Self {
+        Self::build(g, true)
+    }
+
+    fn build<N, E>(g: &DiGraph<N, E>, reverse: bool) -> Self {
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(g.edge_count());
+        let mut edges = Vec::with_capacity(g.edge_count());
+        offsets.push(0);
+        for node in g.node_ids() {
+            let ids = if reverse {
+                g.in_edge_ids(node)
+            } else {
+                g.out_edge_ids(node)
+            };
+            for &eid in ids {
+                let (from, to, _) = g.edge_parts(eid);
+                targets.push(if reverse { from } else { to });
+                edges.push(eid);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        Csr {
+            offsets,
+            targets,
+            edges,
+        }
+    }
+
+    /// Number of nodes this view covers.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of slots (== edges of the source graph).
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The slot range of `node`'s neighbourhood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds for this view.
+    pub fn range(&self, node: NodeIx) -> Range<usize> {
+        let i = node.index();
+        self.offsets[i] as usize..self.offsets[i + 1] as usize
+    }
+
+    /// The neighbours of `node`, as a contiguous slice.
+    pub fn targets_of(&self, node: NodeIx) -> &[NodeIx] {
+        &self.targets[self.range(node)]
+    }
+
+    /// Neighbour per slot, for the whole view.
+    pub fn targets(&self) -> &[NodeIx] {
+        &self.targets
+    }
+
+    /// Original edge handle per slot, for the whole view.
+    pub fn edges(&self) -> &[EdgeIx] {
+        &self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (DiGraph<(), u32>, [NodeIx; 4]) {
+        let mut g = DiGraph::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, a, 1);
+        g.add_edge(s, b, 2);
+        g.add_edge(a, t, 3);
+        g.add_edge(b, t, 4);
+        (g, [s, a, b, t])
+    }
+
+    #[test]
+    fn forward_matches_out_edges() {
+        let (g, nodes) = diamond();
+        let csr = Csr::forward(&g);
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.edge_count(), 4);
+        for n in nodes {
+            let via_graph: Vec<(NodeIx, EdgeIx)> = g.out_edges(n).map(|e| (e.to, e.id)).collect();
+            let via_csr: Vec<(NodeIx, EdgeIx)> = csr
+                .range(n)
+                .map(|s| (csr.targets()[s], csr.edges()[s]))
+                .collect();
+            assert_eq!(via_graph, via_csr, "node {n:?}");
+            assert_eq!(
+                csr.targets_of(n),
+                via_graph.iter().map(|&(t, _)| t).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn reverse_matches_in_edges() {
+        let (g, nodes) = diamond();
+        let csr = Csr::reverse(&g);
+        for n in nodes {
+            let via_graph: Vec<(NodeIx, EdgeIx)> = g.in_edges(n).map(|e| (e.from, e.id)).collect();
+            let via_csr: Vec<(NodeIx, EdgeIx)> = csr
+                .range(n)
+                .map(|s| (csr.targets()[s], csr.edges()[s]))
+                .collect();
+            assert_eq!(via_graph, via_csr, "node {n:?}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_empty_view() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        let csr = Csr::forward(&g);
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+    }
+
+    #[test]
+    fn parallel_edges_keep_their_slots() {
+        let mut g: DiGraph<(), u32> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let e1 = g.add_edge(a, b, 1);
+        let e2 = g.add_edge(a, b, 2);
+        let csr = Csr::forward(&g);
+        assert_eq!(csr.edges()[csr.range(a)], [e1, e2]);
+        assert_eq!(csr.targets_of(a), [b, b]);
+        assert!(csr.range(b).is_empty());
+    }
+}

@@ -16,7 +16,9 @@
 //! The [`algo`] module contains the graph algorithms the paper's constructions
 //! need: topological sorting, cycle detection, reachability, source→sink path
 //! enumeration, k-hop neighbourhood extraction and strongly connected
-//! components.
+//! components. The [`csr`] module provides [`Csr`], a compressed-sparse-row
+//! flattening of one adjacency direction that hot traversal kernels (the
+//! routing crate's Dijkstras) use instead of chasing per-node edge vectors.
 //!
 //! # Example
 //!
@@ -39,9 +41,11 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod csr;
 mod digraph;
 pub mod dot;
 mod error;
 
+pub use csr::Csr;
 pub use digraph::{DiGraph, EdgeIx, EdgeRef, NodeIx};
 pub use error::CycleError;

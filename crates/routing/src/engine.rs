@@ -6,42 +6,82 @@
 //! stand on its output, and a long-lived federation server re-derives it on
 //! every topology mutation. This module attacks that cost twice:
 //!
-//! * [`all_pairs_parallel`] fans the per-source [`single_source_with`]
-//!   calls across a `std::thread::scope` worker pool (sized by
-//!   [`auto_workers`], i.e. `available_parallelism`), with one reusable
-//!   [`DijkstraScratch`] per worker so the inner Dijkstras stop allocating
-//!   per bandwidth level. Sources are claimed off an atomic counter —
-//!   work-stealing granularity of one tree — so skewed per-source costs
-//!   (hub nodes see more levels) still balance.
+//! * [`all_pairs_parallel`] derives one [`QosCsr`] for the graph and fans
+//!   the per-source [`single_source_csr`] calls across a
+//!   `std::thread::scope` worker pool (sized by [`auto_workers`], i.e. a
+//!   cached `available_parallelism`), with one reusable [`DijkstraScratch`]
+//!   per worker so the inner Dijkstras stop allocating per bandwidth level.
+//!   Sources are claimed off an atomic counter — work-stealing granularity
+//!   of one tree — so skewed per-source costs (hub nodes see more levels)
+//!   still balance. Because workers read only the CSR, the node payload `N`
+//!   needs no `Sync` bound.
 //! * [`AllPairs::patch`] repairs an existing table after a batch of
 //!   [`EdgeChange`]s by recomputing only the source trees that can actually
-//!   be affected, turning the `O(V)` Dijkstra sweeps per mutation into
-//!   `O(dirty)`:
+//!   be affected, and [`AllPairs::patched`] derives a *successor* table that
+//!   shares every clean tree with its predecessor by `Arc` pointer — the
+//!   per-epoch cost is proportional to the dirty set, never a copy of the
+//!   world.
 //!
-//!   - a **degraded** edge (bandwidth and latency both no better) can only
-//!     invalidate trees whose recorded paths *traverse* it: every path that
-//!     avoids the edge kept its exact QoS, and a path through a worsened
-//!     edge cannot newly beat a previous optimum
-//!     ([`PathTree::traverses_any`]);
-//!   - an **improved** (or mixed) change can create better paths only for
-//!     sources that can *reach the edge's tail* in the new graph — any
-//!     path using edge `u → v` must first arrive at `u` — so a reverse
-//!     reachability sweep from the tail bounds the dirty set;
-//!   - structural changes (node add/remove, i.e. a table/graph size
-//!     mismatch) fall back to a full parallel rebuild.
+//! # Dirty rules and why they are sound
 //!
-//! Soundness of the two dirty rules is argued inline and proven
-//! behaviourally by the property tests in `tests/prop_engine.rs`, which
-//! check `patch` against a from-scratch rebuild on random graphs and
-//! random mutations.
+//! Write the changed edge as `e = u → v`, weight `(bw₀, lat₀) → (bw₁, lat₁)`.
+//! Three facts anchor every rule below. (i) A simple path *to* `u` never
+//! contains `e` (it would have to leave `u` first), so per-source bandwidth
+//! and latency *to the tail* are identical before and after the change.
+//! (ii) The exact algorithm works per bandwidth level `b`: the subgraph of
+//! edges with bandwidth ≥ `b`. (iii) Paths that avoid `e` keep their exact
+//! QoS.
+//!
+//! **Degradations** (`bw₁ ≤ bw₀`, `lat₁ ≥ lat₀`) can only *remove or worsen*
+//! paths through `e`, so a tree none of whose recorded paths traverses `e`
+//! is clean. The rule is sharpened per level by
+//! [`PathTree::traverses_above`]: a pure bandwidth cut (`lat₁ = lat₀`)
+//! leaves every level `b ≤ bw₁` subgraph — and hence every recorded path
+//! whose bottleneck is ≤ `bw₁` — completely untouched, so the traversal
+//! only dirties at levels *above* `bw₁`. A latency degradation worsens `e`
+//! at every surviving level, so its floor is zero (any traversal dirties).
+//!
+//! **Non-degradations** (bandwidth up, latency down, or mixed) can also
+//! *create* better paths, but only for sources that reach `u`; for a batch
+//! with at most one non-degradation change the engine applies three gain
+//! gates per source tree, with `reach = min(B(s,u), bw₁)` (the widest any
+//! through-`e` path can be, unchanged-by-(i)):
+//!
+//! - **bandwidth gain** — `reach > B(s,v)`: a through-`e` path can widen
+//!   the table entry at `v` (and possibly beyond);
+//! - **latency gain** — `lat₁ < lat₀` and `reach > 0`: every through-`e`
+//!   path got faster, and at its levels `e` may now undercut paths that
+//!   previously won;
+//! - **membership gain** — `bw₁ > bw₀` and `reach > bw₀`: `e` joins level
+//!   subgraphs in `(bw₀, bw₁]` where it did not exist, opening paths at
+//!   levels the source can actually use.
+//!
+//! If no gate fires, every through-`e` path at some level `b` satisfies
+//! `b ≤ bw₀` (no membership gain) and `lat₁ ≥ lat₀` (no latency gain), so
+//! the *same* path already existed in the old graph at level `b` with
+//! latency no worse — the old optimum already dominates it, and the tree is
+//! clean on the gain side. The loss side of a *mixed* change is handled by
+//! the degradation traversal rule with the same floors. A batch with two or
+//! more non-degradation changes falls back to the coarser (but still sound)
+//! reach-the-tail rule: any path through `u → v` must first arrive at `u`,
+//! so a reverse reachability sweep from `u` bounds the dirty set.
+//!
+//! Structural changes (node add/remove, i.e. a table/graph size mismatch)
+//! fall back to a full parallel rebuild. The property tests in
+//! `tests/prop_engine.rs` check `patch` against a from-scratch rebuild on
+//! random graphs and random mutations, and that the tightened rules never
+//! dirty more trees than the coarse ones.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::thread;
 
 use sflow_graph::{DiGraph, EdgeIx, NodeIx};
 
-use crate::shortest_widest::{all_pairs, single_source_with, AllPairs, DijkstraScratch, PathTree};
+use crate::shortest_widest::{
+    all_pairs, single_source_csr, AllPairs, DijkstraScratch, PathTree, QosCsr, TraversalScratch,
+};
 use crate::{Bandwidth, Qos};
 
 /// One edge whose QoS changed, described by before/after weights.
@@ -70,6 +110,23 @@ impl EdgeChange {
     pub fn is_degradation(&self) -> bool {
         self.new.bandwidth <= self.old.bandwidth && self.new.latency >= self.old.latency
     }
+
+    /// The bandwidth level at or below which this change is invisible to
+    /// recorded paths traversing the edge, or `None` if the change has no
+    /// loss side at all (nothing got worse for anyone already using it).
+    ///
+    /// A latency increase worsens the edge at every level it survives in
+    /// (floor zero); a pure bandwidth cut leaves levels `≤ new.bandwidth`
+    /// untouched (floor `new.bandwidth`).
+    fn loss_floor(&self) -> Option<Bandwidth> {
+        if self.new.latency > self.old.latency {
+            Some(Bandwidth::ZERO)
+        } else if self.new.bandwidth < self.old.bandwidth {
+            Some(self.new.bandwidth)
+        } else {
+            None
+        }
+    }
 }
 
 /// What one [`AllPairs::patch`] call did.
@@ -85,28 +142,33 @@ pub struct PatchStats {
 }
 
 /// The number of routing workers `available_parallelism` suggests (≥ 1).
+///
+/// The lookup is a syscall on most platforms; the answer is cached in a
+/// `OnceLock` so per-patch callers pay it exactly once per process.
 pub fn auto_workers() -> usize {
-    thread::available_parallelism().map_or(1, |n| n.get())
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 /// [`all_pairs`] computed on a worker pool sized by
 /// [`auto_workers`]. Results are identical to the sequential sweep.
-pub fn all_pairs_parallel<N: Sync>(g: &DiGraph<N, Qos>) -> AllPairs {
+pub fn all_pairs_parallel<N>(g: &DiGraph<N, Qos>) -> AllPairs {
     all_pairs_parallel_with(g, auto_workers())
 }
 
 /// [`all_pairs_parallel`] with an explicit worker count (`0` means
 /// [`auto_workers`]; the pool never exceeds the number of sources).
-pub fn all_pairs_parallel_with<N: Sync>(g: &DiGraph<N, Qos>, workers: usize) -> AllPairs {
+pub fn all_pairs_parallel_with<N>(g: &DiGraph<N, Qos>, workers: usize) -> AllPairs {
     let n = g.node_count();
     let workers = effective_workers(workers, n);
     if workers <= 1 {
         return all_pairs(g);
     }
+    let csr = QosCsr::new(g);
     let sources: Vec<NodeIx> = g.node_ids().collect();
-    let mut trees: Vec<Option<PathTree>> = Vec::with_capacity(n);
+    let mut trees: Vec<Option<Arc<PathTree>>> = Vec::with_capacity(n);
     trees.resize_with(n, || None);
-    compute_trees(g, &sources, workers, &mut trees);
+    compute_trees(&csr, &sources, workers, &mut trees);
     AllPairs {
         trees: trees
             .into_iter()
@@ -128,22 +190,23 @@ fn effective_workers(workers: usize, tasks: usize) -> usize {
 /// Computes one tree per listed source into `out[source.index()]`, fanning
 /// the sources over `workers` scoped threads (atomic work stealing, one
 /// scratch per worker). `workers` must already be clamped; with 1 worker
-/// the sweep runs inline on the caller's thread.
-fn compute_trees<N: Sync>(
-    g: &DiGraph<N, Qos>,
+/// the sweep runs inline on the caller's thread. All workers read the same
+/// [`QosCsr`], so no graph payload bounds are needed.
+fn compute_trees(
+    csr: &QosCsr,
     sources: &[NodeIx],
     workers: usize,
-    out: &mut [Option<PathTree>],
+    out: &mut [Option<Arc<PathTree>>],
 ) {
     if workers <= 1 {
         let mut scratch = DijkstraScratch::new();
         for &s in sources {
-            out[s.index()] = Some(single_source_with(g, s, &mut scratch));
+            out[s.index()] = Some(Arc::new(single_source_csr(csr, s, &mut scratch)));
         }
         return;
     }
     let next = AtomicUsize::new(0);
-    let computed: Vec<Vec<(usize, PathTree)>> = thread::scope(|scope| {
+    let computed: Vec<Vec<(usize, Arc<PathTree>)>> = thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
@@ -152,7 +215,7 @@ fn compute_trees<N: Sync>(
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&s) = sources.get(i) else { break };
-                        mine.push((s.index(), single_source_with(g, s, &mut scratch)));
+                        mine.push((s.index(), Arc::new(single_source_csr(csr, s, &mut scratch))));
                     }
                     mine
                 })
@@ -170,11 +233,31 @@ fn compute_trees<N: Sync>(
     }
 }
 
+/// Buffers reused across every change of a patch batch and every tree the
+/// dirty planner inspects — one allocation set per patch, not per change
+/// (the old code allocated a bitmap + queue per [`EdgeChange`] and a stamp
+/// vector per tree per traversal test).
+#[derive(Debug, Default)]
+struct PatchScratch {
+    seen: Vec<bool>,
+    queue: VecDeque<NodeIx>,
+    traversal: TraversalScratch,
+    floors: Vec<Bandwidth>,
+}
+
 /// Marks every node that can reach `tail` in `g` over usable (non-zero
-/// bandwidth) links, `tail` included, via a reverse BFS.
-fn mark_sources_reaching<N>(g: &DiGraph<N, Qos>, tail: NodeIx, dirty: &mut [bool]) {
-    let mut seen = vec![false; g.node_count()];
-    let mut queue = VecDeque::new();
+/// bandwidth) links, `tail` included, via a reverse BFS using the
+/// caller-provided `seen`/`queue` buffers.
+fn mark_sources_reaching<N>(
+    g: &DiGraph<N, Qos>,
+    tail: NodeIx,
+    dirty: &mut [bool],
+    seen: &mut Vec<bool>,
+    queue: &mut VecDeque<NodeIx>,
+) {
+    seen.clear();
+    seen.resize(g.node_count(), false);
+    queue.clear();
     seen[tail.index()] = true;
     dirty[tail.index()] = true;
     queue.push_back(tail);
@@ -199,20 +282,22 @@ impl AllPairs {
     ///
     /// Falls back to a full parallel rebuild when the table and graph
     /// disagree on node count (nodes were added or removed).
-    pub fn patch<N: Sync>(&mut self, g: &DiGraph<N, Qos>, changes: &[EdgeChange]) -> PatchStats {
+    pub fn patch<N>(&mut self, g: &DiGraph<N, Qos>, changes: &[EdgeChange]) -> PatchStats {
         self.patch_with(g, changes, 0)
     }
 
     /// Copy-on-write form of [`AllPairs::patch`]: treats `self` as an
     /// immutable predecessor and returns a *fresh* table for the changed
-    /// graph, recomputing only the dirty source trees and sharing nothing
-    /// mutable with the predecessor. Readers concurrently solving against
-    /// the predecessor are never disturbed — this is the routing half of an
-    /// epoch-published world, where the successor table is assembled
-    /// entirely off-lock and swapped in with one pointer store.
+    /// graph. Every clean tree is shared with the predecessor by `Arc`
+    /// pointer — deriving the successor costs one refcount bump per clean
+    /// tree plus a Dijkstra per dirty one, never a copy of the table.
+    /// Readers concurrently solving against the predecessor are never
+    /// disturbed — this is the routing half of an epoch-published world,
+    /// where the successor table is assembled entirely off-lock and swapped
+    /// in with one pointer store.
     ///
     /// `g` must already carry the new weights. Uses [`auto_workers`].
-    pub fn patched<N: Sync>(
+    pub fn patched<N>(
         &self,
         g: &DiGraph<N, Qos>,
         changes: &[EdgeChange],
@@ -221,85 +306,153 @@ impl AllPairs {
     }
 
     /// [`AllPairs::patched`] with an explicit worker count (`0` = auto).
-    pub fn patched_with<N: Sync>(
+    pub fn patched_with<N>(
         &self,
         g: &DiGraph<N, Qos>,
         changes: &[EdgeChange],
         workers: usize,
     ) -> (AllPairs, PatchStats) {
-        let mut next = self.clone();
-        let stats = next.patch_with(g, changes, workers);
-        (next, stats)
-    }
-
-    /// [`AllPairs::patch`] with an explicit worker count (`0` = auto).
-    pub fn patch_with<N: Sync>(
-        &mut self,
-        g: &DiGraph<N, Qos>,
-        changes: &[EdgeChange],
-        workers: usize,
-    ) -> PatchStats {
         let n = g.node_count();
         if n != self.trees.len() {
-            *self = all_pairs_parallel_with(g, workers);
-            return PatchStats {
-                trees_recomputed: n,
-                trees_total: n,
-                full_rebuild: true,
-            };
+            let next = all_pairs_parallel_with(g, workers);
+            return (
+                next,
+                PatchStats {
+                    trees_recomputed: n,
+                    trees_total: n,
+                    full_rebuild: true,
+                },
+            );
         }
 
-        let mut dirty = vec![false; n];
-        let mut degraded: Vec<bool> = Vec::new();
-        for change in changes.iter().filter(|c| !c.is_noop()) {
-            if change.is_degradation() {
-                if degraded.is_empty() {
-                    degraded = vec![false; g.edge_count()];
-                }
-                degraded[change.edge.index()] = true;
-            } else {
-                // Improvement (or mixed): every path through `u → v` must
-                // first reach `u`, so only sources reaching the tail can
-                // gain a better path. This also covers the degradation side
-                // of a mixed change, because any tree traversing the edge
-                // necessarily reaches its tail.
-                let (tail, _, _) = g.edge_parts(change.edge);
-                mark_sources_reaching(g, tail, &mut dirty);
-            }
-        }
-        if !degraded.is_empty() {
-            for (i, tree) in self.trees.iter().enumerate() {
-                if !dirty[i] && tree.traverses_any(&degraded) {
-                    dirty[i] = true;
-                }
-            }
-        }
-
+        let mut scratch = PatchScratch::default();
+        let dirty = self.plan_dirty(g, changes, &mut scratch);
         let sources: Vec<NodeIx> = (0..n)
             .filter(|&i| dirty[i])
             .map(NodeIx::from_index)
             .collect();
         if sources.is_empty() {
-            return PatchStats {
-                trees_recomputed: 0,
+            return (
+                AllPairs {
+                    trees: self.trees.clone(), // Arc bumps only
+                },
+                PatchStats {
+                    trees_recomputed: 0,
+                    trees_total: n,
+                    full_rebuild: false,
+                },
+            );
+        }
+
+        let csr = QosCsr::new(g);
+        let workers = effective_workers(workers, sources.len());
+        let mut fresh: Vec<Option<Arc<PathTree>>> = Vec::with_capacity(n);
+        fresh.resize_with(n, || None);
+        compute_trees(&csr, &sources, workers, &mut fresh);
+        let trees = self
+            .trees
+            .iter()
+            .zip(fresh)
+            .map(|(old, new)| new.unwrap_or_else(|| Arc::clone(old)))
+            .collect();
+        (
+            AllPairs { trees },
+            PatchStats {
+                trees_recomputed: sources.len(),
                 trees_total: n,
                 full_rebuild: false,
-            };
-        }
-        let workers = effective_workers(workers, sources.len());
-        let mut fresh: Vec<Option<PathTree>> = Vec::with_capacity(n);
-        fresh.resize_with(n, || None);
-        compute_trees(g, &sources, workers, &mut fresh);
-        for (slot, tree) in fresh.into_iter().enumerate() {
-            if let Some(tree) = tree {
-                self.trees[slot] = tree;
+            },
+        )
+    }
+
+    /// [`AllPairs::patch`] with an explicit worker count (`0` = auto).
+    pub fn patch_with<N>(
+        &mut self,
+        g: &DiGraph<N, Qos>,
+        changes: &[EdgeChange],
+        workers: usize,
+    ) -> PatchStats {
+        let (next, stats) = self.patched_with(g, changes, workers);
+        *self = next;
+        stats
+    }
+
+    /// Decides which source trees `changes` can affect, per the rules (and
+    /// soundness argument) in the module docs.
+    fn plan_dirty<N>(
+        &self,
+        g: &DiGraph<N, Qos>,
+        changes: &[EdgeChange],
+        scratch: &mut PatchScratch,
+    ) -> Vec<bool> {
+        let n = g.node_count();
+        let mut dirty = vec![false; n];
+        // The gain gates are proven sound for at most one non-degradation
+        // change per batch (interactions between two newly-opened edges are
+        // not covered by the single-change argument); larger batches use
+        // the coarser reach-the-tail rule for their non-degradations.
+        let use_gates = changes
+            .iter()
+            .filter(|c| !c.is_noop() && !c.is_degradation())
+            .count()
+            <= 1;
+
+        scratch.floors.clear();
+        scratch.floors.resize(g.edge_count(), Bandwidth::INFINITE);
+        let mut any_floor = false;
+        for change in changes.iter().filter(|c| !c.is_noop()) {
+            if change.is_degradation() || use_gates {
+                // Loss side (a pure degradation, or the degraded half of
+                // the single mixed change): dirty only the trees that
+                // traverse the edge above the change's loss floor.
+                if let Some(floor) = change.loss_floor() {
+                    let slot = &mut scratch.floors[change.edge.index()];
+                    *slot = (*slot).min(floor);
+                    any_floor = true;
+                }
+            } else {
+                let (tail, _, _) = g.edge_parts(change.edge);
+                mark_sources_reaching(g, tail, &mut dirty, &mut scratch.seen, &mut scratch.queue);
             }
         }
-        PatchStats {
-            trees_recomputed: sources.len(),
-            trees_total: n,
-            full_rebuild: false,
+
+        if use_gates {
+            if let Some(change) = changes.iter().find(|c| !c.is_noop() && !c.is_degradation()) {
+                let (tail, head, _) = g.edge_parts(change.edge);
+                let latency_gain = change.new.latency < change.old.latency;
+                let wider_edge = change.new.bandwidth > change.old.bandwidth;
+                for (i, tree) in self.trees.iter().enumerate() {
+                    if dirty[i] {
+                        continue;
+                    }
+                    // Reachability to the tail never depends on the changed
+                    // edge itself (no simple path to `u` contains `u → v`),
+                    // so the predecessor tree answers exactly.
+                    let Some(to_tail) = tree.qos_to(tail) else {
+                        continue;
+                    };
+                    let reach = to_tail.bandwidth.bottleneck(change.new.bandwidth);
+                    if reach == Bandwidth::ZERO {
+                        continue;
+                    }
+                    let head_bw = tree.qos_to(head).map(|q| q.bandwidth);
+                    let gain_bw = head_bw.is_none_or(|b| reach > b);
+                    let gain_membership = wider_edge && reach > change.old.bandwidth;
+                    if gain_bw || latency_gain || gain_membership {
+                        dirty[i] = true;
+                    }
+                }
+            }
         }
+
+        if any_floor {
+            for (i, tree) in self.trees.iter().enumerate() {
+                if !dirty[i] && tree.traverses_above(&scratch.floors, &mut scratch.traversal) {
+                    dirty[i] = true;
+                }
+            }
+        }
+        dirty
     }
 }
 
@@ -350,6 +503,12 @@ mod tests {
         let g: DiGraph<(), Qos> = DiGraph::new();
         assert!(all_pairs_parallel(&g).is_empty());
         assert!(all_pairs_parallel_with(&g, 8).is_empty());
+    }
+
+    #[test]
+    fn auto_workers_is_cached_and_positive() {
+        assert!(auto_workers() >= 1);
+        assert_eq!(auto_workers(), auto_workers());
     }
 
     #[test]
@@ -410,6 +569,30 @@ mod tests {
     }
 
     #[test]
+    fn bandwidth_cut_keeps_narrower_paths_clean() {
+        // a reaches c through b with bottleneck 3; cutting b→c from 10 to 5
+        // is invisible at level 3, so only b's own tree is dirty.
+        let mut g: DiGraph<(), Qos> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, q(3, 1));
+        let e = g.add_edge(b, c, q(10, 1));
+        let mut ap = all_pairs(&g);
+        *g.edge_mut(e) = q(5, 1);
+        let stats = ap.patch(
+            &g,
+            &[EdgeChange {
+                edge: e,
+                old: q(10, 1),
+                new: q(5, 1),
+            }],
+        );
+        assert_eq!(stats.trees_recomputed, 1);
+        assert_tables_equal(&ap, &all_pairs(&g), &g);
+    }
+
+    #[test]
     fn improving_an_edge_dirties_sources_reaching_its_tail() {
         let (mut g, _, e) = world();
         let mut ap = all_pairs(&g);
@@ -429,10 +612,35 @@ mod tests {
     }
 
     #[test]
+    fn bandwidth_restore_skips_narrow_upstream_sources() {
+        // Restoring b→c from 5 back to 10 cannot help a: its bottleneck to
+        // b is 1, so every through-edge path is capped at 1 regardless.
+        // The old reach-the-tail rule recomputed a's tree anyway.
+        let mut g: DiGraph<(), Qos> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, q(1, 1));
+        let e = g.add_edge(b, c, q(5, 1));
+        let mut ap = all_pairs(&g);
+        *g.edge_mut(e) = q(10, 1);
+        let stats = ap.patch(
+            &g,
+            &[EdgeChange {
+                edge: e,
+                old: q(5, 1),
+                new: q(10, 1),
+            }],
+        );
+        assert_eq!(stats.trees_recomputed, 1); // b only
+        assert_tables_equal(&ap, &all_pairs(&g), &g);
+    }
+
+    #[test]
     fn mixed_change_is_treated_as_improvement() {
         let (mut g, _, e) = world();
         let mut ap = all_pairs(&g);
-        // Wider but slower: must use the reach-the-tail rule.
+        // Wider but slower: gain gates plus loss-side traversal.
         let old = *g.edge(e[1]);
         *g.edge_mut(e[1]) = q(20, 9);
         let stats = ap.patch(
@@ -468,6 +676,31 @@ mod tests {
         // …while the predecessor still answers with the pre-change QoS.
         assert_eq!(before.qos(n[0], n[3]), Some(q(10, 3)));
         assert_eq!(next.qos(n[0], n[3]), Some(q(3, 6)));
+    }
+
+    #[test]
+    fn patched_shares_clean_trees_by_pointer() {
+        let (mut g, _, e) = world();
+        let before = all_pairs(&g);
+        let old = *g.edge(e[1]);
+        *g.edge_mut(e[1]) = q(3, 4);
+        let (next, stats) = before.patched(
+            &g,
+            &[EdgeChange {
+                edge: e[1],
+                old,
+                new: q(3, 4),
+            }],
+        );
+        // Every clean tree is the predecessor's Arc, not a copy.
+        assert_eq!(
+            before.shared_trees(&next),
+            stats.trees_total - stats.trees_recomputed
+        );
+        // A no-op patch shares everything.
+        let (same, stats) = next.patched(&g, &[]);
+        assert_eq!(stats.trees_recomputed, 0);
+        assert_eq!(next.shared_trees(&same), next.len());
     }
 
     #[test]
@@ -510,6 +743,33 @@ mod tests {
     }
 
     #[test]
+    fn many_improvements_fall_back_to_reach_tail() {
+        let (mut g, _, e) = world();
+        let mut ap = all_pairs(&g);
+        let old3 = *g.edge(e[3]);
+        let old4 = *g.edge(e[4]);
+        *g.edge_mut(e[3]) = q(20, 1); // improve n0→n4
+        *g.edge_mut(e[4]) = q(20, 1); // improve n4→n3
+        let stats = ap.patch(
+            &g,
+            &[
+                EdgeChange {
+                    edge: e[3],
+                    old: old3,
+                    new: q(20, 1),
+                },
+                EdgeChange {
+                    edge: e[4],
+                    old: old4,
+                    new: q(20, 1),
+                },
+            ],
+        );
+        assert!(!stats.full_rebuild);
+        assert_tables_equal(&ap, &all_pairs(&g), &g);
+    }
+
+    #[test]
     fn edge_change_classification() {
         let c = |old, new| EdgeChange {
             edge: EdgeIx::from_index(0),
@@ -521,5 +781,9 @@ mod tests {
         assert!(c(q(5, 5), q(5, 6)).is_degradation());
         assert!(!c(q(5, 5), q(6, 4)).is_degradation());
         assert!(!c(q(5, 5), q(6, 6)).is_degradation()); // mixed
+        assert_eq!(c(q(5, 5), q(4, 5)).loss_floor(), Some(Bandwidth::kbps(4)));
+        assert_eq!(c(q(5, 5), q(4, 6)).loss_floor(), Some(Bandwidth::ZERO));
+        assert_eq!(c(q(5, 5), q(6, 5)).loss_floor(), None);
+        assert_eq!(c(q(5, 5), q(6, 4)).loss_floor(), None);
     }
 }

@@ -23,8 +23,12 @@
 //!   of the paper) starts from;
 //! * [`engine`]: parallel all-pairs construction over a scoped worker pool
 //!   ([`all_pairs_parallel`]) and incremental maintenance after edge-QoS
-//!   changes ([`AllPairs::patch`]), with per-worker [`DijkstraScratch`]
-//!   buffer reuse.
+//!   changes ([`AllPairs::patch`] / [`AllPairs::patched`]), with per-worker
+//!   [`DijkstraScratch`] buffer reuse. Repeated sweeps run on [`QosCsr`], a
+//!   compressed-sparse-row flattening of the graph's adjacency with the
+//!   edge weights in slot-parallel arrays, and the table holds its trees
+//!   behind `Arc`s so an incrementally patched successor shares every clean
+//!   tree with its predecessor by pointer.
 //!
 //! # Example
 //!
@@ -60,4 +64,6 @@ pub use engine::{
     all_pairs_parallel, all_pairs_parallel_with, auto_workers, EdgeChange, PatchStats,
 };
 pub use metrics::{Bandwidth, Latency, Qos};
-pub use shortest_widest::{all_pairs, AllPairs, DijkstraScratch, PathTree};
+pub use shortest_widest::{
+    all_pairs, AllPairs, DijkstraScratch, PathTree, QosCsr, TraversalScratch,
+};

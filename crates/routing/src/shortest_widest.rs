@@ -19,14 +19,27 @@
 //!   property tests in this crate exercise exactly that gap, and the
 //!   `ablation_routing` benchmark quantifies it.
 //!
+//! The exact kernels are generic over the adjacency layout they sweep. The
+//! one-shot entry points ([`single_source`], [`single_source_with`]) walk the
+//! graph's own adjacency lists; the repeated-sweep paths — [`all_pairs`], the
+//! parallel builder and the incremental patcher in [`crate::engine`] — first
+//! flatten the graph into a [`QosCsr`] (a compressed-sparse-row view with the
+//! edge weights in slot-parallel arrays) and run [`single_source_csr`]
+//! against it, so the inner loops march forward through three flat arrays
+//! instead of chasing `Vec<EdgeIx>` indirections per visited edge. Both
+//! layouts run the *same* kernel code and are asserted observationally
+//! identical by `tests/prop_engine.rs`.
+//!
 //! Complexities, with `V` nodes, `E` edges and `L ≤ V` distinct bottleneck
-//! levels: exact is `O(L · E log V)`, lexicographic `O(E log V)`. At the
-//! paper's scales (≤ a few hundred overlay nodes) both are instantaneous.
+//! levels: exact is `O(L · E log V)`, lexicographic `O(E log V)`. The CSR
+//! derivation is `O(V + E)` once per graph, amortised to nothing over a
+//! sweep of many sources.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
-use sflow_graph::{DiGraph, EdgeIx, NodeIx};
+use sflow_graph::{Csr, DiGraph, EdgeIx, NodeIx};
 
 use crate::{Bandwidth, Latency, Qos};
 
@@ -75,39 +88,70 @@ impl PathTree {
 
     /// The number of links on the reconstructed path to `node` (0 for the
     /// source), or `None` if unreachable.
+    ///
+    /// Counts by walking the predecessor chain — no path `Vec` is
+    /// materialised, so hot-loop callers (session accounting, hop-horizon
+    /// checks) cost zero allocations.
     pub fn hops_to(&self, node: NodeIx) -> Option<usize> {
-        self.path_to(node).map(|p| p.len() - 1)
+        self.dist[node.index()]?;
+        let preds = &self.level_preds[self.node_level[node.index()]];
+        let mut hops = 0;
+        let mut cur = node;
+        while cur != self.source {
+            let (prev, _) =
+                preds[cur.index()] // audit:allow(no-unwrap): pred invariant
+                    .expect("reachable non-source node must have a predecessor");
+            hops += 1;
+            cur = prev;
+        }
+        Some(hops)
     }
 
     /// Returns `true` if any path this tree can reconstruct traverses an
-    /// edge `e` with `marked[e.index()]` set (indices beyond `marked` count
-    /// as unmarked).
+    /// edge `e` *at a bandwidth level strictly above* `floors[e.index()]`
+    /// (indices beyond `floors` count as unmarked, i.e.
+    /// [`Bandwidth::INFINITE`]).
     ///
-    /// This is the dirtiness test of the incremental all-pairs engine: a
-    /// tree that never crosses a *degraded* edge is provably unaffected by
-    /// the degradation (every path avoiding the edge kept its exact QoS,
-    /// and no path through a worsened edge can newly beat them), so it can
-    /// be reused verbatim. The walk visits each node at most once per
-    /// bandwidth level, i.e. `O(V · L)` worst case and `O(V)` typically.
-    pub fn traverses_any(&self, marked: &[bool]) -> bool {
+    /// This is the dirtiness test of the incremental all-pairs engine, in
+    /// its per-level form. A tree that never crosses a *degraded* edge is
+    /// provably unaffected by the degradation (every path avoiding the edge
+    /// kept its exact QoS, and no path through a worsened edge can newly
+    /// beat them). The floor sharpens that rule for pure bandwidth cuts
+    /// (`bw0 → bw1 < bw0`, latency unchanged): the per-level subgraphs at
+    /// levels `b ≤ bw1` still contain the edge with identical weight, so
+    /// paths pinned at those levels are untouched — only paths whose
+    /// bottleneck level exceeds the surviving bandwidth `bw1` can lose the
+    /// edge. A latency degradation worsens the edge at *every* level it
+    /// appears in, so its floor is [`Bandwidth::ZERO`] (any traversal
+    /// dirties).
+    ///
+    /// The walk visits each node at most once per bandwidth level —
+    /// `O(V · L)` worst case, `O(V)` typically — and allocates nothing:
+    /// the caller supplies a [`TraversalScratch`] reused across the trees
+    /// of a patch sweep.
+    pub fn traverses_above(&self, floors: &[Bandwidth], scratch: &mut TraversalScratch) -> bool {
         let n = self.dist.len();
         let source = self.source.index();
-        // Generation stamps instead of per-level bitmaps: level `li` owns
-        // stamp `li + 1`, so one allocation serves every level.
-        let mut stamp: Vec<u32> = vec![0; n];
         for (li, preds) in self.level_preds.iter().enumerate() {
-            let tag = li as u32 + 1;
+            let tag = scratch.tag_for(n);
             for start in 0..n {
-                if start == source || self.dist[start].is_none() || self.node_level[start] != li {
+                if start == source || self.node_level[start] != li {
                     continue;
                 }
+                let Some(level) = self.dist[start] else {
+                    continue;
+                };
                 let mut cur = start;
-                while cur != source && stamp[cur] != tag {
-                    stamp[cur] = tag;
+                while cur != source && scratch.stamp[cur] != tag {
+                    scratch.stamp[cur] = tag;
                     let Some((prev, e)) = preds[cur] else {
                         break;
                     };
-                    if marked.get(e.index()).copied().unwrap_or(false) {
+                    let floor = floors
+                        .get(e.index())
+                        .copied()
+                        .unwrap_or(Bandwidth::INFINITE);
+                    if floor < level.bandwidth {
                         return true;
                     }
                     cur = prev.index();
@@ -115,6 +159,60 @@ impl PathTree {
             }
         }
         false
+    }
+
+    /// Returns `true` if any path this tree can reconstruct traverses an
+    /// edge `e` with `marked[e.index()]` set (indices beyond `marked` count
+    /// as unmarked).
+    ///
+    /// Convenience form of [`PathTree::traverses_above`] with a
+    /// [`Bandwidth::ZERO`] floor on every marked edge (any traversal at any
+    /// level counts) and a locally allocated scratch.
+    pub fn traverses_any(&self, marked: &[bool]) -> bool {
+        let floors: Vec<Bandwidth> = marked
+            .iter()
+            .map(|&m| {
+                if m {
+                    Bandwidth::ZERO
+                } else {
+                    Bandwidth::INFINITE
+                }
+            })
+            .collect();
+        self.traverses_above(&floors, &mut TraversalScratch::new())
+    }
+}
+
+/// Reusable stamp storage for [`PathTree::traverses_above`].
+///
+/// Generation stamps instead of per-level bitmaps: each level of each tree
+/// claims a fresh tag, so one allocation serves every level of every tree a
+/// patch sweep inspects — the sweep performs no per-tree (let alone
+/// per-level) allocations.
+#[derive(Debug, Default)]
+pub struct TraversalScratch {
+    stamp: Vec<u32>,
+    next_tag: u32,
+}
+
+impl TraversalScratch {
+    /// An empty scratch; storage grows to the graph size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands out the next unused tag, growing (and, on the one-in-4-billion
+    /// wraparound, clearing) the stamp array to cover `n` nodes.
+    fn tag_for(&mut self, n: usize) -> u32 {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        if self.next_tag == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.next_tag = 0;
+        }
+        self.next_tag += 1;
+        self.next_tag
     }
 }
 
@@ -142,6 +240,91 @@ impl DijkstraScratch {
     }
 }
 
+/// A [`Qos`]-weighted compressed-sparse-row view of a graph's out-adjacency.
+///
+/// [`Csr::forward`] flattens the topology; the bandwidth and latency of each
+/// edge are copied into slot-parallel arrays, so the Dijkstra kernels read a
+/// neighbour, its edge handle and its weight from four flat arrays marching
+/// forward together — no detour through the edge arena per visited edge.
+/// Derive one per graph (`O(V + E)`) and share it read-only across however
+/// many workers sweep it.
+#[derive(Clone, Debug)]
+pub struct QosCsr {
+    adj: Csr,
+    bandwidth: Vec<Bandwidth>,
+    latency: Vec<Latency>,
+}
+
+impl QosCsr {
+    /// Flattens `g`'s out-adjacency and edge weights. `O(V + E)`.
+    pub fn new<N>(g: &DiGraph<N, Qos>) -> Self {
+        let adj = Csr::forward(g);
+        let bandwidth = adj.edges().iter().map(|&e| g.edge(e).bandwidth).collect();
+        let latency = adj.edges().iter().map(|&e| g.edge(e).latency).collect();
+        QosCsr {
+            adj,
+            bandwidth,
+            latency,
+        }
+    }
+
+    /// Number of nodes in the viewed graph.
+    pub fn node_count(&self) -> usize {
+        self.adj.node_count()
+    }
+
+    /// Number of edges in the viewed graph.
+    pub fn edge_count(&self) -> usize {
+        self.adj.edge_count()
+    }
+}
+
+/// The out-adjacency a kernel sweeps: implemented by the adjacency-list
+/// graph itself (the reference layout, kept as the property-test oracle)
+/// and by [`QosCsr`] (the layout the repeated-sweep paths run on). Both
+/// drive the *same* kernel code.
+trait OutEdges {
+    fn node_count(&self) -> usize;
+    /// Visits every outgoing edge of `node` as
+    /// `(head, handle, bandwidth, latency)`.
+    fn for_each_out(&self, node: NodeIx, f: impl FnMut(NodeIx, EdgeIx, Bandwidth, Latency));
+}
+
+impl OutEdges for QosCsr {
+    fn node_count(&self) -> usize {
+        self.adj.node_count()
+    }
+
+    #[inline]
+    fn for_each_out(&self, node: NodeIx, mut f: impl FnMut(NodeIx, EdgeIx, Bandwidth, Latency)) {
+        let range = self.adj.range(node);
+        let targets = &self.adj.targets()[range.clone()];
+        let edges = &self.adj.edges()[range.clone()];
+        let bandwidth = &self.bandwidth[range.clone()];
+        let latency = &self.latency[range];
+        for i in 0..targets.len() {
+            f(targets[i], edges[i], bandwidth[i], latency[i]);
+        }
+    }
+}
+
+/// The graph's own adjacency lists, used by the one-shot entry points.
+struct AdjacencyView<'a, N>(&'a DiGraph<N, Qos>);
+
+impl<N> OutEdges for AdjacencyView<'_, N> {
+    fn node_count(&self) -> usize {
+        self.0.node_count()
+    }
+
+    #[inline]
+    fn for_each_out(&self, node: NodeIx, mut f: impl FnMut(NodeIx, EdgeIx, Bandwidth, Latency)) {
+        for &eid in self.0.out_edge_ids(node) {
+            let (_, to, weight) = self.0.edge_parts(eid);
+            f(to, eid, weight.bandwidth, weight.latency);
+        }
+    }
+}
+
 #[derive(Debug, PartialEq, Eq)]
 struct WidestEntry {
     bandwidth: Bandwidth,
@@ -164,8 +347,8 @@ impl PartialOrd for WidestEntry {
 
 /// Widest-path (max–min bandwidth) Dijkstra into `scratch.widest`; the
 /// source gets [`Bandwidth::INFINITE`].
-fn widest_bandwidths_into<N>(g: &DiGraph<N, Qos>, source: NodeIx, scratch: &mut DijkstraScratch) {
-    let n = g.node_count();
+fn widest_bandwidths_into<V: OutEdges>(view: &V, source: NodeIx, scratch: &mut DijkstraScratch) {
+    let n = view.node_count();
     scratch.widest.clear();
     scratch.widest.resize(n, None);
     scratch.done.clear();
@@ -184,17 +367,16 @@ fn widest_bandwidths_into<N>(g: &DiGraph<N, Qos>, source: NodeIx, scratch: &mut 
             continue;
         }
         done[node.index()] = true;
-        for &eid in g.out_edge_ids(node) {
-            let (_, to, weight) = g.edge_parts(eid);
+        view.for_each_out(node, |to, _eid, bw, _lat| {
             // A settled head can never improve; skipping it here (rather
             // than relying on the pop-time check) keeps the entry out of
             // the heap entirely.
             if done[to.index()] {
-                continue;
+                return;
             }
-            let cand = bandwidth.bottleneck(weight.bandwidth);
+            let cand = bandwidth.bottleneck(bw);
             if cand == Bandwidth::ZERO {
-                continue;
+                return;
             }
             let slot = &mut best[to.index()];
             if slot.is_none_or(|b| cand > b) {
@@ -204,7 +386,7 @@ fn widest_bandwidths_into<N>(g: &DiGraph<N, Qos>, source: NodeIx, scratch: &mut 
                     node: to,
                 });
             }
-        }
+        });
     }
 }
 
@@ -234,13 +416,13 @@ impl PartialOrd for LatencyEntry {
 ///
 /// Distances land in `scratch.lat`; only the predecessor array — which the
 /// caller's [`PathTree`] keeps — is freshly allocated.
-fn latency_dijkstra_at_level_into<N>(
-    g: &DiGraph<N, Qos>,
+fn latency_dijkstra_at_level_into<V: OutEdges>(
+    view: &V,
     source: NodeIx,
     floor: Bandwidth,
     scratch: &mut DijkstraScratch,
 ) -> Vec<Option<(NodeIx, EdgeIx)>> {
-    let n = g.node_count();
+    let n = view.node_count();
     scratch.lat.clear();
     scratch.lat.resize(n, None);
     scratch.done.clear();
@@ -260,14 +442,13 @@ fn latency_dijkstra_at_level_into<N>(
             continue;
         }
         done[node.index()] = true;
-        for &eid in g.out_edge_ids(node) {
-            let (_, to, weight) = g.edge_parts(eid);
+        view.for_each_out(node, |to, eid, bw, lat| {
             // Stale at push time: a settled head cannot improve, so don't
             // even form the candidate, let alone grow the heap.
-            if done[to.index()] || weight.bandwidth < floor {
-                continue;
+            if done[to.index()] || bw < floor {
+                return;
             }
-            let cand = latency + weight.latency;
+            let cand = latency + lat;
             let slot = &mut dist[to.index()];
             if slot.is_none_or(|l| cand < l) {
                 *slot = Some(cand);
@@ -277,7 +458,7 @@ fn latency_dijkstra_at_level_into<N>(
                     node: to,
                 });
             }
-        }
+        });
     }
     pred
 }
@@ -307,15 +488,38 @@ pub fn single_source<N>(g: &DiGraph<N, Qos>, source: NodeIx) -> PathTree {
 
 /// [`single_source`] with caller-provided scratch buffers.
 ///
-/// Repeated sweeps — all-pairs, the incremental patcher, per-worker loops —
-/// should allocate one [`DijkstraScratch`] per worker and reuse it; results
-/// are identical to [`single_source`].
+/// Runs the kernels over the graph's own adjacency lists — the reference
+/// layout. One-shot queries should use this; sweeps of many sources over
+/// the same graph should derive a [`QosCsr`] once and call
+/// [`single_source_csr`] per source instead. Results are identical either
+/// way (property-tested).
 pub fn single_source_with<N>(
     g: &DiGraph<N, Qos>,
     source: NodeIx,
     scratch: &mut DijkstraScratch,
 ) -> PathTree {
-    widest_bandwidths_into(g, source, scratch);
+    single_source_view(&AdjacencyView(g), source, scratch)
+}
+
+/// [`single_source`] over a pre-derived [`QosCsr`] view.
+///
+/// This is the repeated-sweep entry point: the all-pairs builders and the
+/// incremental patcher derive the CSR once per graph and sweep it with one
+/// [`DijkstraScratch`] per worker, so the inner kernels read topology and
+/// weights from flat slot-parallel arrays and allocate only the predecessor
+/// tables the resulting [`PathTree`] keeps.
+pub fn single_source_csr(csr: &QosCsr, source: NodeIx, scratch: &mut DijkstraScratch) -> PathTree {
+    single_source_view(csr, source, scratch)
+}
+
+/// The exact algorithm, generic over the adjacency layout.
+fn single_source_view<V: OutEdges>(
+    view: &V,
+    source: NodeIx,
+    scratch: &mut DijkstraScratch,
+) -> PathTree {
+    let n = view.node_count();
+    widest_bandwidths_into(view, source, scratch);
 
     // Distinct bottleneck levels of non-source reachable nodes, widest first.
     let mut levels = std::mem::take(&mut scratch.levels);
@@ -331,29 +535,29 @@ pub fn single_source_with<N>(
     levels.sort_unstable_by(|a, b| b.cmp(a));
     levels.dedup();
 
-    let mut dist: Vec<Option<Qos>> = vec![None; g.node_count()];
-    let mut node_level: Vec<usize> = vec![0; g.node_count()];
+    let mut dist: Vec<Option<Qos>> = vec![None; n];
+    let mut node_level: Vec<usize> = vec![0; n];
     let mut level_preds: Vec<Vec<Option<(NodeIx, EdgeIx)>>> = Vec::with_capacity(levels.len());
     dist[source.index()] = Some(Qos::IDENTITY);
 
     for (li, &b) in levels.iter().enumerate() {
-        let pred = latency_dijkstra_at_level_into(g, source, b, scratch);
-        for n in g.node_ids() {
-            if n == source || scratch.widest[n.index()] != Some(b) {
+        let pred = latency_dijkstra_at_level_into(view, source, b, scratch);
+        for i in 0..n {
+            if i == source.index() || scratch.widest[i] != Some(b) {
                 continue;
             }
-            let l = scratch.lat[n.index()]
+            let l = scratch.lat[i]
                 // audit:allow(no-unwrap): level invariant, see module docs
                 .expect("a node with optimal bottleneck b is reachable at level b");
-            dist[n.index()] = Some(Qos::new(b, l));
-            node_level[n.index()] = li;
+            dist[i] = Some(Qos::new(b, l));
+            node_level[i] = li;
         }
         level_preds.push(pred);
     }
 
     if level_preds.is_empty() {
         // No reachable nodes besides (possibly) the source.
-        level_preds.push(vec![None; g.node_count()]);
+        level_preds.push(vec![None; n]);
     }
 
     scratch.levels = levels; // hand the buffer back for the next sweep
@@ -434,9 +638,14 @@ pub fn single_source_lexicographic<N>(g: &DiGraph<N, Qos>, source: NodeIx) -> Pa
 ///
 /// This is step 1 of the paper's baseline algorithm (Table 1): "Compute the
 /// all-pairs shortest-widest path … using the Wang-Crowcroft algorithm."
+///
+/// Trees are held behind `Arc`s so an incremental successor table
+/// ([`AllPairs::patched`](crate::AllPairs)) shares every clean tree with its
+/// predecessor by pointer — deriving an epoch costs allocations proportional
+/// to the *dirty* set, never a copy of the world.
 #[derive(Clone, Debug)]
 pub struct AllPairs {
-    pub(crate) trees: Vec<PathTree>,
+    pub(crate) trees: Vec<Arc<PathTree>>,
 }
 
 impl AllPairs {
@@ -464,12 +673,29 @@ impl AllPairs {
     pub fn is_empty(&self) -> bool {
         self.trees.is_empty()
     }
+
+    /// How many source trees this table shares *by pointer* with `other`
+    /// (same `Arc`, zero copies). A table patched from a predecessor shares
+    /// exactly its clean trees; a from-scratch rebuild shares none.
+    pub fn shared_trees(&self, other: &AllPairs) -> usize {
+        self.trees
+            .iter()
+            .zip(&other.trees)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
 }
 
-/// Computes exact all-pairs shortest-widest paths (`O(V · L · E log V)`).
+/// Computes exact all-pairs shortest-widest paths (`O(V · L · E log V)`)
+/// sequentially, over a [`QosCsr`] derived once with one reused scratch.
 pub fn all_pairs<N>(g: &DiGraph<N, Qos>) -> AllPairs {
+    let csr = QosCsr::new(g);
+    let mut scratch = DijkstraScratch::new();
     AllPairs {
-        trees: g.node_ids().map(|n| single_source(g, n)).collect(),
+        trees: g
+            .node_ids()
+            .map(|n| Arc::new(single_source_csr(&csr, n, &mut scratch)))
+            .collect(),
     }
 }
 
@@ -480,7 +706,7 @@ pub fn all_pairs_lexicographic<N>(g: &DiGraph<N, Qos>) -> AllPairs {
     AllPairs {
         trees: g
             .node_ids()
-            .map(|n| single_source_lexicographic(g, n))
+            .map(|n| Arc::new(single_source_lexicographic(g, n)))
             .collect(),
     }
 }
@@ -527,6 +753,23 @@ mod tests {
             exact.qos_to(t).unwrap().bandwidth,
             lex.qos_to(t).unwrap().bandwidth
         );
+    }
+
+    #[test]
+    fn csr_kernels_match_adjacency_kernels() {
+        let (g, ..) = trap();
+        let csr = QosCsr::new(&g);
+        assert_eq!(csr.node_count(), g.node_count());
+        assert_eq!(csr.edge_count(), g.edge_count());
+        let mut scratch = DijkstraScratch::new();
+        for n in g.node_ids() {
+            let adjacency = single_source(&g, n);
+            let flat = single_source_csr(&csr, n, &mut scratch);
+            for m in g.node_ids() {
+                assert_eq!(adjacency.qos_to(m), flat.qos_to(m), "{n:?}->{m:?}");
+                assert_eq!(adjacency.path_to(m), flat.path_to(m), "{n:?}->{m:?}");
+            }
+        }
     }
 
     #[test]
@@ -578,6 +821,19 @@ mod tests {
         assert_eq!(tree.qos_to(c).unwrap(), q(10, 10));
         assert_eq!(tree.path_to(c).unwrap(), vec![a, b, c]);
         assert_eq!(tree.hops_to(c), Some(2));
+    }
+
+    #[test]
+    fn hops_count_without_materialising_the_path() {
+        let (g, s, _) = trap();
+        let tree = single_source(&g, s);
+        for n in g.node_ids() {
+            assert_eq!(
+                tree.hops_to(n),
+                tree.path_to(n).map(|p| p.len() - 1),
+                "node {n:?}"
+            );
+        }
     }
 
     #[test]
@@ -649,6 +905,16 @@ mod tests {
     }
 
     #[test]
+    fn shared_trees_counts_pointer_identity() {
+        let (g, ..) = trap();
+        let a = all_pairs(&g);
+        let b = a.clone(); // clones the Arcs, not the trees
+        assert_eq!(a.shared_trees(&b), a.len());
+        let rebuilt = all_pairs(&g);
+        assert_eq!(a.shared_trees(&rebuilt), 0);
+    }
+
+    #[test]
     fn traverses_any_sees_exactly_the_tree_edges() {
         let mut g: DiGraph<(), Qos> = DiGraph::new();
         let a = g.add_node(());
@@ -662,6 +928,25 @@ mod tests {
         marked[wide.index()] = true;
         assert!(tree.traverses_any(&marked));
         assert!(!tree.traverses_any(&[]));
+    }
+
+    #[test]
+    fn traversal_floor_screens_lower_levels() {
+        // a→b is used at level 10 (b's bottleneck). A floor at or above the
+        // level must report clean; below the level, dirty.
+        let mut g: DiGraph<(), Qos> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let e = g.add_edge(a, b, q(10, 1));
+        let tree = single_source(&g, a);
+        let mut scratch = TraversalScratch::new();
+        let mut floors = vec![Bandwidth::INFINITE; g.edge_count()];
+        floors[e.index()] = Bandwidth::kbps(10); // edge survives at its level
+        assert!(!tree.traverses_above(&floors, &mut scratch));
+        floors[e.index()] = Bandwidth::kbps(9); // level 10 > floor 9: dirty
+        assert!(tree.traverses_above(&floors, &mut scratch));
+        floors[e.index()] = Bandwidth::ZERO;
+        assert!(tree.traverses_above(&floors, &mut scratch));
     }
 
     #[test]

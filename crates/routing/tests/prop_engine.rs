@@ -9,11 +9,25 @@
 //! * [`AllPairs::patch`] after a random batch of edge-QoS mutations must
 //!   leave the table QoS-identical to rebuilding from scratch on the
 //!   mutated graph, and every path it reports must still be valid.
+//!
+//! Plus three structural properties of the compact core:
+//!
+//! * the CSR kernels ([`shortest_widest::single_source_csr`]) must produce
+//!   trees identical to the adjacency-list kernels on random graphs;
+//! * [`AllPairs::patched_with`] must share every clean tree with its
+//!   predecessor by `Arc` pointer (no whole-table clone) while still
+//!   matching a from-scratch rebuild;
+//! * the tightened dirty rules (loss floors + gain gates) must never
+//!   recompute more trees than the coarse traverses-any / reach-the-tail
+//!   rules they replaced.
+
+use std::collections::VecDeque;
 
 use proptest::prelude::*;
 use sflow_graph::DiGraph;
 use sflow_routing::{
-    all_pairs, all_pairs_parallel_with, shortest_widest, Bandwidth, EdgeChange, Latency, Qos,
+    all_pairs, all_pairs_parallel_with, shortest_widest, AllPairs, Bandwidth, EdgeChange, Latency,
+    Qos,
 };
 
 fn q(bw: u64, lat: u64) -> Qos {
@@ -50,6 +64,53 @@ fn mutated_graph_strategy() -> impl Strategy<Value = (DiGraph<(), Qos>, Mutation
         graph_strategy(),
         proptest::collection::vec((0usize..64, 1u64..6, 0u64..10), 1..4),
     )
+}
+
+/// The dirty rules the engine used before the tightened plan: any changed
+/// edge that is a pure degradation dirties every tree traversing it at any
+/// level; everything else dirties every source that can reach the edge's
+/// tail. Kept here as the upper-bound oracle for the tightened rules.
+fn coarse_rule_dirty_count(
+    table: &AllPairs,
+    g: &DiGraph<(), Qos>,
+    changes: &[EdgeChange],
+) -> usize {
+    let n = g.node_count();
+    let mut dirty = vec![false; n];
+    let mut degraded = vec![false; g.edge_count()];
+    let mut any_degraded = false;
+    for c in changes.iter().filter(|c| !c.is_noop()) {
+        if c.is_degradation() {
+            degraded[c.edge.index()] = true;
+            any_degraded = true;
+        } else {
+            let (tail, _, _) = g.edge_parts(c.edge);
+            let mut seen = vec![false; n];
+            let mut queue = VecDeque::new();
+            seen[tail.index()] = true;
+            dirty[tail.index()] = true;
+            queue.push_back(tail);
+            while let Some(v) = queue.pop_front() {
+                for &eid in g.in_edge_ids(v) {
+                    let (from, _, w) = g.edge_parts(eid);
+                    if w.bandwidth == Bandwidth::ZERO || seen[from.index()] {
+                        continue;
+                    }
+                    seen[from.index()] = true;
+                    dirty[from.index()] = true;
+                    queue.push_back(from);
+                }
+            }
+        }
+    }
+    if any_degraded {
+        for (i, node) in g.node_ids().enumerate() {
+            if !dirty[i] && table.tree(node).traverses_any(&degraded) {
+                dirty[i] = true;
+            }
+        }
+    }
+    dirty.iter().filter(|&&d| d).count()
 }
 
 proptest! {
@@ -122,6 +183,80 @@ proptest! {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn csr_kernels_match_adjacency_kernels(g in graph_strategy()) {
+        let csr = shortest_widest::QosCsr::new(&g);
+        let mut scratch = shortest_widest::DijkstraScratch::new();
+        for s in g.node_ids() {
+            let reference = shortest_widest::single_source(&g, s);
+            let flat = shortest_widest::single_source_csr(&csr, s, &mut scratch);
+            for v in g.node_ids() {
+                prop_assert_eq!(
+                    reference.qos_to(v), flat.qos_to(v),
+                    "qos {:?}->{:?}", s, v
+                );
+                prop_assert_eq!(
+                    reference.path_to(v), flat.path_to(v),
+                    "path {:?}->{:?}", s, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn patched_shares_clean_trees_and_dirties_no_more_than_coarse_rules(
+        seed in mutated_graph_strategy(),
+        workers in 0usize..3,
+    ) {
+        let (mut g, mutations) = seed;
+        let before = all_pairs(&g);
+        let edge_ids: Vec<_> = g.edges().map(|e| e.id).collect();
+        if edge_ids.is_empty() {
+            return Ok(());
+        }
+
+        let mut changes = Vec::new();
+        for (raw, bw, lat) in mutations {
+            let edge = edge_ids[raw % edge_ids.len()];
+            let (_, _, old) = g.edge_parts(edge);
+            let old = *old;
+            let new = q(bw, lat);
+            *g.edge_mut(edge) = new;
+            changes.push(EdgeChange { edge, old, new });
+        }
+
+        let (next, stats) = before.patched_with(&g, &changes, workers);
+        prop_assert!(!stats.full_rebuild);
+
+        // Every clean tree is shared by pointer with the predecessor —
+        // deriving an epoch never clones the table.
+        prop_assert_eq!(
+            before.shared_trees(&next),
+            stats.trees_total - stats.trees_recomputed
+        );
+
+        // The tightened rules are a refinement: never dirtier than the
+        // coarse traverses-any / reach-the-tail rules they replaced.
+        let coarse = coarse_rule_dirty_count(&before, &g, &changes);
+        prop_assert!(
+            stats.trees_recomputed <= coarse,
+            "tightened rule recomputed {} trees, coarse rule {}",
+            stats.trees_recomputed, coarse
+        );
+
+        // And still exact: the successor matches a from-scratch rebuild.
+        let rebuilt = all_pairs(&g);
+        for u in g.node_ids() {
+            for v in g.node_ids() {
+                prop_assert_eq!(
+                    next.qos(u, v), rebuilt.qos(u, v),
+                    "qos {:?}->{:?} (recomputed {}/{}, coarse {})",
+                    u, v, stats.trees_recomputed, stats.trees_total, coarse
+                );
             }
         }
     }
