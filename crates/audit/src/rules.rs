@@ -404,10 +404,18 @@ fn kernel_discipline(rel: &str, masked: &Masked, test: &[bool], out: &mut Vec<Fi
     }
 }
 
-/// Calls that run a federation solve (directly or via repair). A lock guard
-/// live across any of these couples readers to mutators again — exactly
-/// what the snapshot architecture removed.
-const SOLVE_TOKENS: &[&str] = &[".solve(", ".solve_pinned(", ".federate(", "repair("];
+/// Calls that run a federation solve (directly, via repair, or via the
+/// rebalancer's re-solve entry points). A lock guard live across any of
+/// these couples readers to mutators again — exactly what the snapshot
+/// architecture removed.
+const SOLVE_TOKENS: &[&str] = &[
+    ".solve(",
+    ".solve_pinned(",
+    ".federate(",
+    "repair(",
+    "resolve_mover(",
+    "federate_against(",
+];
 
 /// Statement-final lock acquisitions whose `let` binding creates a guard.
 const GUARD_TOKENS: &[&str] = &[".lock();", ".read();", ".write();"];
@@ -449,12 +457,12 @@ fn guard_across_solve(rel: &str, masked: &Masked, test: &[bool], out: &mut Vec<F
         let body_lines: Vec<&str> = body.lines().collect();
 
         // Solve call sites, as 0-based line indices within the body. A
-        // `repair(` preceded by an identifier char is a longer name, not
-        // the repair entry point.
+        // A bare-name token (`repair(`, `resolve_mover(`, …) preceded by an
+        // identifier char is part of a longer name, not the entry point.
         let mut solves: Vec<(usize, &str)> = Vec::new();
         for pat in SOLVE_TOKENS {
             for rel_col in occurrences(&body, pat) {
-                if *pat == "repair("
+                if !pat.starts_with('.')
                     && body[..rel_col]
                         .chars()
                         .next_back()

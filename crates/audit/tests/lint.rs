@@ -193,6 +193,39 @@ fn guard_across_solve_covers_repair_federate_and_read_guards() {
 }
 
 #[test]
+fn guard_across_solve_covers_the_rebalancer_entry_points() {
+    // A guard live across the rebalancer's re-solve is the same coupling a
+    // direct `.solve(` would be.
+    let src = "fn sweep(shared: &Shared) {\n\
+                   let sessions = shared.sessions.lock();\n\
+                   let moved = resolve_mover(&ctx, &req);\n\
+               }\n";
+    let (fs, _) = scan_source("crates/server/src/rebalance.rs", src);
+    assert!(fs.iter().any(|f| f.rule == "guard-across-solve"), "{fs:?}");
+
+    // Same for re-entering the federate path with a guard held.
+    let src = "fn f(shared: &Shared) {\n\
+                   let w = shared.world.lock();\n\
+                   let r = federate_against(shared, snap, req, algo, None);\n\
+               }\n";
+    let (fs, _) = scan_source("crates/server/src/server.rs", src);
+    assert!(fs.iter().any(|f| f.rule == "guard-across-solve"), "{fs:?}");
+
+    // The sweep's real shape — copy candidates out under the lock, drop
+    // the guard, then re-solve — is clean; a longer identifier that merely
+    // ends in the token is not a solve.
+    let src = "fn sweep(shared: &Shared) {\n\
+                   let sessions = shared.sessions.lock();\n\
+                   let candidates = collect(&sessions);\n\
+                   drop(sessions);\n\
+                   let moved = resolve_mover(&ctx, &req);\n\
+                   let other = unresolve_mover(&ctx);\n\
+               }\n";
+    let (fs, _) = scan_source("crates/server/src/rebalance.rs", src);
+    assert!(fs.iter().all(|f| f.rule != "guard-across-solve"), "{fs:?}");
+}
+
+#[test]
 fn guard_dropped_before_the_solve_is_clean() {
     let src = "fn f(shared: &Shared) {\n\
                    let world = shared.world.lock();\n\

@@ -3,7 +3,8 @@
 //! Times the two ways the workspace builds/maintains its all-pairs
 //! shortest-widest table — a from-scratch build across a worker sweep
 //! ([`all_pairs_parallel_with`] at 1/2/4/8 workers, where 1 worker is the
-//! sequential [`all_pairs`] path) and incremental epoch derivation
+//! sequential [`all_pairs`](sflow_routing::all_pairs) path) and
+//! incremental epoch derivation
 //! ([`patched_with`](sflow_routing::AllPairs::patched_with)) — over the
 //! paper's Fig. 4 overlay, a 200-node random overlay and 2k/10k-node Waxman
 //! topologies, then writes the numbers to `BENCH_routing.json` at the
@@ -25,6 +26,11 @@
 //! exactly `trees_total − trees_recomputed` trees with its predecessor by
 //! `Arc` pointer — deriving an epoch never clones the world.
 //!
+//! Each world also carries a `residual_view` row for the load plane: the
+//! cost of the [`QosCsr`] index alone and of a sequential
+//! [`all_pairs_residual_with`] sweep with zero reservations, next to the
+//! w=1 raw build — the gap is the residual view's per-edge clamp load.
+//!
 //! The worker-sweep speedup column is only meaningful on a multi-core
 //! host; `available_parallelism` is recorded so a 1-core container's ~1.0×
 //! reads as what it is. Pass `--max-nodes N` to skip worlds larger than
@@ -40,7 +46,8 @@ use rand::{Rng, SeedableRng};
 use sflow_core::fixtures::paper_fig4_fixture;
 use sflow_graph::{DiGraph, EdgeIx};
 use sflow_routing::{
-    all_pairs_parallel_with, auto_workers, AllPairs, Bandwidth, EdgeChange, Latency, Qos,
+    all_pairs_parallel_with, all_pairs_residual_with, auto_workers, AllPairs, Bandwidth,
+    EdgeChange, Latency, Qos, QosCsr,
 };
 
 /// Worker counts swept for the build rows.
@@ -237,6 +244,8 @@ struct WorldReport {
     edges: usize,
     reps: usize,
     build: Vec<BuildPoint>,
+    csr_build_us: u128,
+    residual_build_w1_us: u128,
     patch_samples: usize,
     cut: PatchDir,
     restore: PatchDir,
@@ -273,6 +282,18 @@ fn measure<N: Clone>(name: &'static str, g: &DiGraph<N, Qos>, seed: u64) -> Worl
         .collect();
     let baseline = baseline.expect("worker sweep is non-empty");
     let trees_total = baseline.len();
+
+    // Load-plane columns: the CSR index alone, then a full sequential
+    // residual sweep with zero reservations. Against the w=1 build row the
+    // difference is exactly the view's per-edge clamp load — the price the
+    // server pays to federate against `capacity − reserved`.
+    let csr_build_us = time_us(reps, || QosCsr::new(g));
+    let zeros = vec![Bandwidth::ZERO; g.edge_count()];
+    let residual_build_w1_us = time_us(reps, || {
+        let table = all_pairs_residual_with(g, &zeros, 1);
+        assert_eq!(table.len(), trees_total);
+        table
+    });
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut world = g.clone();
@@ -334,6 +355,8 @@ fn measure<N: Clone>(name: &'static str, g: &DiGraph<N, Qos>, seed: u64) -> Worl
         edges: world.edge_count(),
         reps,
         build,
+        csr_build_us,
+        residual_build_w1_us,
         patch_samples: samples,
         cut: cut_dir,
         restore: restore_dir,
@@ -370,6 +393,8 @@ fn world_json(r: &WorldReport) -> String {
     format!(
         "    {{\n      \"name\": \"{}\",\n      \"nodes\": {},\n      \"edges\": {},\n      \
          \"reps\": {},\n      \"build\": [\n{}\n      ],\n      \
+         \"residual_view\": {{\"csr_build_us\": {}, \"residual_build_w1_us\": {}, \
+         \"overhead_vs_w1\": {:.2}}},\n      \
          \"patch\": {{\n        \"samples\": {},\n        \
          \"cut\": {},\n        \"restore\": {},\n        \
          \"trees_total\": {},\n        \"min_trees_shared\": {}\n      }}\n    }}",
@@ -378,6 +403,9 @@ fn world_json(r: &WorldReport) -> String {
         r.edges,
         r.reps,
         build.join(",\n"),
+        r.csr_build_us,
+        r.residual_build_w1_us,
+        r.residual_build_w1_us.max(1) as f64 / w1_us as f64,
         r.patch_samples,
         dir_json(&r.cut),
         dir_json(&r.restore),
@@ -419,13 +447,16 @@ fn main() {
             .map(|b| format!("w{}={} µs", b.workers, b.us))
             .collect();
         println!(
-            "{}: {} nodes / {} edges — build [{}], shave avg {} µs recomputing {:.1}/{} trees \
+            "{}: {} nodes / {} edges — build [{}], residual view: CSR {} µs + sweep {} µs, \
+             shave avg {} µs recomputing {:.1}/{} trees \
              (max {}, coarse rule max {}), restore avg {} µs recomputing {:.1} (max {}, \
              coarse rule max {}), min shared {}",
             r.name,
             r.nodes,
             r.edges,
             sweep.join(", "),
+            r.csr_build_us,
+            r.residual_build_w1_us,
             r.cut.avg_us(),
             r.cut.avg_trees(),
             r.trees_total,

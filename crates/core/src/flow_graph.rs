@@ -257,6 +257,26 @@ impl FlowGraph {
             .map(|e| e.overlay_path.len().saturating_sub(1))
             .sum()
     }
+
+    /// The bandwidth this federation reserves on each overlay link it
+    /// traverses: the flow's bottleneck bandwidth per stream crossing the
+    /// link, keyed by the link's `(from, to)` overlay nodes.
+    ///
+    /// Several streams routed over the same link each count — the link
+    /// carries that many copies of the flow's traffic — which is exactly
+    /// the accounting the server's load plane needs when a session opens
+    /// or closes.
+    pub fn link_loads(&self) -> BTreeMap<(NodeIx, NodeIx), Bandwidth> {
+        let per_stream = self.quality.bandwidth;
+        let mut loads: BTreeMap<(NodeIx, NodeIx), Bandwidth> = BTreeMap::new();
+        for e in &self.edges {
+            for hop in e.overlay_path.windows(2) {
+                let slot = loads.entry((hop[0], hop[1])).or_insert(Bandwidth::ZERO);
+                *slot = Bandwidth::kbps(slot.as_kbps().saturating_add(per_stream.as_kbps()));
+            }
+        }
+        loads
+    }
 }
 
 impl fmt::Display for FlowGraph {
@@ -343,6 +363,42 @@ mod tests {
         assert_eq!(flow.latency(), Latency::from_micros(30));
         // Bottleneck is the narrowest of the four streams (80 on s2→s3 / s0→s2 legs).
         assert_eq!(flow.bandwidth(), Bandwidth::kbps(80));
+    }
+
+    #[test]
+    fn link_loads_reserve_the_bottleneck_per_stream_hop() {
+        let fx = line_fixture();
+        let ctx = fx.context();
+        let req = ServiceRequirement::path(&[s(0), s(1), s(2)]).unwrap();
+        let near = fx
+            .overlay
+            .instances_of(s(1))
+            .iter()
+            .copied()
+            .find(|&n| fx.overlay.instance(n).host.as_u32() == 1)
+            .unwrap();
+        let sel: BTreeMap<_, _> = [
+            (s(0), fx.source),
+            (s(1), near),
+            (s(2), fx.overlay.instances_of(s(2))[0]),
+        ]
+        .into_iter()
+        .collect();
+        let flow = FlowGraph::assemble(&ctx, &req, &sel).unwrap();
+        let loads = flow.link_loads();
+        // One overlay hop per stream, each reserving the flow bottleneck.
+        assert_eq!(loads.len(), flow.total_overlay_hops());
+        for (&(from, to), &bw) in &loads {
+            assert_ne!(from, to);
+            assert_eq!(bw, flow.bandwidth());
+        }
+        // Conservation: the per-link sum is bottleneck × total hops (no
+        // stream in the line flow shares a link with another).
+        let total: u64 = loads.values().map(|b| b.as_kbps()).sum();
+        assert_eq!(
+            total,
+            flow.bandwidth().as_kbps() * flow.total_overlay_hops() as u64
+        );
     }
 
     #[test]

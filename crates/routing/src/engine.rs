@@ -7,7 +7,7 @@
 //! every topology mutation. This module attacks that cost twice:
 //!
 //! * [`all_pairs_parallel`] derives one [`QosCsr`] for the graph and fans
-//!   the per-source [`single_source_csr`] calls across a
+//!   the per-source [`single_source_csr`](crate::shortest_widest::single_source_csr) calls across a
 //!   `std::thread::scope` worker pool (sized by [`auto_workers`], i.e. a
 //!   cached `available_parallelism`), with one reusable [`DijkstraScratch`]
 //!   per worker so the inner Dijkstras stop allocating per bandwidth level.
@@ -80,7 +80,8 @@ use std::thread;
 use sflow_graph::{DiGraph, EdgeIx, NodeIx};
 
 use crate::shortest_widest::{
-    all_pairs, single_source_csr, AllPairs, DijkstraScratch, PathTree, QosCsr, TraversalScratch,
+    all_pairs, single_source_view, AllPairs, DijkstraScratch, OutEdges, PathTree, QosCsr,
+    ResidualCsr, TraversalScratch,
 };
 use crate::{Bandwidth, Qos};
 
@@ -177,6 +178,41 @@ pub fn all_pairs_parallel_with<N>(g: &DiGraph<N, Qos>, workers: usize) -> AllPai
     }
 }
 
+/// All-pairs shortest-widest paths against *residual* capacity: every
+/// edge's bandwidth is clamped to `capacity − reserved[edge.index()]` by a
+/// borrowed [`ResidualCsr`] view while the unmodified kernels sweep it
+/// (`0` workers means [`auto_workers`]).
+///
+/// The result is observationally identical to materialising a clamped
+/// clone of `g` and running [`all_pairs_parallel_with`] over it — property
+/// tested — without writing a single weight. This is the table the load
+/// plane publishes so federations route around what live sessions already
+/// consume.
+///
+/// # Panics
+///
+/// Panics unless `reserved` covers every edge of `g`.
+pub fn all_pairs_residual_with<N>(
+    g: &DiGraph<N, Qos>,
+    reserved: &[Bandwidth],
+    workers: usize,
+) -> AllPairs {
+    let n = g.node_count();
+    let csr = QosCsr::new(g);
+    let view = ResidualCsr::new(&csr, reserved);
+    let sources: Vec<NodeIx> = g.node_ids().collect();
+    let workers = effective_workers(workers, n);
+    let mut trees: Vec<Option<Arc<PathTree>>> = Vec::with_capacity(n);
+    trees.resize_with(n, || None);
+    compute_trees(&view, &sources, workers, &mut trees);
+    AllPairs {
+        trees: trees
+            .into_iter()
+            .map(|t| t.expect("every source index is claimed exactly once")) // audit:allow(no-unwrap)
+            .collect(),
+    }
+}
+
 /// Clamps a requested worker count to something sensible for `tasks`.
 fn effective_workers(workers: usize, tasks: usize) -> usize {
     let workers = if workers == 0 {
@@ -191,9 +227,10 @@ fn effective_workers(workers: usize, tasks: usize) -> usize {
 /// the sources over `workers` scoped threads (atomic work stealing, one
 /// scratch per worker). `workers` must already be clamped; with 1 worker
 /// the sweep runs inline on the caller's thread. All workers read the same
-/// [`QosCsr`], so no graph payload bounds are needed.
-fn compute_trees(
-    csr: &QosCsr,
+/// [`OutEdges`] view — a raw [`QosCsr`] or a clamped [`ResidualCsr`] — so
+/// no graph payload bounds are needed.
+fn compute_trees<V: OutEdges + Sync>(
+    view: &V,
     sources: &[NodeIx],
     workers: usize,
     out: &mut [Option<Arc<PathTree>>],
@@ -201,7 +238,7 @@ fn compute_trees(
     if workers <= 1 {
         let mut scratch = DijkstraScratch::new();
         for &s in sources {
-            out[s.index()] = Some(Arc::new(single_source_csr(csr, s, &mut scratch)));
+            out[s.index()] = Some(Arc::new(single_source_view(view, s, &mut scratch)));
         }
         return;
     }
@@ -215,7 +252,10 @@ fn compute_trees(
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&s) = sources.get(i) else { break };
-                        mine.push((s.index(), Arc::new(single_source_csr(csr, s, &mut scratch))));
+                        mine.push((
+                            s.index(),
+                            Arc::new(single_source_view(view, s, &mut scratch)),
+                        ));
                     }
                     mine
                 })
@@ -503,6 +543,34 @@ mod tests {
         let g: DiGraph<(), Qos> = DiGraph::new();
         assert!(all_pairs_parallel(&g).is_empty());
         assert!(all_pairs_parallel_with(&g, 8).is_empty());
+        assert!(all_pairs_residual_with(&g, &[], 8).is_empty());
+    }
+
+    #[test]
+    fn residual_table_matches_a_materialised_clamp() {
+        let (mut g, _, e) = world();
+        let mut reserved = vec![Bandwidth::ZERO; g.edge_count()];
+        reserved[e[0].index()] = Bandwidth::kbps(7); // artery mostly booked
+        reserved[e[3].index()] = Bandwidth::kbps(2); // spur fully booked
+        for workers in [1, 4] {
+            let residual = all_pairs_residual_with(&g, &reserved, workers);
+            // Oracle: clamp the weights for real and rebuild from scratch.
+            let snapshot: Vec<Qos> = (0..g.edge_count())
+                .map(|i| *g.edge(EdgeIx::from_index(i)))
+                .collect();
+            for (i, &r) in reserved.iter().enumerate() {
+                let e = EdgeIx::from_index(i);
+                let w = *g.edge(e);
+                g.edge_mut(e).bandwidth = w.bandwidth.saturating_sub(r);
+            }
+            assert_tables_equal(&residual, &all_pairs(&g), &g);
+            for (i, w) in snapshot.into_iter().enumerate() {
+                *g.edge_mut(EdgeIx::from_index(i)) = w;
+            }
+        }
+        // No reservations at all: the residual build *is* the raw build.
+        let zero = vec![Bandwidth::ZERO; g.edge_count()];
+        assert_tables_equal(&all_pairs_residual_with(&g, &zero, 2), &all_pairs(&g), &g);
     }
 
     #[test]

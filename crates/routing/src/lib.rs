@@ -28,7 +28,11 @@
 //!   compressed-sparse-row flattening of the graph's adjacency with the
 //!   edge weights in slot-parallel arrays, and the table holds its trees
 //!   behind `Arc`s so an incrementally patched successor shares every clean
-//!   tree with its predecessor by pointer.
+//!   tree with its predecessor by pointer;
+//! * [`ResidualCsr`]: an [`OutEdges`] view over [`QosCsr`] that clamps each
+//!   edge's bandwidth to `capacity − reserved`, so the same Dijkstra kernels
+//!   route against what is actually *free* ([`all_pairs_residual_with`]
+//!   builds a whole table that way without materialising a clamped graph).
 //!
 //! # Example
 //!
@@ -61,9 +65,10 @@ pub mod pareto;
 pub mod shortest_widest;
 
 pub use engine::{
-    all_pairs_parallel, all_pairs_parallel_with, auto_workers, EdgeChange, PatchStats,
+    all_pairs_parallel, all_pairs_parallel_with, all_pairs_residual_with, auto_workers, EdgeChange,
+    PatchStats,
 };
 pub use metrics::{Bandwidth, Latency, Qos};
 pub use shortest_widest::{
-    all_pairs, AllPairs, DijkstraScratch, PathTree, QosCsr, TraversalScratch,
+    all_pairs, AllPairs, DijkstraScratch, OutEdges, PathTree, QosCsr, ResidualCsr, TraversalScratch,
 };

@@ -42,6 +42,22 @@ impl Bandwidth {
     pub fn bottleneck(self, other: Bandwidth) -> Bandwidth {
         Bandwidth(self.0.min(other.0))
     }
+
+    /// What remains of this capacity after `reserved` is subtracted,
+    /// floored at [`Bandwidth::ZERO`] (an over-committed link has no
+    /// residual capacity, not negative capacity).
+    ///
+    /// [`Bandwidth::INFINITE`] is absorbing on the left: an unconstrained
+    /// link (the co-location identity) stays unconstrained no matter how
+    /// much traffic is booked onto it.
+    #[must_use]
+    pub fn saturating_sub(self, reserved: Bandwidth) -> Bandwidth {
+        if self == Bandwidth::INFINITE {
+            self
+        } else {
+            Bandwidth(self.0.saturating_sub(reserved.0))
+        }
+    }
 }
 
 impl fmt::Display for Bandwidth {
@@ -203,6 +219,23 @@ mod tests {
         assert_eq!(a.bottleneck(b), b);
         assert_eq!(b.bottleneck(a), b);
         assert_eq!(Bandwidth::INFINITE.bottleneck(a), a);
+    }
+
+    #[test]
+    fn saturating_sub_floors_at_zero_and_absorbs_infinite() {
+        let cap = Bandwidth::kbps(10);
+        assert_eq!(cap.saturating_sub(Bandwidth::kbps(4)), Bandwidth::kbps(6));
+        assert_eq!(cap.saturating_sub(Bandwidth::kbps(10)), Bandwidth::ZERO);
+        assert_eq!(cap.saturating_sub(Bandwidth::kbps(25)), Bandwidth::ZERO);
+        assert_eq!(cap.saturating_sub(Bandwidth::ZERO), cap);
+        assert_eq!(
+            Bandwidth::INFINITE.saturating_sub(Bandwidth::kbps(1_000_000)),
+            Bandwidth::INFINITE
+        );
+        assert_eq!(
+            Bandwidth::INFINITE.saturating_sub(Bandwidth::INFINITE),
+            Bandwidth::INFINITE
+        );
     }
 
     #[test]

@@ -280,10 +280,14 @@ impl QosCsr {
 }
 
 /// The out-adjacency a kernel sweeps: implemented by the adjacency-list
-/// graph itself (the reference layout, kept as the property-test oracle)
-/// and by [`QosCsr`] (the layout the repeated-sweep paths run on). Both
-/// drive the *same* kernel code.
-trait OutEdges {
+/// graph itself (the reference layout, kept as the property-test oracle),
+/// by [`QosCsr`] (the layout the repeated-sweep paths run on) and by
+/// [`ResidualCsr`] (the same layout with per-edge reservations clamped off
+/// the bandwidth on the fly). All drive the *same* kernel code, so a view
+/// that lies about a weight — which is exactly what the residual adapter
+/// does, on purpose — changes what the kernels see without touching them.
+pub trait OutEdges {
+    /// Number of nodes in the viewed graph.
     fn node_count(&self) -> usize;
     /// Visits every outgoing edge of `node` as
     /// `(head, handle, bandwidth, latency)`.
@@ -304,6 +308,63 @@ impl OutEdges for QosCsr {
         let latency = &self.latency[range];
         for i in 0..targets.len() {
             f(targets[i], edges[i], bandwidth[i], latency[i]);
+        }
+    }
+}
+
+/// A residual-capacity view: the same CSR topology, with each edge's
+/// bandwidth clamped to `capacity − reserved[edge]` on the fly.
+///
+/// This is the routing half of the load plane: reservations held by live
+/// sessions are subtracted from raw link capacity *inside the adjacency
+/// visit*, so the unmodified Dijkstra kernels federate new requests against
+/// what is actually free. A fully booked edge clamps to
+/// [`Bandwidth::ZERO`], which the kernels already treat as unusable; an
+/// edge with [`Bandwidth::INFINITE`] raw capacity (the co-location
+/// identity) stays infinite no matter the booking.
+///
+/// The adapter borrows — constructing one costs nothing and no weight array
+/// is rewritten. The price is paid per visited edge instead: one extra
+/// indexed load of `reserved` (the `bench_routing` emitter records it next
+/// to the raw CSR sweep).
+#[derive(Clone, Copy, Debug)]
+pub struct ResidualCsr<'a> {
+    csr: &'a QosCsr,
+    /// Reserved bandwidth per edge, indexed by [`EdgeIx`].
+    reserved: &'a [Bandwidth],
+}
+
+impl<'a> ResidualCsr<'a> {
+    /// Views `csr` with `reserved[e.index()]` clamped off every edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `reserved` covers every edge of the viewed graph.
+    pub fn new(csr: &'a QosCsr, reserved: &'a [Bandwidth]) -> Self {
+        assert_eq!(
+            reserved.len(),
+            csr.edge_count(),
+            "one reservation slot per edge"
+        );
+        ResidualCsr { csr, reserved }
+    }
+}
+
+impl OutEdges for ResidualCsr<'_> {
+    fn node_count(&self) -> usize {
+        self.csr.adj.node_count()
+    }
+
+    #[inline]
+    fn for_each_out(&self, node: NodeIx, mut f: impl FnMut(NodeIx, EdgeIx, Bandwidth, Latency)) {
+        let range = self.csr.adj.range(node);
+        let targets = &self.csr.adj.targets()[range.clone()];
+        let edges = &self.csr.adj.edges()[range.clone()];
+        let bandwidth = &self.csr.bandwidth[range.clone()];
+        let latency = &self.csr.latency[range];
+        for i in 0..targets.len() {
+            let residual = bandwidth[i].saturating_sub(self.reserved[edges[i].index()]);
+            f(targets[i], edges[i], residual, latency[i]);
         }
     }
 }
@@ -512,8 +573,23 @@ pub fn single_source_csr(csr: &QosCsr, source: NodeIx, scratch: &mut DijkstraScr
     single_source_view(csr, source, scratch)
 }
 
-/// The exact algorithm, generic over the adjacency layout.
-fn single_source_view<V: OutEdges>(
+/// [`single_source`] against *residual* capacity: every edge's bandwidth is
+/// clamped to `capacity − reserved[edge]` by a borrowed [`ResidualCsr`]
+/// view, so the tree routes around whatever live sessions already consume.
+/// Fully booked edges (residual zero) are unusable, exactly like
+/// zero-bandwidth links in the raw graph.
+pub fn single_source_residual(
+    csr: &QosCsr,
+    reserved: &[Bandwidth],
+    source: NodeIx,
+    scratch: &mut DijkstraScratch,
+) -> PathTree {
+    single_source_view(&ResidualCsr::new(csr, reserved), source, scratch)
+}
+
+/// The exact algorithm, generic over the adjacency layout — the entry point
+/// for custom [`OutEdges`] views (the named wrappers above all land here).
+pub fn single_source_view<V: OutEdges>(
     view: &V,
     source: NodeIx,
     scratch: &mut DijkstraScratch,
@@ -947,6 +1023,77 @@ mod tests {
         assert!(tree.traverses_above(&floors, &mut scratch));
         floors[e.index()] = Bandwidth::ZERO;
         assert!(tree.traverses_above(&floors, &mut scratch));
+    }
+
+    #[test]
+    fn zero_reservations_leave_the_residual_view_identical() {
+        let (g, ..) = trap();
+        let csr = QosCsr::new(&g);
+        let reserved = vec![Bandwidth::ZERO; g.edge_count()];
+        let mut scratch = DijkstraScratch::new();
+        for n in g.node_ids() {
+            let raw = single_source_csr(&csr, n, &mut scratch);
+            let residual = single_source_residual(&csr, &reserved, n, &mut scratch);
+            for m in g.node_ids() {
+                assert_eq!(raw.qos_to(m), residual.qos_to(m), "{n:?}->{m:?}");
+                assert_eq!(raw.path_to(m), residual.path_to(m), "{n:?}->{m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reservations_reroute_around_booked_links() {
+        // Two routes a→c: direct (bw 10) and via b (bw 8, slower). Booking 5
+        // on the direct link clamps it to 5, so the detour wins; booking all
+        // 10 makes it unusable outright.
+        let mut g: DiGraph<(), Qos> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let direct = g.add_edge(a, c, q(10, 1));
+        g.add_edge(a, b, q(8, 5));
+        g.add_edge(b, c, q(8, 5));
+        let csr = QosCsr::new(&g);
+        let mut scratch = DijkstraScratch::new();
+        let mut reserved = vec![Bandwidth::ZERO; g.edge_count()];
+
+        reserved[direct.index()] = Bandwidth::kbps(5);
+        let tree = single_source_residual(&csr, &reserved, a, &mut scratch);
+        assert_eq!(tree.qos_to(c).unwrap(), q(8, 10));
+        assert_eq!(tree.path_to(c).unwrap(), vec![a, b, c]);
+
+        reserved[direct.index()] = Bandwidth::kbps(10);
+        let tree = single_source_residual(&csr, &reserved, a, &mut scratch);
+        assert_eq!(tree.qos_to(c).unwrap(), q(8, 10));
+
+        // Booking out every route leaves c unreachable.
+        for r in reserved.iter_mut() {
+            *r = Bandwidth::kbps(100);
+        }
+        let tree = single_source_residual(&csr, &reserved, a, &mut scratch);
+        assert_eq!(tree.qos_to(c), None);
+    }
+
+    #[test]
+    fn infinite_capacity_ignores_reservations() {
+        let mut g: DiGraph<(), Qos> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let e = g.add_edge(a, b, Qos::IDENTITY); // co-location identity link
+        let csr = QosCsr::new(&g);
+        let mut reserved = vec![Bandwidth::ZERO; g.edge_count()];
+        reserved[e.index()] = Bandwidth::kbps(u64::MAX / 2);
+        let mut scratch = DijkstraScratch::new();
+        let tree = single_source_residual(&csr, &reserved, a, &mut scratch);
+        assert_eq!(tree.qos_to(b), Some(Qos::IDENTITY));
+    }
+
+    #[test]
+    #[should_panic(expected = "one reservation slot per edge")]
+    fn residual_view_demands_full_coverage() {
+        let (g, ..) = trap();
+        let csr = QosCsr::new(&g);
+        let _ = ResidualCsr::new(&csr, &[Bandwidth::ZERO]);
     }
 
     #[test]

@@ -26,8 +26,8 @@ use std::collections::VecDeque;
 use proptest::prelude::*;
 use sflow_graph::DiGraph;
 use sflow_routing::{
-    all_pairs, all_pairs_parallel_with, shortest_widest, AllPairs, Bandwidth, EdgeChange, Latency,
-    Qos,
+    all_pairs, all_pairs_parallel_with, all_pairs_residual_with, shortest_widest, AllPairs,
+    Bandwidth, EdgeChange, Latency, Qos,
 };
 
 fn q(bw: u64, lat: u64) -> Qos {
@@ -183,6 +183,53 @@ proptest! {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn residual_table_matches_a_materialised_clamp(
+        g in graph_strategy(),
+        raw_reserved in proptest::collection::vec(0u64..8, 0..64),
+        workers in 0usize..4,
+    ) {
+        // Reservations for every edge, drawn from the same small domain as
+        // the capacities so fully-booked and over-booked links are common.
+        let reserved: Vec<Bandwidth> = (0..g.edge_count())
+            .map(|i| Bandwidth::kbps(raw_reserved.get(i).copied().unwrap_or(0)))
+            .collect();
+        let residual = all_pairs_residual_with(&g, &reserved, workers);
+
+        // Oracle: materialise the clamp into a cloned graph and rebuild.
+        let mut clamped = g.clone();
+        let edge_ids: Vec<_> = clamped.edges().map(|e| e.id).collect();
+        for edge in edge_ids {
+            let (_, _, w) = clamped.edge_parts(edge);
+            let w = *w;
+            clamped.edge_mut(edge).bandwidth =
+                w.bandwidth.saturating_sub(reserved[edge.index()]);
+        }
+        let rebuilt = all_pairs(&clamped);
+        for u in g.node_ids() {
+            for v in g.node_ids() {
+                prop_assert_eq!(
+                    residual.qos(u, v), rebuilt.qos(u, v),
+                    "qos {:?}->{:?}", u, v
+                );
+                prop_assert_eq!(
+                    residual.path(u, v), rebuilt.path(u, v),
+                    "path {:?}->{:?}", u, v
+                );
+            }
+        }
+
+        // Zero reservations: the residual build *is* the raw build.
+        let zero = vec![Bandwidth::ZERO; g.edge_count()];
+        let raw = all_pairs_residual_with(&g, &zero, workers);
+        let reference = all_pairs(&g);
+        for u in g.node_ids() {
+            for v in g.node_ids() {
+                prop_assert_eq!(raw.qos(u, v), reference.qos(u, v));
             }
         }
     }

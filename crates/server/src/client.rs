@@ -4,7 +4,7 @@ use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::wire::{read_frame, write_frame};
-use crate::{Algorithm, Mutation, Request, Response, StatsSnapshot};
+use crate::{Algorithm, LoadMapSummary, Mutation, Request, Response, StatsSnapshot};
 
 /// One blocking connection to a federation server.
 ///
@@ -79,6 +79,41 @@ impl Client {
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("expected Stats, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Closes a live session, releasing its bandwidth reservations.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only; an unknown session comes back as
+    /// [`Response::Error`].
+    pub fn release(&mut self, session: u64) -> io::Result<Response> {
+        self.request(&Request::Release { session })
+    }
+
+    /// Runs one rebalancer sweep now.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn rebalance(&mut self) -> io::Result<Response> {
+        self.request(&Request::Rebalance)
+    }
+
+    /// Fetches the per-link load ledger.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or `InvalidData` if the server answers with
+    /// anything but `LoadMap` (a protocol violation).
+    pub fn load_map(&mut self) -> io::Result<LoadMapSummary> {
+        match self.request(&Request::LoadMap)? {
+            Response::LoadMap(summary) => Ok(summary),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected LoadMap, got {other:?}"),
             )),
         }
     }

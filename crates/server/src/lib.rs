@@ -26,6 +26,14 @@
 //!   operational. A solve that a mutation overtakes is answered with the
 //!   typed [`Response::Stale`] rather than silently repaired across an
 //!   instance-failure renumbering.
+//! * **Load plane** — a [`LoadMap`] derives per-link reserved bandwidth
+//!   from the live session table (plus a CONGA-style discounted estimator)
+//!   and is published as an immutable [`LoadPlane`] through a [`LoadCell`],
+//!   the snapshot cell's twin. Federates solve against a **residual**
+//!   overlay whose link bandwidths are clamped to `capacity − reserved`
+//!   (disable with [`ServerConfig::residual`] = `false`), and a background
+//!   rebalancer sweep migrates sessions off links above a utilization
+//!   threshold — make-before-break, cheapest movers first ([`load`]).
 //! * **Wire protocol** — length-prefixed `serde_json` frames over `std::net`
 //!   TCP ([`wire`]), with a small blocking [`Client`] in [`client`].
 //!
@@ -58,6 +66,8 @@ use serde::{Deserialize, Serialize};
 use sflow_net::{ServiceId, ServiceInstance};
 
 pub mod client;
+pub mod load;
+mod rebalance;
 pub mod server;
 pub mod snapshot;
 pub mod stats;
@@ -65,6 +75,7 @@ pub mod wire;
 pub mod world;
 
 pub use client::Client;
+pub use load::{LinkId, LoadCell, LoadMap, LoadPlane};
 pub use server::{serve, serve_on, ServerConfig, ServerHandle};
 pub use snapshot::{Snap, WorldSnapshot};
 pub use stats::StatsSnapshot;
@@ -126,6 +137,16 @@ pub enum Request {
     },
     /// Mutate the world: bump the epoch, invalidate caches, repair sessions.
     Mutate(Mutation),
+    /// Close a live session, releasing its bandwidth reservations.
+    Release {
+        /// The session id from the opening [`Response::Federated`].
+        session: u64,
+    },
+    /// Run one rebalancer sweep now (the background thread, if enabled,
+    /// runs the same sweep on its interval).
+    Rebalance,
+    /// Fetch the per-link load ledger: reservations, estimates, residuals.
+    LoadMap,
     /// Fetch server counters and latency percentiles.
     Stats,
     /// Ask the server to stop accepting work and exit its loops.
@@ -145,6 +166,38 @@ pub struct FlowSummary {
     pub latency_us: u64,
     /// The selected instance for every required service.
     pub instances: BTreeMap<ServiceId, ServiceInstance>,
+}
+
+/// One link's row in the load ledger, as carried on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkLoad {
+    /// Upstream endpoint of the service link.
+    pub from: ServiceInstance,
+    /// Downstream endpoint of the service link.
+    pub to: ServiceInstance,
+    /// Raw link capacity, kbit/s (`u64::MAX` = unconstrained).
+    pub capacity_kbps: u64,
+    /// Bandwidth reserved by live sessions, kbit/s.
+    pub reserved_kbps: u64,
+    /// The DRE-style discounted traffic estimate, kbit/s.
+    pub estimate_kbps: u64,
+    /// What remains free: `capacity − reserved`, floored at zero.
+    pub residual_kbps: u64,
+    /// `reserved · 1000 / capacity` (0 for unconstrained links).
+    pub utilization_permille: u64,
+}
+
+/// The load plane's state, flattened for the wire.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadMapSummary {
+    /// The topology epoch the ledger indexes into.
+    pub epoch: u64,
+    /// Publication counter within the epoch.
+    pub version: u64,
+    /// The worst per-link utilization, permille.
+    pub max_utilization_permille: u64,
+    /// Every link with a live reservation, in stable link-id order.
+    pub links: Vec<LinkLoad>,
 }
 
 /// One server response, as carried on the wire.
@@ -172,6 +225,22 @@ pub enum Response {
         /// The epoch published by the time the session would have opened.
         current_epoch: u64,
     },
+    /// The session was closed and its reservations released.
+    Released {
+        /// The closed session's id.
+        session: u64,
+    },
+    /// One rebalancer sweep completed.
+    Rebalanced {
+        /// Sessions migrated to cheaper paths this sweep.
+        migrations: usize,
+        /// Movers that failed to re-solve or did not improve the world.
+        migration_failures: usize,
+        /// The worst per-link utilization after the sweep, permille.
+        max_utilization_permille: u64,
+    },
+    /// The per-link load ledger.
+    LoadMap(LoadMapSummary),
     /// Server counters.
     Stats(StatsSnapshot),
     /// The admission queue was full; the request was shed, not queued.

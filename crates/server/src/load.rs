@@ -1,0 +1,640 @@
+//! The load plane: per-link reservation accounting and the residual-capacity
+//! routing view the server federates against.
+//!
+//! Three pieces, mirroring the snapshot world ([`crate::snapshot`]):
+//!
+//! * [`LoadMap`] — per-link **reserved** bandwidth derived exactly from the
+//!   live session table (a session opening adds its bottleneck bandwidth to
+//!   every overlay link each of its streams crosses; closing subtracts it),
+//!   plus a DRE-style **discounted estimator** in the spirit of CONGA:
+//!   incremented when a session opens, decayed `X ← X·(1−α)` on every
+//!   rebalancer tick. The reserved column is the ground truth the residual
+//!   view clamps with; the estimate is observability — it remembers recent
+//!   churn after the reservations are gone.
+//! * [`LoadPlane`] — one immutable publication of the load state for an
+//!   epoch: the map, the raw overlay it indexes into, a **clamped** overlay
+//!   clone whose link bandwidths are `capacity − reserved`, and a routing
+//!   table patched over the clamped weights. Solving against
+//!   [`LoadPlane::context`] federates new requests against what is actually
+//!   free. Deriving a successor ([`LoadPlane::with_changes`]) patches only
+//!   the trees the touched links dirty, exactly like a QoS mutation.
+//! * [`LoadCell`] — the publication cell, a twin of
+//!   [`Snap`](crate::snapshot::Snap): readers clone an `Arc`, writers swap a
+//!   pointer. Every plane mutation in the server happens under the sessions
+//!   lock, so the map can never drift from the session table it mirrors
+//!   (the conservation property test in this module pins that down).
+//!
+//! Capacities of [`Bandwidth::INFINITE`] (co-location identity links) are
+//! never clamped and report zero utilization — booking traffic onto a host's
+//! own loopback is free by construction.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sflow_core::{FederationContext, FlowGraph, OwnedFederationContext};
+use sflow_graph::NodeIx;
+use sflow_net::{OverlayGraph, ServiceInstance};
+use sflow_routing::{AllPairs, Bandwidth, EdgeChange, Qos};
+
+use crate::snapshot::WorldSnapshot;
+
+/// A service link, addressed by its stable endpoint identities (overlay node
+/// indices are renumbered by instance failures; `(service, host)` pairs are
+/// not).
+pub type LinkId = (ServiceInstance, ServiceInstance);
+
+/// Fixed-point shift for the discounted estimator: estimates are kept in
+/// units of `kbps / 256` so repeated decay does not collapse small loads to
+/// zero in one tick.
+const DRE_SHIFT: u32 = 8;
+
+/// The decay exponent: one tick multiplies every estimate by `1 − 2⁻³`
+/// (α = 1/8), CONGA's shape for a cheaply computed moving average.
+const DRE_ALPHA_SHIFT: u32 = 3;
+
+/// Per-link load ledger: exact reservations plus the discounted estimate.
+#[derive(Clone, Debug, Default)]
+pub struct LoadMap {
+    /// Reserved bandwidth per link, kbit/s. An entry exists iff some live
+    /// session reserves on the link.
+    reserved: BTreeMap<LinkId, u64>,
+    /// Discounted traffic estimate per link, fixed-point `kbps << 8`.
+    estimate: BTreeMap<LinkId, u64>,
+}
+
+impl LoadMap {
+    /// A ledger recomputed from scratch out of a session table's recorded
+    /// reservations — no estimator history (pair with [`adopt_estimates`]
+    /// to carry it over from the outgoing ledger).
+    ///
+    /// [`adopt_estimates`]: LoadMap::adopt_estimates
+    pub fn from_reservations<I: IntoIterator<Item = (LinkId, u64)>>(iter: I) -> LoadMap {
+        let mut reserved: BTreeMap<LinkId, u64> = BTreeMap::new();
+        for (link, kbps) in iter {
+            if kbps > 0 {
+                *reserved.entry(link).or_insert(0) += kbps;
+            }
+        }
+        LoadMap {
+            reserved,
+            estimate: BTreeMap::new(),
+        }
+    }
+
+    /// Books `kbps` on `link` (a session opening or migrating in) and bumps
+    /// the discounted estimate.
+    pub fn open(&mut self, link: LinkId, kbps: u64) {
+        if kbps == 0 {
+            return;
+        }
+        *self.reserved.entry(link).or_insert(0) += kbps;
+        *self.estimate.entry(link).or_insert(0) += kbps << DRE_SHIFT;
+    }
+
+    /// Releases `kbps` on `link` (a session closing or migrating out).
+    /// Saturating: releasing more than is booked clears the entry rather
+    /// than underflowing — the conservation test proves this never happens
+    /// through the server paths. The estimate is left to decay on its own;
+    /// that is the point of a *discounted* estimator.
+    pub fn release(&mut self, link: LinkId, kbps: u64) {
+        if let Some(slot) = self.reserved.get_mut(&link) {
+            *slot = slot.saturating_sub(kbps);
+            if *slot == 0 {
+                self.reserved.remove(&link);
+            }
+        }
+    }
+
+    /// One DRE tick: every estimate decays by `X ← X·(1−2⁻³)`; entries that
+    /// reach zero are dropped.
+    pub fn decay(&mut self) {
+        self.estimate.retain(|_, x| {
+            *x -= *x >> DRE_ALPHA_SHIFT;
+            // A value below 2³ decays by zero per tick and would linger
+            // forever; call it drained.
+            *x >= (1 << DRE_ALPHA_SHIFT)
+        });
+    }
+
+    /// Reserved bandwidth on `link`, kbit/s (0 when no session crosses it).
+    pub fn reserved_kbps(&self, link: LinkId) -> u64 {
+        self.reserved.get(&link).copied().unwrap_or(0)
+    }
+
+    /// The discounted estimate on `link`, kbit/s.
+    pub fn estimate_kbps(&self, link: LinkId) -> u64 {
+        self.estimate.get(&link).copied().unwrap_or(0) >> DRE_SHIFT
+    }
+
+    /// Total reserved bandwidth across all links — the conservation
+    /// invariant compares this against the session table.
+    pub fn total_reserved_kbps(&self) -> u64 {
+        self.reserved.values().sum()
+    }
+
+    /// Iterates `(link, reserved kbps)` over every booked link.
+    pub fn iter_reserved(&self) -> impl Iterator<Item = (LinkId, u64)> + '_ {
+        self.reserved.iter().map(|(&l, &k)| (l, k))
+    }
+
+    /// `true` when no session reserves anything.
+    pub fn is_empty(&self) -> bool {
+        self.reserved.is_empty()
+    }
+
+    /// Carries the discounted estimates of `prior` into this map — used
+    /// when a topology mutation rebuilds the ledger from the repaired
+    /// session table: reservations are recomputed exactly, but the
+    /// estimator's memory of recent churn should survive the epoch.
+    pub fn adopt_estimates(&mut self, prior: &LoadMap) {
+        for (&link, &x) in &prior.estimate {
+            *self.estimate.entry(link).or_insert(0) += x;
+        }
+    }
+}
+
+/// The per-link reservations of one flow, in stable link identities: the
+/// flow's bottleneck bandwidth for every stream crossing the link. This is
+/// what a session records when it opens and releases when it closes.
+pub fn links_of(flow: &FlowGraph, overlay: &OverlayGraph) -> Vec<(LinkId, u64)> {
+    flow.link_loads()
+        .into_iter()
+        .map(|((from, to), bw)| ((overlay.instance(from), overlay.instance(to)), bw.as_kbps()))
+        .collect()
+}
+
+/// One immutable publication of the load state for a topology epoch.
+#[derive(Debug)]
+pub struct LoadPlane {
+    /// The topology epoch the plane indexes into (link → node resolution is
+    /// only valid against this epoch's overlay numbering).
+    epoch: u64,
+    /// Monotonic per-epoch publication counter, for observability.
+    version: u64,
+    map: LoadMap,
+    /// The epoch's raw overlay — uncapped capacities.
+    raw: Arc<OverlayGraph>,
+    /// The residual view: the same overlay with every booked link's
+    /// bandwidth clamped to `capacity − reserved`. Shares the raw `Arc`
+    /// while nothing is booked.
+    clamped: Arc<OverlayGraph>,
+    /// Shortest-widest table over the clamped weights, patched
+    /// incrementally as reservations move.
+    table: Arc<AllPairs>,
+    source_node: NodeIx,
+}
+
+impl LoadPlane {
+    /// The empty plane for a fresh epoch: nothing reserved, so the clamped
+    /// view *is* the raw overlay and the table is shared with the snapshot
+    /// by pointer — publishing a new epoch costs two `Arc` clones.
+    pub fn fresh(snapshot: &WorldSnapshot) -> Self {
+        LoadPlane {
+            epoch: snapshot.epoch(),
+            version: 0,
+            map: LoadMap::default(),
+            raw: snapshot.overlay_arc(),
+            clamped: snapshot.overlay_arc(),
+            table: snapshot.all_pairs_arc(),
+            source_node: snapshot.source_node(),
+        }
+    }
+
+    /// Rebuilds the plane for `snapshot` from a ledger recomputed out of
+    /// the (already repaired) session table — the epoch-crossing path.
+    /// Links whose endpoints no longer exist are dropped from the ledger;
+    /// every surviving reservation is clamped into a fresh view patched
+    /// from the snapshot's own table.
+    pub fn rebased(snapshot: &WorldSnapshot, mut map: LoadMap, workers: usize) -> Self {
+        let raw = snapshot.overlay_arc();
+        let live: Vec<(LinkId, u64)> = map.iter_reserved().collect();
+        let mut clamped = (*raw).clone();
+        let mut changes = Vec::new();
+        for (link, kbps) in live {
+            match clamp_link(&mut clamped, &raw, link, kbps) {
+                Some(change) => changes.push(change),
+                None => {
+                    // The link died with the mutation (its sessions were
+                    // dropped or rerouted); forget the orphaned entry.
+                    map.release(link, kbps);
+                }
+            }
+        }
+        let changes: Vec<EdgeChange> = changes.into_iter().filter(|c| !c.is_noop()).collect();
+        let (clamped, table) = if changes.is_empty() {
+            (snapshot.overlay_arc(), snapshot.all_pairs_arc())
+        } else {
+            let (table, _) = snapshot
+                .all_pairs()
+                .patched_with(clamped.graph(), &changes, workers);
+            (Arc::new(clamped), Arc::new(table))
+        };
+        LoadPlane {
+            epoch: snapshot.epoch(),
+            version: 0,
+            map,
+            raw,
+            clamped,
+            table,
+            source_node: snapshot.source_node(),
+        }
+    }
+
+    /// Derives the successor plane after `opens` and `releases` (each a
+    /// `(link, kbps)` list). Only the touched links are re-clamped, and the
+    /// routing table is patched — the same incremental machinery a QoS
+    /// mutation uses, so the cost scales with how many trees the changed
+    /// links dirty, not with the world.
+    #[must_use]
+    pub fn with_changes(
+        &self,
+        opens: &[(LinkId, u64)],
+        releases: &[(LinkId, u64)],
+        workers: usize,
+    ) -> LoadPlane {
+        let mut map = self.map.clone();
+        let mut touched = BTreeSet::new();
+        for &(link, kbps) in opens {
+            map.open(link, kbps);
+            touched.insert(link);
+        }
+        for &(link, kbps) in releases {
+            map.release(link, kbps);
+            touched.insert(link);
+        }
+        let mut clamped = (*self.clamped).clone();
+        let mut changes = Vec::new();
+        for link in touched {
+            if let Some(change) = clamp_link(&mut clamped, &self.raw, link, map.reserved_kbps(link))
+            {
+                if !change.is_noop() {
+                    changes.push(change);
+                }
+            }
+        }
+        let (clamped, table) = if changes.is_empty() {
+            (Arc::clone(&self.clamped), Arc::clone(&self.table))
+        } else {
+            let (table, _) = self.table.patched_with(clamped.graph(), &changes, workers);
+            (Arc::new(clamped), Arc::new(table))
+        };
+        LoadPlane {
+            epoch: self.epoch,
+            version: self.version + 1,
+            map,
+            raw: Arc::clone(&self.raw),
+            clamped,
+            table,
+            source_node: self.source_node,
+        }
+    }
+
+    /// The successor plane after one DRE tick. Estimates do not feed the
+    /// clamp, so this never patches the routing table.
+    #[must_use]
+    pub fn decayed(&self) -> LoadPlane {
+        let mut map = self.map.clone();
+        map.decay();
+        LoadPlane {
+            epoch: self.epoch,
+            version: self.version + 1,
+            map,
+            raw: Arc::clone(&self.raw),
+            clamped: Arc::clone(&self.clamped),
+            table: Arc::clone(&self.table),
+            source_node: self.source_node,
+        }
+    }
+
+    /// The topology epoch this plane indexes into.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The publication counter within this epoch.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The reservation ledger.
+    pub fn map(&self) -> &LoadMap {
+        &self.map
+    }
+
+    /// The residual-capacity overlay (link bandwidths are
+    /// `capacity − reserved`).
+    pub fn clamped_overlay(&self) -> &OverlayGraph {
+        &self.clamped
+    }
+
+    /// A context that federates against residual capacity: the clamped
+    /// overlay and its patched table, pinned to this plane's epoch.
+    pub fn context(&self) -> OwnedFederationContext {
+        FederationContext::from_arcs(
+            Arc::clone(&self.clamped),
+            Arc::clone(&self.table),
+            self.source_node,
+        )
+    }
+
+    /// `link`'s raw capacity, if it exists in this epoch.
+    pub fn capacity(&self, link: LinkId) -> Option<Bandwidth> {
+        let from = self.raw.node_of(link.0)?;
+        let to = self.raw.node_of(link.1)?;
+        let e = self.raw.graph().find_edge(from, to)?;
+        Some(self.raw.graph().edge(e).bandwidth)
+    }
+
+    /// What is still free on `link`: `capacity − reserved`, floored at zero.
+    pub fn residual_kbps(&self, link: LinkId) -> u64 {
+        let Some(capacity) = self.capacity(link) else {
+            return 0;
+        };
+        capacity
+            .saturating_sub(Bandwidth::kbps(self.map.reserved_kbps(link)))
+            .as_kbps()
+    }
+
+    /// `link`'s utilization in permille (`reserved · 1000 / capacity`).
+    /// Infinite capacity is always 0‰; an over-booked link reads over
+    /// 1000‰; a reservation on a zero-capacity link saturates.
+    pub fn utilization_permille(&self, link: LinkId) -> u64 {
+        let reserved = self.map.reserved_kbps(link);
+        if reserved == 0 {
+            return 0;
+        }
+        match self.capacity(link) {
+            None => 0,
+            Some(Bandwidth::INFINITE) => 0,
+            Some(c) if c == Bandwidth::ZERO => u64::MAX,
+            Some(c) => reserved.saturating_mul(1000) / c.as_kbps(),
+        }
+    }
+
+    /// The worst utilization across every booked link — the headline load
+    /// statistic and the rebalancer's convergence measure.
+    pub fn max_utilization_permille(&self) -> u64 {
+        self.map
+            .iter_reserved()
+            .map(|(link, _)| self.utilization_permille(link))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Every booked link whose utilization exceeds `threshold_permille` —
+    /// the rebalancer's work list.
+    pub fn hot_links(&self, threshold_permille: u64) -> BTreeSet<LinkId> {
+        self.map
+            .iter_reserved()
+            .filter(|&(link, _)| self.utilization_permille(link) > threshold_permille)
+            .map(|(link, _)| link)
+            .collect()
+    }
+}
+
+/// Writes `capacity − reserved` into `clamped`'s copy of `link`, reading
+/// the raw capacity from `raw`. `None` when the link does not exist in
+/// this epoch. Infinite capacity is never clamped.
+fn clamp_link(
+    clamped: &mut OverlayGraph,
+    raw: &OverlayGraph,
+    link: LinkId,
+    reserved_kbps: u64,
+) -> Option<EdgeChange> {
+    let from = raw.node_of(link.0)?;
+    let to = raw.node_of(link.1)?;
+    let e = raw.graph().find_edge(from, to)?;
+    let raw_qos = *raw.graph().edge(e);
+    let next = Qos::new(
+        raw_qos
+            .bandwidth
+            .saturating_sub(Bandwidth::kbps(reserved_kbps)),
+        raw_qos.latency,
+    );
+    clamped.update_link_qos(from, to, next)
+}
+
+/// The load plane's publication cell — a twin of
+/// [`Snap`](crate::snapshot::Snap): a load is one `Arc` clone, a publish is
+/// one pointer store. Writers (session open/close, rebalancer, epoch
+/// rebase) all mutate under the sessions lock, so publications are ordered
+/// by construction; unlike snapshot epochs, versions restart at every
+/// rebase, so the cell does not assert monotonicity itself.
+#[derive(Debug)]
+pub struct LoadCell {
+    current: Mutex<Arc<LoadPlane>>,
+}
+
+impl LoadCell {
+    /// A cell publishing `plane` as the current load state.
+    pub fn new(plane: Arc<LoadPlane>) -> Self {
+        LoadCell {
+            current: Mutex::new(plane),
+        }
+    }
+
+    /// The current plane. Constant-time; never blocks on a patch.
+    pub fn load(&self) -> Arc<LoadPlane> {
+        Arc::clone(&self.current.lock())
+    }
+
+    /// Publishes `next` as the current plane.
+    pub fn publish(&self, next: Arc<LoadPlane>) {
+        *self.current.lock() = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sflow_core::fixtures::{diamond_fixture, diamond_requirement};
+    use sflow_core::Solver;
+    use std::sync::Arc;
+
+    fn snapshot() -> WorldSnapshot {
+        let fx = diamond_fixture();
+        WorldSnapshot::new(Arc::new(fx.overlay), Arc::new(fx.all_pairs), fx.source, 0)
+    }
+
+    fn solve_on(plane: &LoadPlane) -> FlowGraph {
+        Solver::new(&plane.context())
+            .solve(&diamond_requirement())
+            .unwrap()
+    }
+
+    #[test]
+    fn a_fresh_plane_shares_the_snapshot_by_pointer() {
+        let snap = snapshot();
+        let plane = LoadPlane::fresh(&snap);
+        assert_eq!(plane.epoch(), 0);
+        assert!(plane.map().is_empty());
+        assert_eq!(plane.max_utilization_permille(), 0);
+        // Nothing booked: the clamped view is the raw overlay itself.
+        assert!(Arc::ptr_eq(&plane.raw, &plane.clamped));
+    }
+
+    #[test]
+    fn opening_a_session_clamps_exactly_its_links() {
+        let snap = snapshot();
+        let plane = LoadPlane::fresh(&snap);
+        let flow = solve_on(&plane);
+        let links = links_of(&flow, snap.overlay());
+        assert!(!links.is_empty());
+
+        let booked = plane.with_changes(&links, &[], 1);
+        assert_eq!(booked.version(), 1);
+        let per_link: BTreeMap<LinkId, u64> = sum_links(&links);
+        for (&link, &kbps) in &per_link {
+            assert_eq!(booked.map().reserved_kbps(link), kbps);
+            let capacity = booked.capacity(link).unwrap();
+            if capacity == Bandwidth::INFINITE {
+                assert_eq!(booked.utilization_permille(link), 0);
+            } else {
+                assert_eq!(
+                    booked.residual_kbps(link),
+                    capacity.as_kbps().saturating_sub(kbps)
+                );
+            }
+        }
+        assert_eq!(
+            booked.map().total_reserved_kbps(),
+            links.iter().map(|&(_, k)| k).sum::<u64>()
+        );
+
+        // Release closes the loop: the ledger returns to empty and the
+        // residual view returns to raw capacities.
+        let released = booked.with_changes(&[], &links, 1);
+        assert!(released.map().is_empty());
+        assert_eq!(released.max_utilization_permille(), 0);
+        for &link in per_link.keys() {
+            assert_eq!(
+                released.residual_kbps(link),
+                released.capacity(link).unwrap().as_kbps()
+            );
+        }
+    }
+
+    #[test]
+    fn the_estimator_decays_but_reservations_do_not() {
+        let mut map = LoadMap::default();
+        let link = {
+            let snap = snapshot();
+            let overlay = snap.overlay();
+            let n: Vec<_> = overlay.graph().node_ids().collect();
+            (overlay.instance(n[0]), overlay.instance(n[1]))
+        };
+        map.open(link, 100);
+        assert_eq!(map.reserved_kbps(link), 100);
+        assert_eq!(map.estimate_kbps(link), 100);
+        for _ in 0..8 {
+            map.decay();
+        }
+        assert_eq!(map.reserved_kbps(link), 100, "reservations are exact");
+        let decayed = map.estimate_kbps(link);
+        assert!(
+            decayed < 100 && decayed > 0,
+            "estimate decays smoothly, got {decayed}"
+        );
+        // Release clears the reservation; the estimate keeps decaying and
+        // eventually drains entirely.
+        map.release(link, 100);
+        assert_eq!(map.reserved_kbps(link), 0);
+        for _ in 0..200 {
+            map.decay();
+        }
+        assert_eq!(map.estimate_kbps(link), 0);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn hot_links_and_max_utilization_track_the_threshold() {
+        let snap = snapshot();
+        let plane = LoadPlane::fresh(&snap);
+        let flow = solve_on(&plane);
+        let links = links_of(&flow, snap.overlay());
+        // Book the flow ten times over: every finite-capacity link it
+        // crosses goes hot.
+        let mut booked = plane;
+        for _ in 0..10 {
+            booked = booked.with_changes(&links, &[], 1);
+        }
+        let hot = booked.hot_links(900);
+        assert!(!hot.is_empty());
+        assert!(booked.max_utilization_permille() > 1000, "over-booked");
+        for link in &hot {
+            assert_ne!(booked.capacity(*link), Some(Bandwidth::INFINITE));
+        }
+    }
+
+    #[test]
+    fn residual_routing_steers_away_from_booked_links() {
+        // The diamond has two disjoint intermediate routes; booking the
+        // preferred one must flip the solver to the other.
+        let snap = snapshot();
+        let plane = LoadPlane::fresh(&snap);
+        let first = solve_on(&plane);
+        let links = links_of(&first, snap.overlay());
+        let booked = plane.with_changes(&links, &[], 1);
+        let second = solve_on(&booked);
+        assert_ne!(
+            first.selection(),
+            second.selection(),
+            "with the first route booked, the solver must pick new instances"
+        );
+        // And the rerouted flow still has real bandwidth.
+        assert!(second.quality().bandwidth > Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn rebased_planes_drop_orphaned_links_and_keep_live_ones() {
+        let snap = snapshot();
+        let plane = LoadPlane::fresh(&snap);
+        let flow = solve_on(&plane);
+        let links = links_of(&flow, snap.overlay());
+        let booked = plane.with_changes(&links, &[], 1);
+
+        // Rebase onto the same epoch: everything survives, and the clamp
+        // is identical.
+        let rebased = LoadPlane::rebased(&snap, booked.map().clone(), 1);
+        assert_eq!(
+            rebased.map().total_reserved_kbps(),
+            booked.map().total_reserved_kbps()
+        );
+        for (link, _) in booked.map().iter_reserved() {
+            assert_eq!(rebased.residual_kbps(link), booked.residual_kbps(link));
+        }
+
+        // A ledger mentioning a link that does not exist is scrubbed.
+        let mut orphaned = booked.map().clone();
+        let bogus = (
+            ServiceInstance::new(sflow_net::ServiceId::new(7), sflow_net::HostId::new(9)),
+            ServiceInstance::new(sflow_net::ServiceId::new(8), sflow_net::HostId::new(9)),
+        );
+        orphaned.open(bogus, 5_000);
+        let scrubbed = LoadPlane::rebased(&snap, orphaned, 1);
+        assert_eq!(scrubbed.map().reserved_kbps(bogus), 0);
+        assert_eq!(
+            scrubbed.map().total_reserved_kbps(),
+            booked.map().total_reserved_kbps()
+        );
+    }
+
+    #[test]
+    fn the_cell_publishes_like_snap() {
+        let snap = snapshot();
+        let cell = LoadCell::new(Arc::new(LoadPlane::fresh(&snap)));
+        assert_eq!(cell.load().version(), 0);
+        let next = Arc::new(cell.load().decayed());
+        cell.publish(next);
+        assert_eq!(cell.load().version(), 1);
+    }
+
+    fn sum_links(links: &[(LinkId, u64)]) -> BTreeMap<LinkId, u64> {
+        let mut out = BTreeMap::new();
+        for &(link, kbps) in links {
+            *out.entry(link).or_insert(0) += kbps;
+        }
+        out
+    }
+}

@@ -43,13 +43,16 @@ use sflow_core::algorithms::{
 use sflow_core::repair::repair;
 use sflow_core::validate::FlowGraphAuditor;
 use sflow_core::{FederationContext, FlowGraph, ServiceRequirement, Solver};
+use sflow_routing::Bandwidth;
 use sflow_runtime::duration_us;
 
+use crate::load::{links_of, LinkId, LoadCell, LoadMap, LoadPlane};
+use crate::rebalance;
 use crate::snapshot::Snap;
 use crate::stats::Metrics;
 use crate::wire::{read_frame, write_frame};
 use crate::world::World;
-use crate::{Algorithm, FlowSummary, Request, Response};
+use crate::{Algorithm, FlowSummary, LinkLoad, LoadMapSummary, Request, Response};
 
 /// How a [`serve`] instance is sized and (for tests) slowed down.
 #[derive(Clone, Copy, Debug)]
@@ -69,6 +72,17 @@ pub struct ServerConfig {
     /// (`serve --audit`). Non-fatal: a violating answer is still served,
     /// but the counter makes it visible.
     pub audit: bool,
+    /// Federate against **residual** capacity (`capacity − reserved`)
+    /// instead of raw link capacity. On by default; `serve --no-residual`
+    /// turns it off — the load ledger still tracks every session, but the
+    /// solver goes back to being blind to live load.
+    pub residual: bool,
+    /// Run a background rebalancer sweep this often. `None` (the default)
+    /// starts no thread; [`Request::Rebalance`] still sweeps on demand.
+    pub rebalance_interval: Option<Duration>,
+    /// A link is *hot* — a rebalancer target — above this utilization, in
+    /// permille of raw capacity (900 = 90%).
+    pub utilization_threshold_permille: u64,
     /// Test hook: hold every admitted job this long before solving, so
     /// tests can fill the admission queue deterministically.
     pub debug_delay: Option<Duration>,
@@ -82,39 +96,50 @@ impl Default for ServerConfig {
             max_sessions: 16_384,
             route_workers: 0,
             audit: false,
+            residual: true,
+            rebalance_interval: None,
+            utilization_threshold_permille: 900,
             debug_delay: None,
         }
     }
 }
 
 /// A live federation kept by the server for repair after mutations.
-struct Session {
-    requirement: ServiceRequirement,
-    flow: FlowGraph,
+pub(crate) struct Session {
+    pub(crate) requirement: ServiceRequirement,
+    pub(crate) flow: FlowGraph,
     /// The snapshot epoch `flow` was solved (or last repaired) against.
     /// Repair sweeps re-resolve a session against exactly the epoch it was
     /// solved under — a session somehow left behind by an earlier sweep is
     /// dropped rather than silently repaired across a renumbering.
-    solved_epoch: u64,
+    pub(crate) solved_epoch: u64,
+    /// The per-link bandwidth this session reserves in the load plane —
+    /// exactly what was booked when it opened (or last repaired/migrated),
+    /// so closing it releases exactly what it holds.
+    pub(crate) links: Vec<(LinkId, u64)>,
 }
 
 #[derive(Default)]
-struct Sessions {
-    next_id: u64,
-    live: BTreeMap<u64, Session>,
+pub(crate) struct Sessions {
+    pub(crate) next_id: u64,
+    pub(crate) live: BTreeMap<u64, Session>,
 }
 
 /// State shared by every thread of one server instance.
-struct Shared {
-    addr: SocketAddr,
-    config: ServerConfig,
+pub(crate) struct Shared {
+    pub(crate) addr: SocketAddr,
+    pub(crate) config: ServerConfig,
     /// The publication cell readers load snapshots from. Never held — a
     /// load is one `Arc` clone and the solve runs against the clone.
-    snap: Arc<Snap>,
+    pub(crate) snap: Arc<Snap>,
     /// The mutator. Only `Mutate` jobs take this lock; the read path never
     /// touches it, so mutations serialize exclusively against each other.
-    world: Mutex<World>,
-    sessions: Mutex<Sessions>,
+    pub(crate) world: Mutex<World>,
+    pub(crate) sessions: Mutex<Sessions>,
+    /// The load plane's publication cell — reservations, the residual
+    /// overlay and its patched routing table. Published only under the
+    /// sessions lock, so the ledger can never drift from the table.
+    pub(crate) load: LoadCell,
     /// Live sessions, counted separately from `sessions.live` because a
     /// repair sweep takes the map out of the lock while it re-resolves —
     /// during that window `live.len()` reads 0 even though every swept-out
@@ -122,13 +147,13 @@ struct Shared {
     /// under the sessions lock when a session opens; decremented only when
     /// a session is truly dropped. Admission and `Stats` read this, never
     /// `live.len()`.
-    live_sessions: AtomicUsize,
-    metrics: Metrics,
-    shutdown: AtomicBool,
+    pub(crate) live_sessions: AtomicUsize,
+    pub(crate) metrics: Metrics,
+    pub(crate) shutdown: AtomicBool,
 }
 
 impl Shared {
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
 }
@@ -198,19 +223,21 @@ pub fn serve(world: World, config: &ServerConfig) -> io::Result<ServerHandle> {
 pub fn serve_on(addr: &str, mut world: World, config: &ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     world.set_route_workers(config.route_workers);
+    let load = LoadCell::new(Arc::new(LoadPlane::fresh(&world.snapshot())));
     let shared = Arc::new(Shared {
         addr: listener.local_addr()?,
         config: *config,
         snap: world.handle(),
         world: Mutex::new(world),
         sessions: Mutex::new(Sessions::default()),
+        load,
         live_sessions: AtomicUsize::new(0),
         metrics: Metrics::default(),
         shutdown: AtomicBool::new(false),
     });
     let (job_tx, job_rx) = bounded::<Job>(config.queue_depth.max(1));
 
-    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+    let mut workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
         .map(|_| {
             let shared = Arc::clone(&shared);
             let jobs = job_rx.clone();
@@ -218,6 +245,13 @@ pub fn serve_on(addr: &str, mut world: World, config: &ServerConfig) -> io::Resu
         })
         .collect();
     drop(job_rx);
+
+    // The rebalancer thread, if configured: sweeps on its interval, exits
+    // with the shutdown flag, joined with the workers.
+    if let Some(interval) = config.rebalance_interval {
+        let shared = Arc::clone(&shared);
+        workers.push(thread::spawn(move || rebalance::run(&shared, interval)));
+    }
 
     let acceptor = {
         let shared = Arc::clone(&shared);
@@ -294,8 +328,16 @@ fn dispatch(shared: &Shared, job_tx: &Sender<Job>, request: Request) -> Response
             // The counter, not `live.len()`: a repair sweep in flight has
             // the map taken out, but its sessions are still live.
             let sessions = shared.live_sessions.load(Ordering::SeqCst) as u64;
+            // Refresh the utilization gauge so Stats is current even when
+            // no sweep has run since the load last moved.
+            shared
+                .metrics
+                .set_max_link_utilization(shared.load.load().max_utilization_permille());
             Response::Stats(shared.metrics.snapshot(epoch, sessions))
         }
+        // Like Stats: a read of the published plane, answerable under
+        // overload without a queue slot.
+        Request::LoadMap => Response::LoadMap(load_map_summary(shared)),
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             // Wake the acceptor so it notices the flag without a new client.
@@ -354,9 +396,20 @@ fn execute(shared: &Shared, request: Request) -> Response {
             hop_limit,
         } => federate(shared, &requirement, algorithm, hop_limit),
         Request::Mutate(mutation) => mutate(shared, &mutation),
+        Request::Release { session } => release(shared, session),
+        Request::Rebalance => {
+            let outcome = rebalance::sweep(shared);
+            Response::Rebalanced {
+                migrations: outcome.migrations,
+                migration_failures: outcome.migration_failures,
+                max_utilization_permille: outcome.max_utilization_permille,
+            }
+        }
         // Handled inline by the connection thread; an admitted copy is a bug
         // in dispatch, answered defensively rather than panicking a worker.
-        Request::Stats | Request::Shutdown => Response::Error("control request in queue".into()),
+        Request::Stats | Request::LoadMap | Request::Shutdown => {
+            Response::Error("control request in queue".into())
+        }
     };
     shared
         .metrics
@@ -396,7 +449,21 @@ fn federate_against(
     algorithm: Algorithm,
     hop_limit: Option<usize>,
 ) -> Response {
-    let ctx = snapshot.context();
+    // Residual routing: when the load plane tracks this snapshot's epoch,
+    // solve against what live sessions left free — the clamped overlay and
+    // its patched table. Otherwise (the `--no-residual` knob, or a plane
+    // mid-rebase after a mutation) fall back to raw capacity. Either
+    // context is an immutable `Arc` bundle; no lock is held across the
+    // solve.
+    let plane = shared.load.load();
+    let residual =
+        shared.config.residual && plane.epoch() == snapshot.epoch() && !plane.map().is_empty();
+    let ctx = if residual {
+        plane.context()
+    } else {
+        snapshot.context()
+    };
+    drop(plane);
     let solved = match algorithm {
         Algorithm::Sflow => {
             let solver = match hop_limit {
@@ -420,6 +487,12 @@ fn federate_against(
     let flow = match solved {
         Ok(flow) => flow,
         Err(e) => {
+            if residual {
+                // The demand did not fit into residual capacity. Counted
+                // separately from plain failures: on a loaded server this
+                // is admission control doing its job, not a bad request.
+                shared.metrics.residual_reject();
+            }
             shared.metrics.failed();
             return Response::Error(e.to_string());
         }
@@ -458,17 +531,79 @@ fn federate_against(
         latency_us: flow.quality().latency.as_micros(),
         instances: flow.instances().clone(),
     };
+    let links = links_of(&flow, snapshot.overlay());
     sessions.live.insert(
         session,
         Session {
             requirement,
             flow,
             solved_epoch: snapshot.epoch(),
+            links: links.clone(),
         },
     );
     shared.live_sessions.fetch_add(1, Ordering::SeqCst);
+    // Book the reservations, still under the sessions lock, re-loading the
+    // plane because other opens may have published since our solve-time
+    // load. A plane at another epoch means a mutation's rebase is imminent
+    // and will account this session from the table itself.
+    let plane = shared.load.load();
+    if plane.epoch() == snapshot.epoch() {
+        shared.load.publish(Arc::new(plane.with_changes(
+            &links,
+            &[],
+            shared.config.route_workers,
+        )));
+    }
     shared.metrics.served();
     Response::Federated(summary)
+}
+
+/// Closes one session and releases exactly the reservations it holds — the
+/// other half of the session lifecycle, and the only way load leaves the
+/// plane without a migration or a repair drop.
+fn release(shared: &Shared, session: u64) -> Response {
+    let mut sessions = shared.sessions.lock();
+    let Some(closed) = sessions.live.remove(&session) else {
+        shared.metrics.failed();
+        return Response::Error(format!("no such session {session}"));
+    };
+    shared.live_sessions.fetch_sub(1, Ordering::SeqCst);
+    let plane = shared.load.load();
+    // Release against the epoch the links were booked under; across a
+    // rebase the ledger is rebuilt from the table (which no longer holds
+    // this session), so there is nothing to subtract.
+    if plane.epoch() == closed.solved_epoch {
+        shared.load.publish(Arc::new(plane.with_changes(
+            &[],
+            &closed.links,
+            shared.config.route_workers,
+        )));
+    }
+    Response::Released { session }
+}
+
+/// Flattens the published load plane for the wire.
+fn load_map_summary(shared: &Shared) -> LoadMapSummary {
+    let plane = shared.load.load();
+    let links = plane
+        .map()
+        .iter_reserved()
+        .map(|(link, reserved_kbps)| LinkLoad {
+            from: link.0,
+            to: link.1,
+            capacity_kbps: plane.capacity(link).map_or(0, Bandwidth::as_kbps),
+            reserved_kbps,
+            estimate_kbps: plane.map().estimate_kbps(link),
+            residual_kbps: plane.residual_kbps(link),
+            utilization_permille: plane.utilization_permille(link),
+        })
+        .collect();
+    LoadMapSummary {
+        epoch: plane.epoch(),
+        version: plane.version(),
+        max_utilization_permille: plane.max_utilization_permille(),
+        links,
+    }
 }
 
 /// Under `--audit`, re-derives every answer's invariants from raw overlay
@@ -549,6 +684,10 @@ fn mutate(shared: &Shared, mutation: &crate::Mutation) -> Response {
         match repair(&ctx, &session.requirement, &session.flow) {
             Ok(outcome) => {
                 audit_flow(shared, &ctx, &session.requirement, &outcome.flow);
+                // Re-derive the reservations from the repaired flow over the
+                // *new* overlay — repair may have moved the session, and the
+                // old node indices no longer mean anything.
+                session.links = links_of(&outcome.flow, snapshot.overlay());
                 session.flow = outcome.flow;
                 session.solved_epoch = epoch;
                 kept.insert(id, session);
@@ -560,7 +699,27 @@ fn mutate(shared: &Shared, mutation: &crate::Mutation) -> Response {
             }
         }
     }
-    shared.sessions.lock().live.extend(kept);
+    // Merge the survivors back and rebase the load plane onto the new epoch
+    // in one sessions-lock hold: the ledger is recomputed from the full
+    // merged table (survivors plus any sessions opened at the new epoch
+    // mid-sweep), so it cannot drift from what is actually live. The
+    // estimator history is carried over — reservations are exact, estimates
+    // are memory.
+    let mut sessions = shared.sessions.lock();
+    sessions.live.extend(kept);
+    let mut map = LoadMap::from_reservations(
+        sessions
+            .live
+            .values()
+            .flat_map(|session| session.links.iter().copied()),
+    );
+    map.adopt_estimates(shared.load.load().map());
+    shared.load.publish(Arc::new(LoadPlane::rebased(
+        &snapshot,
+        map,
+        shared.config.route_workers,
+    )));
+    drop(sessions);
     Response::Mutated {
         epoch,
         repaired,
@@ -572,19 +731,23 @@ fn mutate(shared: &Shared, mutation: &crate::Mutation) -> Response {
 mod tests {
     use super::*;
     use crate::Mutation;
-    use sflow_core::fixtures::{diamond_fixture, diamond_requirement};
+    use sflow_core::fixtures::{diamond_fixture, diamond_requirement, Fixture};
+    use sflow_net::{Compatibility, Placement, ServiceId, ServiceInstance, UnderlyingNetwork};
+    use sflow_routing::{Latency, Qos};
 
     /// A `Shared` with no listener behind it: enough to drive the worker
     /// entry points (`federate_against`, `mutate`) directly.
     fn shared_over_diamond() -> Shared {
         let mut world = World::new(diamond_fixture());
         world.set_route_workers(1);
+        let load = LoadCell::new(Arc::new(LoadPlane::fresh(&world.snapshot())));
         Shared {
             addr: "127.0.0.1:0".parse().unwrap(),
             config: ServerConfig::default(),
             snap: world.handle(),
             world: Mutex::new(world),
             sessions: Mutex::new(Sessions::default()),
+            load,
             live_sessions: AtomicUsize::new(0),
             metrics: Metrics::default(),
             shutdown: AtomicBool::new(false),
@@ -662,15 +825,18 @@ mod tests {
         // Emulate the publish-to-sweep race: a session already recorded at
         // the epoch the mutation is about to land on (the federate passed
         // the epoch check because `apply` had published the successor).
-        let flow = Solver::new(&shared.snap.load().context())
+        let snapshot = shared.snap.load();
+        let flow = Solver::new(&snapshot.context())
             .solve(&requirement)
             .unwrap();
+        let links = links_of(&flow, snapshot.overlay());
         shared.sessions.lock().live.insert(
             99,
             Session {
                 requirement: requirement.clone(),
                 flow,
                 solved_epoch: 1,
+                links,
             },
         );
         shared.live_sessions.fetch_add(1, Ordering::SeqCst);
@@ -739,5 +905,272 @@ mod tests {
         }
         shared.sessions.lock().live.extend(taken);
         assert_eq!(shared.sessions.lock().live.len(), 1);
+    }
+
+    /// The conservation invariant: the published ledger is exactly the sum
+    /// of the live sessions' recorded reservations — per link, both
+    /// directions, no leak and no double-count.
+    fn assert_conserved(shared: &Shared) {
+        let sessions = shared.sessions.lock();
+        let expected = LoadMap::from_reservations(
+            sessions
+                .live
+                .values()
+                .flat_map(|session| session.links.iter().copied()),
+        );
+        let plane = shared.load.load();
+        let got: Vec<(LinkId, u64)> = plane.map().iter_reserved().collect();
+        let want: Vec<(LinkId, u64)> = expected.iter_reserved().collect();
+        assert_eq!(got, want, "ledger drifted from the session table");
+        assert_eq!(
+            plane.map().total_reserved_kbps(),
+            expected.total_reserved_kbps()
+        );
+    }
+
+    /// Satellite property test: under a random interleaving of session
+    /// opens, closes, rebalancer sweeps and QoS mutations (each of which
+    /// triggers a repair sweep and a ledger rebase), the sum of per-link
+    /// reserved bandwidth in the published `LoadMap` always equals the sum
+    /// over live sessions of their paths' reservations. No leaked
+    /// reservation on a failed open, a failed migration, or a repair drop.
+    #[test]
+    fn the_ledger_conserves_reservations_under_random_interleavings() {
+        let shared = shared_over_diamond(); // residual routing on (default)
+        let requirement = diamond_requirement();
+        // The workspace has no RNG dependency here; a 64-bit LCG
+        // (Knuth's MMIX constants) is plenty for op-sequence shuffling.
+        let mut state: u64 = 0x5eed_cafe;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        // Every directed overlay link, in stable identities, for QoS wobble.
+        let links: Vec<(ServiceInstance, ServiceInstance)> = {
+            let snapshot = shared.snap.load();
+            let overlay = snapshot.overlay();
+            overlay
+                .graph()
+                .node_ids()
+                .flat_map(|n| overlay.graph().out_edges(n))
+                .map(|e| (overlay.instance(e.from), overlay.instance(e.to)))
+                .collect()
+        };
+        for _ in 0..200 {
+            match next() % 6 {
+                0 | 1 => {
+                    // Open — may be rejected by residual admission; that
+                    // must leave the ledger untouched.
+                    let _ = federate_against(
+                        &shared,
+                        shared.snap.load(),
+                        requirement.clone(),
+                        Algorithm::Sflow,
+                        None,
+                    );
+                }
+                2 => {
+                    // Close a random session (sometimes a bogus id).
+                    let id = {
+                        let sessions = shared.sessions.lock();
+                        let n = sessions.live.len();
+                        if n == 0 || next() % 8 == 0 {
+                            u64::MAX
+                        } else {
+                            let skip = (next() as usize) % n;
+                            *sessions.live.keys().nth(skip).unwrap()
+                        }
+                    };
+                    let _ = release(&shared, id);
+                }
+                3 => {
+                    let _ = rebalance::sweep(&shared);
+                }
+                _ => {
+                    // Congestion wobble: repair-sweeps every session and
+                    // rebases the ledger onto the new epoch.
+                    let (from, to) = links[(next() as usize) % links.len()];
+                    let _ = mutate(
+                        &shared,
+                        &Mutation::SetLinkQos {
+                            from,
+                            to,
+                            bandwidth_kbps: 40 + next() % 80,
+                            latency_us: 10,
+                        },
+                    );
+                }
+            }
+            assert_conserved(&shared);
+            let sessions = shared.sessions.lock().live.len();
+            assert_eq!(
+                shared.live_sessions.load(Ordering::SeqCst),
+                sessions,
+                "the live counter tracks the table between operations"
+            );
+        }
+        // A structural mutation at the end: instance failure renumbers the
+        // overlay and drops routed-through sessions; the rebase must scrub
+        // exactly the dead reservations.
+        let snapshot = shared.snap.load();
+        let victim = snapshot
+            .overlay()
+            .graph()
+            .node_ids()
+            .map(|n| snapshot.overlay().instance(n))
+            .find(|i| *i != snapshot.source())
+            .unwrap();
+        let _ = mutate(&shared, &Mutation::FailInstance { instance: victim });
+        assert_conserved(&shared);
+    }
+
+    /// Two equal-width disjoint routes `h0 → {h1, h2} → h3`: migration is
+    /// purely a matter of load, never of topology preference. Served blind
+    /// so both sessions pile onto the same route and hand the rebalancer
+    /// real work.
+    fn shared_over_twin_routes() -> (Shared, ServiceRequirement) {
+        let mut b = UnderlyingNetwork::builder();
+        let h = b.add_hosts(4);
+        let q = |bw| Qos::new(Bandwidth::kbps(bw), Latency::from_micros(10));
+        b.link(h[0], h[1], q(100))
+            .link(h[1], h[3], q(100))
+            .link(h[0], h[2], q(100))
+            .link(h[2], h[3], q(100));
+        let net = b.build();
+        let s: Vec<ServiceId> = (0..3).map(ServiceId::new).collect();
+        let mut p = Placement::new();
+        p.add(ServiceInstance::new(s[0], h[0]));
+        p.add(ServiceInstance::new(s[1], h[1]));
+        p.add(ServiceInstance::new(s[1], h[2]));
+        p.add(ServiceInstance::new(s[2], h[3]));
+        let compat = Compatibility::from_pairs([(s[0], s[1]), (s[1], s[2])]);
+        let overlay = sflow_net::OverlayGraph::build(&net, &p, &compat).unwrap();
+        let fixture = Fixture::new(net, overlay, s[0]);
+        let requirement = ServiceRequirement::from_edges([(s[0], s[1]), (s[1], s[2])]).unwrap();
+
+        let mut world = World::new(fixture);
+        world.set_route_workers(1);
+        let load = LoadCell::new(Arc::new(LoadPlane::fresh(&world.snapshot())));
+        let shared = Shared {
+            addr: "127.0.0.1:0".parse().unwrap(),
+            config: ServerConfig {
+                residual: false, // blind opens; the *rebalancer* is under test
+                utilization_threshold_permille: 900,
+                route_workers: 1,
+                ..ServerConfig::default()
+            },
+            snap: world.handle(),
+            world: Mutex::new(world),
+            sessions: Mutex::new(Sessions::default()),
+            load,
+            live_sessions: AtomicUsize::new(0),
+            metrics: Metrics::default(),
+            shutdown: AtomicBool::new(false),
+        };
+        (shared, requirement)
+    }
+
+    /// Satellite regression, the make-before-break contract: a sweep
+    /// migrates the session off the doubly-booked route, the session is
+    /// never absent from the table at any instant (a poller thread hammers
+    /// the lock while sweeps run), and a sweep with nothing to gain changes
+    /// nothing — failed movers keep their flows and links byte-for-byte.
+    #[test]
+    fn rebalancer_migrates_make_before_break_and_failures_change_nothing() {
+        let (shared, requirement) = shared_over_twin_routes();
+        for _ in 0..2 {
+            match federate_against(
+                &shared,
+                shared.snap.load(),
+                requirement.clone(),
+                Algorithm::Sflow,
+                None,
+            ) {
+                Response::Federated(_) => {}
+                other => panic!("expected Federated, got {other:?}"),
+            }
+        }
+        // Blind routing put both sessions on one route: one link pair is
+        // double-booked at 2000‰, the other untouched.
+        assert_eq!(shared.load.load().max_utilization_permille(), 2000);
+        {
+            let sessions = shared.sessions.lock();
+            let selections: Vec<_> = sessions.live.values().map(|s| s.flow.selection()).collect();
+            assert_eq!(selections[0], selections[1], "blind opens stack up");
+        }
+        assert_conserved(&shared);
+
+        // Sweep with a poller thread proving the sessions never vanish.
+        let stop = AtomicBool::new(false);
+        let outcome = thread::scope(|scope| {
+            scope.spawn(|| {
+                while !stop.load(Ordering::SeqCst) {
+                    let sessions = shared.sessions.lock();
+                    assert_eq!(
+                        sessions.live.len(),
+                        2,
+                        "a migrating session must never be absent from the table"
+                    );
+                    drop(sessions);
+                    std::hint::spin_loop();
+                }
+            });
+            let outcome = rebalance::sweep(&shared);
+            stop.store(true, Ordering::SeqCst);
+            outcome
+        });
+        assert_eq!(outcome.migrations, 1, "one mover drains the hot route");
+        assert_eq!(
+            outcome.max_utilization_permille, 1000,
+            "one session per route after the sweep"
+        );
+        assert_conserved(&shared);
+        {
+            let sessions = shared.sessions.lock();
+            let selections: Vec<_> = sessions.live.values().map(|s| s.flow.selection()).collect();
+            assert_ne!(selections[0], selections[1], "the mover changed route");
+        }
+        let stats = shared.metrics.snapshot(0, 2);
+        assert_eq!(stats.migrations, 1);
+        assert_eq!(stats.max_link_utilization_permille, 1000);
+
+        // Both routes now sit at 1000‰ — still above the threshold, but no
+        // move can improve the world. The sweep must fail every mover and
+        // leave both sessions untouched.
+        let before: BTreeMap<u64, Vec<(LinkId, u64)>> = shared
+            .sessions
+            .lock()
+            .live
+            .iter()
+            .map(|(&id, s)| (id, s.links.clone()))
+            .collect();
+        let outcome = rebalance::sweep(&shared);
+        assert_eq!(outcome.migrations, 0);
+        assert!(
+            outcome.migration_failures >= 1,
+            "hot but unimprovable movers are counted as failures"
+        );
+        let after: BTreeMap<u64, Vec<(LinkId, u64)>> = shared
+            .sessions
+            .lock()
+            .live
+            .iter()
+            .map(|(&id, s)| (id, s.links.clone()))
+            .collect();
+        assert_eq!(before, after, "a failed migration changes nothing");
+        assert_conserved(&shared);
+
+        // Releasing the migrated sessions drains the ledger completely.
+        let ids: Vec<u64> = before.keys().copied().collect();
+        for id in ids {
+            match release(&shared, id) {
+                Response::Released { session } => assert_eq!(session, id),
+                other => panic!("expected Released, got {other:?}"),
+            }
+        }
+        assert!(shared.load.load().map().is_empty(), "no leaked reservation");
+        assert_conserved(&shared);
     }
 }

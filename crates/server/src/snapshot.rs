@@ -84,6 +84,18 @@ impl WorldSnapshot {
         &self.all_pairs
     }
 
+    /// The overlay, shared — what the load plane clones its clamped view
+    /// from without copying the graph.
+    pub fn overlay_arc(&self) -> Arc<OverlayGraph> {
+        Arc::clone(&self.overlay)
+    }
+
+    /// The routing table, shared — the load plane patches its residual
+    /// table from this one instead of rebuilding.
+    pub fn all_pairs_arc(&self) -> Arc<AllPairs> {
+        Arc::clone(&self.all_pairs)
+    }
+
     /// The pinned source instance (survives every mutation).
     pub fn source(&self) -> ServiceInstance {
         self.source

@@ -50,6 +50,18 @@ pub struct StatsSnapshot {
     /// Model-invariant violations found by the flow-graph auditor
     /// (`serve --audit`); 0 when auditing is off or every answer checked out.
     pub audit_violations: u64,
+    /// Sessions migrated to cheaper paths by rebalancer sweeps.
+    pub migrations: u64,
+    /// Rebalancer movers that failed to re-solve or did not improve the
+    /// world and were left on their original paths.
+    pub migration_failures: u64,
+    /// The worst per-link utilization at the last reading, permille
+    /// (1000 = a link exactly at capacity).
+    pub max_link_utilization_permille: u64,
+    /// Federates that failed against the residual view — the demand did not
+    /// fit into what live sessions left free (`serve` without
+    /// `--no-residual`).
+    pub residual_rejects: u64,
 }
 
 /// Shared, interior-mutable counters. Workers record; any connection thread
@@ -67,6 +79,10 @@ pub struct Metrics {
     trees_recomputed: AtomicU64,
     wire_errors: AtomicU64,
     audit_violations: AtomicU64,
+    migrations: AtomicU64,
+    migration_failures: AtomicU64,
+    max_link_utilization_permille: AtomicU64,
+    residual_rejects: AtomicU64,
     latencies_us: Mutex<LatencyWindow>,
 }
 
@@ -125,6 +141,28 @@ impl Metrics {
         self.audit_violations.fetch_add(count, Ordering::Relaxed);
     }
 
+    /// One session migrated by a rebalancer sweep.
+    pub fn migration(&self) {
+        self.migrations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One mover failed to re-solve (or did not improve the world).
+    pub fn migration_failure(&self) {
+        self.migration_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the latest worst-link utilization reading (a gauge, not a
+    /// counter: each reading replaces the last).
+    pub fn set_max_link_utilization(&self, permille: u64) {
+        self.max_link_utilization_permille
+            .store(permille, Ordering::Relaxed);
+    }
+
+    /// One federate failed against the residual view.
+    pub fn residual_reject(&self) {
+        self.residual_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one request's end-to-end service latency.
     pub fn record_latency_us(&self, us: u64) {
         let mut w = self.latencies_us.lock();
@@ -159,6 +197,12 @@ impl Metrics {
             trees_recomputed: self.trees_recomputed.load(Ordering::Relaxed),
             wire_errors: self.wire_errors.load(Ordering::Relaxed),
             audit_violations: self.audit_violations.load(Ordering::Relaxed),
+            migrations: self.migrations.load(Ordering::Relaxed),
+            migration_failures: self.migration_failures.load(Ordering::Relaxed),
+            max_link_utilization_permille: self
+                .max_link_utilization_permille
+                .load(Ordering::Relaxed),
+            residual_rejects: self.residual_rejects.load(Ordering::Relaxed),
         }
     }
 }
@@ -184,7 +228,17 @@ mod tests {
         }
         m.rebuild(120, 3);
         m.rebuild(80, 1);
+        m.migration();
+        m.migration();
+        m.migration_failure();
+        m.residual_reject();
+        m.set_max_link_utilization(1400);
+        m.set_max_link_utilization(450); // a gauge: each reading replaces
         let s = m.snapshot(3, 7);
+        assert_eq!(s.migrations, 2);
+        assert_eq!(s.migration_failures, 1);
+        assert_eq!(s.residual_rejects, 1);
+        assert_eq!(s.max_link_utilization_permille, 450);
         assert_eq!(s.epoch, 3);
         assert_eq!(s.sessions, 7);
         assert_eq!(s.rebuilds, 2);

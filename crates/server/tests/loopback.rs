@@ -25,7 +25,14 @@ fn concurrent_clients_match_the_centralized_result() {
     let expected_kbps = expected.quality().bandwidth.as_kbps();
     assert_eq!(expected_kbps, 80, "diamond fixture sanity");
 
-    let handle = serve(World::new(fixture), &ServerConfig::default()).unwrap();
+    // Blind routing for this test: it pins snapshot/cache behaviour with
+    // 120 identical sessions held open, which by design would not all fit
+    // into residual capacity.
+    let config = ServerConfig {
+        residual: false,
+        ..ServerConfig::default()
+    };
+    let handle = serve(World::new(fixture), &config).unwrap();
     let addr = handle.addr();
 
     let threads: Vec<_> = (0..CLIENTS)
@@ -118,7 +125,14 @@ fn concurrent_clients_match_the_centralized_result() {
 /// (retagged to the new epoch) — only an instance failure clears it.
 #[test]
 fn qos_mutations_patch_and_keep_the_hop_cache_warm() {
-    let handle = serve(World::new(diamond_fixture()), &ServerConfig::default()).unwrap();
+    // Blind routing: the sessions this test opens stay open across the
+    // mutations, and the cache assertions assume repeat solves stay
+    // feasible regardless of booked load.
+    let config = ServerConfig {
+        residual: false,
+        ..ServerConfig::default()
+    };
+    let handle = serve(World::new(diamond_fixture()), &config).unwrap();
     let mut client = Client::connect(handle.addr()).unwrap();
 
     // Prime the hop-matrix cache.
@@ -260,6 +274,94 @@ fn full_admission_queue_sheds_explicitly() {
     let mut client = Client::connect(addr).unwrap();
     let stats = client.stats().unwrap();
     assert_eq!(stats.shed as usize, shed.load(Ordering::SeqCst));
+
+    handle.shutdown();
+}
+
+/// The load plane over the wire: residual admission, the load-map ledger,
+/// release, and an on-demand rebalancer sweep — the full session lifecycle
+/// with reservations conserved at every step.
+#[test]
+fn the_load_plane_round_trips_over_the_wire() {
+    // Default config: residual routing on, rebalance on demand.
+    let handle = serve(World::new(diamond_fixture()), &ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // An empty server has an empty ledger.
+    let ledger = client.load_map().unwrap();
+    assert_eq!(ledger.epoch, 0);
+    assert_eq!(ledger.max_utilization_permille, 0);
+    assert!(ledger.links.is_empty());
+
+    // The first session books its path.
+    let first = match client
+        .federate(DIAMOND_SPEC, Algorithm::Sflow, Some(2))
+        .unwrap()
+    {
+        Response::Federated(summary) => summary,
+        other => panic!("expected Federated, got {other:?}"),
+    };
+    assert_eq!(first.bandwidth_kbps, 80);
+    let ledger = client.load_map().unwrap();
+    assert!(!ledger.links.is_empty());
+    assert!(ledger.max_utilization_permille >= 800, "{ledger:?}");
+    for link in &ledger.links {
+        assert_eq!(
+            link.residual_kbps,
+            link.capacity_kbps.saturating_sub(link.reserved_kbps),
+            "{link:?}"
+        );
+        assert!(link.estimate_kbps > 0, "the DRE estimator saw the open");
+    }
+
+    // The second identical federate must route around the booked links —
+    // residual admission at work — and land on the narrow south route.
+    let second = match client
+        .federate(DIAMOND_SPEC, Algorithm::Sflow, Some(2))
+        .unwrap()
+    {
+        Response::Federated(summary) => summary,
+        other => panic!("expected Federated, got {other:?}"),
+    };
+    assert!(second.bandwidth_kbps < first.bandwidth_kbps);
+    assert_ne!(first.instances, second.instances);
+
+    // A sweep over a world with no better placement changes nothing
+    // catastrophic and reports the utilization it saw.
+    match client.rebalance().unwrap() {
+        Response::Rebalanced {
+            max_utilization_permille,
+            ..
+        } => assert!(max_utilization_permille > 0),
+        other => panic!("expected Rebalanced, got {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.sessions, 2);
+    assert!(stats.max_link_utilization_permille > 0);
+
+    // Releasing both sessions drains the ledger completely.
+    for summary in [&first, &second] {
+        match client.release(summary.session).unwrap() {
+            Response::Released { session } => assert_eq!(session, summary.session),
+            other => panic!("expected Released, got {other:?}"),
+        }
+    }
+    let ledger = client.load_map().unwrap();
+    assert!(ledger.links.is_empty(), "no leaked reservation: {ledger:?}");
+    assert_eq!(ledger.max_utilization_permille, 0);
+    // Releasing an unknown session is an error, not a crash.
+    match client.release(first.session).unwrap() {
+        Response::Error(msg) => assert!(msg.contains("no such session"), "{msg}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // With everything released, a third federate gets the wide route back.
+    match client
+        .federate(DIAMOND_SPEC, Algorithm::Sflow, Some(2))
+        .unwrap()
+    {
+        Response::Federated(summary) => assert_eq!(summary.bandwidth_kbps, 80),
+        other => panic!("expected Federated, got {other:?}"),
+    }
 
     handle.shutdown();
 }

@@ -22,6 +22,9 @@ fn live_server() -> sflow_server::ServerHandle {
         World::new(diamond_fixture()),
         &ServerConfig {
             audit: true, // the auditor must also survive hostile traffic
+            // Blind routing: `assert_server_alive` opens a full-bandwidth
+            // session per call, which residual booking would not admit twice.
+            residual: false,
             ..ServerConfig::default()
         },
     )

@@ -76,12 +76,16 @@ fn usage() -> ExitCode {
          \x20            [--addr IP:PORT] [--workers N] [--queue D]\n\
          \x20            [--route-workers N] routing rebuild pool (0 = auto)\n\
          \x20            [--audit] verify every answer, count violations in stats\n\
+         \x20            [--no-residual] federate against raw instead of residual capacity\n\
+         \x20            [--rebalance-interval-ms MS] background rebalancer sweeps\n\
+         \x20            [--utilization-threshold F] links hotter than F (e.g. 0.9) rebalance\n\
          \x20            [--hosts N --services K --instances M --seed S]\n\
          \x20 request    talk to a running server\n\
          \x20            --addr IP:PORT --edges \"0>1>3,0>2>3\"\n\
          \x20            [--algorithm sflow|global|fixed|service-path]\n\
          \x20            [--hop-limit H | --full-view]\n\
          \x20            | --stats | --shutdown | --fail S/H\n\
+         \x20            | --release N | --rebalance | --load-map\n\
          \x20            | --set-link \"S/H>S/H\" --bandwidth KBPS --latency US"
     );
     ExitCode::FAILURE
@@ -97,7 +101,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("unexpected argument {a}"));
         };
         match key {
-            "dot" | "distributed" | "stats" | "shutdown" | "full-view" | "audit" => {
+            "dot" | "distributed" | "stats" | "shutdown" | "full-view" | "audit"
+            | "no-residual" | "rebalance" | "load-map" => {
                 flags.insert(key.into(), "true".into());
             }
             _ => {
@@ -269,11 +274,23 @@ fn serve(flags: &Flags) -> Result<(), String> {
         .get("addr")
         .map(String::as_str)
         .unwrap_or("127.0.0.1:0");
+    let threshold: f64 = get(flags, "utilization-threshold", 0.9)?;
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err(format!(
+            "--utilization-threshold wants a fraction in [0, 1], got {threshold}"
+        ));
+    }
     let config = ServerConfig {
         workers: get(flags, "workers", ServerConfig::default().workers)?,
         queue_depth: get(flags, "queue", ServerConfig::default().queue_depth)?,
         route_workers: get(flags, "route-workers", 0usize)?,
         audit: flags.contains_key("audit"),
+        residual: !flags.contains_key("no-residual"),
+        rebalance_interval: match get(flags, "rebalance-interval-ms", 0u64)? {
+            0 => None,
+            ms => Some(std::time::Duration::from_millis(ms)),
+        },
+        utilization_threshold_permille: (threshold * 1000.0) as u64,
         ..ServerConfig::default()
     };
     // Default world: the paper's Fig. 4. With --hosts, a seeded random world
@@ -359,7 +376,64 @@ fn request(flags: &Flags) -> Result<(), String> {
             "correctness: {} wire errors, {} audit violations",
             s.wire_errors, s.audit_violations
         );
+        println!(
+            "load: {} migrations, {} migration failures, {} residual rejects, \
+             max link utilization {}‰",
+            s.migrations, s.migration_failures, s.residual_rejects, s.max_link_utilization_permille
+        );
         return Ok(());
+    }
+    if flags.contains_key("load-map") {
+        let ledger = client.load_map().map_err(|e| e.to_string())?;
+        println!(
+            "load map: epoch {} version {}  max utilization {}‰  {} booked link(s)",
+            ledger.epoch,
+            ledger.version,
+            ledger.max_utilization_permille,
+            ledger.links.len()
+        );
+        for l in &ledger.links {
+            println!(
+                "  {} -> {}  reserved {} / {} kbit/s  residual {}  estimate {}  ({}‰)",
+                l.from,
+                l.to,
+                l.reserved_kbps,
+                l.capacity_kbps,
+                l.residual_kbps,
+                l.estimate_kbps,
+                l.utilization_permille
+            );
+        }
+        return Ok(());
+    }
+    if flags.contains_key("rebalance") {
+        match client.rebalance().map_err(|e| e.to_string())? {
+            Response::Rebalanced {
+                migrations,
+                migration_failures,
+                max_utilization_permille,
+            } => {
+                println!(
+                    "rebalanced: {migrations} migration(s), {migration_failures} failure(s), \
+                     max link utilization {max_utilization_permille}‰"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unexpected response {other:?}")),
+        }
+    }
+    if let Some(session) = flags.get("release") {
+        let session: u64 = session
+            .parse()
+            .map_err(|_| format!("bad session id {session:?}"))?;
+        match client.release(session).map_err(|e| e.to_string())? {
+            Response::Released { session } => {
+                println!("released: session {session}");
+                return Ok(());
+            }
+            Response::Error(msg) => return Err(msg),
+            other => return Err(format!("unexpected response {other:?}")),
+        }
     }
     if flags.contains_key("shutdown") {
         let resp = client.shutdown().map_err(|e| e.to_string())?;
@@ -388,9 +462,10 @@ fn request(flags: &Flags) -> Result<(), String> {
         return print_mutated(&resp);
     }
 
-    let spec = flags
-        .get("edges")
-        .ok_or("request needs --edges (or --stats/--shutdown/--fail/--set-link)")?;
+    let spec = flags.get("edges").ok_or(
+        "request needs --edges (or --stats/--load-map/--rebalance/--release/\
+             --shutdown/--fail/--set-link)",
+    )?;
     let algorithm = match flags
         .get("algorithm")
         .map(String::as_str)
