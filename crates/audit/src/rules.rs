@@ -405,9 +405,11 @@ fn kernel_discipline(rel: &str, masked: &Masked, test: &[bool], out: &mut Vec<Fi
 }
 
 /// Calls that run a federation solve (directly, via repair, or via the
-/// rebalancer's re-solve entry points). A lock guard live across any of
+/// rebalancer's re-solve entry points), plus the solve-cache fill and
+/// admission entry points (`cache_solve`, `open_session`), which take the
+/// cache or sessions lock internally. A lock guard live across any of
 /// these couples readers to mutators again — exactly what the snapshot
-/// architecture removed.
+/// architecture removed — or re-enters a lock the callee takes itself.
 const SOLVE_TOKENS: &[&str] = &[
     ".solve(",
     ".solve_pinned(",
@@ -415,6 +417,8 @@ const SOLVE_TOKENS: &[&str] = &[
     "repair(",
     "resolve_mover(",
     "federate_against(",
+    ".cache_solve(",
+    "open_session(",
 ];
 
 /// Statement-final lock acquisitions whose `let` binding creates a guard.

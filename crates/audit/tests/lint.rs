@@ -226,6 +226,39 @@ fn guard_across_solve_covers_the_rebalancer_entry_points() {
 }
 
 #[test]
+fn guard_across_solve_covers_the_cache_fill_and_admission_entry_points() {
+    // A guard live across the solve-cache fill: the fill takes the cache
+    // lock internally, and the cold solve that produced the flow should
+    // already have run off-lock anyway.
+    let src = "fn f(shared: &Shared, snapshot: &WorldSnapshot) {\n\
+                   let sessions = shared.sessions.lock();\n\
+                   let flow = snapshot.cache_solve(key, flow);\n\
+               }\n";
+    let (fs, _) = scan_source("crates/server/src/server.rs", src);
+    assert!(fs.iter().any(|f| f.rule == "guard-across-solve"), "{fs:?}");
+
+    // Same for admission: `open_session` takes the sessions lock itself,
+    // so a caller holding any guard across it risks deadlock.
+    let src = "fn f(shared: &Shared) {\n\
+                   let world = shared.world.lock();\n\
+                   let out = open_session(shared, &snap, &req, &flow, None, false);\n\
+               }\n";
+    let (fs, _) = scan_source("crates/server/src/server.rs", src);
+    assert!(fs.iter().any(|f| f.rule == "guard-across-solve"), "{fs:?}");
+
+    // The real shape — drop the guard first — is clean, and a longer
+    // identifier ending in the token is not the entry point.
+    let src = "fn f(shared: &Shared) {\n\
+                   let sessions = shared.sessions.lock();\n\
+                   drop(sessions);\n\
+                   let out = open_session(shared, &snap, &req, &flow, None, true);\n\
+                   let other = reopen_session(shared);\n\
+               }\n";
+    let (fs, _) = scan_source("crates/server/src/server.rs", src);
+    assert!(fs.iter().all(|f| f.rule != "guard-across-solve"), "{fs:?}");
+}
+
+#[test]
 fn guard_dropped_before_the_solve_is_clean() {
     let src = "fn f(shared: &Shared) {\n\
                    let world = shared.world.lock();\n\

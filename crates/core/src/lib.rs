@@ -62,7 +62,7 @@ pub use context::{FederationContext, OwnedFederationContext};
 pub use error::FederationError;
 pub use flow_graph::{FlowEdge, FlowGraph, FlowQuality};
 pub use requirement::{
-    ParseRequirementError, RequirementBuilder, RequirementError, RequirementShape,
+    CanonicalKey, ParseRequirementError, RequirementBuilder, RequirementError, RequirementShape,
     ServiceRequirement,
 };
 pub use solver::{Selection, Solver};

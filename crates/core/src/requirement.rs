@@ -75,6 +75,63 @@ pub enum RequirementShape {
     Dag,
 }
 
+/// A structural identity for a requirement, insensitive to construction
+/// order: two requirements built from the same service DAG — no matter how
+/// their edges were listed, parsed or permuted — produce equal keys, and
+/// requirements with different services or different stream edges produce
+/// distinct keys.
+///
+/// The key is the *canonical form itself* (the sorted, deduplicated edge
+/// list over raw service ids), not a hash, so equality is exact: there are
+/// no collisions between genuinely different requirements. [`CanonicalKey`]
+/// is `Ord + Hash` and cheap to compare, which makes it directly usable as
+/// a map key for requirement-keyed solve caches. A 64-bit
+/// [`digest`](CanonicalKey::digest) is available when a compact fingerprint
+/// is enough (display, sharding, bench traces).
+///
+/// Note the key covers the *requirement* only. Solve outputs also depend on
+/// the algorithm, hop bounds and QoS state of the world; callers caching
+/// solved flow graphs must scope their cache to those too (the server keys
+/// its per-snapshot cache by `(CanonicalKey, algorithm, hop_limit)` and
+/// revalidates hits against live load).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CanonicalKey {
+    /// Sorted `(upstream, downstream)` service-id pairs. Every service of a
+    /// validated requirement appears in at least one edge (connectivity from
+    /// the single source forbids isolated services), so the edge list alone
+    /// determines the full structure.
+    edges: Vec<(u32, u32)>,
+}
+
+impl CanonicalKey {
+    /// The canonical edge list as raw service-id pairs, sorted ascending.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// A 64-bit FNV-1a fingerprint of the canonical form. Collisions are
+    /// possible (use the key itself for exact identity); the digest is for
+    /// human-readable labels and trace bucketing.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for &(a, b) in &self.edges {
+            for byte in a.to_le_bytes().into_iter().chain(b.to_le_bytes()) {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+        h
+    }
+}
+
+impl fmt::Display for CanonicalKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req:{:016x}", self.digest())
+    }
+}
+
 /// A validated service requirement.
 ///
 /// Construct via [`ServiceRequirement::builder`] or the convenience
@@ -337,6 +394,37 @@ impl ServiceRequirement {
             |_, sid| sid.to_string(),
             |_| String::new(),
         )
+    }
+
+    /// The structural, order-insensitive identity of this requirement (see
+    /// [`CanonicalKey`]): the sorted edge list over raw service ids. Two
+    /// requirements describing the same service DAG collide regardless of
+    /// edge insertion order; requirements differing in any service or stream
+    /// edge do not.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sflow_core::ServiceRequirement;
+    /// let a: ServiceRequirement = "0>1>3, 0>2>3".parse()?;
+    /// let b: ServiceRequirement = "0>2, 2>3, 0>1, 1>3".parse()?;
+    /// assert_eq!(a.canonical_key(), b.canonical_key());
+    /// # Ok::<(), sflow_core::ParseRequirementError>(())
+    /// ```
+    pub fn canonical_key(&self) -> CanonicalKey {
+        let mut edges: Vec<(u32, u32)> = self
+            .graph
+            .edges()
+            .map(|e| {
+                (
+                    self.graph.node(e.from).as_u32(),
+                    self.graph.node(e.to).as_u32(),
+                )
+            })
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        CanonicalKey { edges }
     }
 
     /// End-to-end check that a per-edge property holds; used by flow-graph
@@ -685,6 +773,64 @@ mod tests {
         // Idempotent on already-reduced requirements.
         let again = reduced.transitive_reduction();
         assert_eq!(again.edge_count(), 3);
+    }
+
+    #[test]
+    fn canonical_keys_collide_for_permuted_equivalent_requirements() {
+        // The same diamond built in four different edge orders, via three
+        // different constructors.
+        let a = ServiceRequirement::from_edges([
+            (s(0), s(1)),
+            (s(0), s(2)),
+            (s(1), s(3)),
+            (s(2), s(3)),
+        ])
+        .unwrap();
+        let b = ServiceRequirement::from_edges([
+            (s(2), s(3)),
+            (s(1), s(3)),
+            (s(0), s(2)),
+            (s(0), s(1)),
+        ])
+        .unwrap();
+        let c: ServiceRequirement = "0>2>3, 0>1>3".parse().unwrap();
+        let mut builder = ServiceRequirement::builder();
+        builder
+            .edge(s(1), s(3))
+            .edge(s(0), s(1))
+            .edge(s(0), s(1)) // duplicates do not perturb the key
+            .edge(s(2), s(3))
+            .edge(s(0), s(2));
+        let d = builder.build().unwrap();
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        assert_eq!(a.canonical_key(), c.canonical_key());
+        assert_eq!(a.canonical_key(), d.canonical_key());
+        assert_eq!(a.canonical_key().digest(), d.canonical_key().digest());
+    }
+
+    #[test]
+    fn canonical_keys_separate_distinct_requirements() {
+        let diamond: ServiceRequirement = "0>1>3, 0>2>3".parse().unwrap();
+        let path: ServiceRequirement = "0>1>2>3".parse().unwrap();
+        let renamed: ServiceRequirement = "0>1>4, 0>2>4".parse().unwrap();
+        let extra_edge: ServiceRequirement = "0>1>3, 0>2>3, 0>3".parse().unwrap();
+        let keys = [
+            diamond.canonical_key(),
+            path.canonical_key(),
+            renamed.canonical_key(),
+            extra_edge.canonical_key(),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in keys.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+        // Keys order and display deterministically.
+        assert_eq!(
+            diamond.canonical_key().edges(),
+            &[(0, 1), (0, 2), (1, 3), (2, 3)]
+        );
+        assert!(diamond.canonical_key().to_string().starts_with("req:"));
     }
 
     #[test]

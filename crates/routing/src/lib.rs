@@ -65,8 +65,8 @@ pub mod pareto;
 pub mod shortest_widest;
 
 pub use engine::{
-    all_pairs_parallel, all_pairs_parallel_with, all_pairs_residual_with, auto_workers, EdgeChange,
-    PatchStats,
+    all_pairs_parallel, all_pairs_parallel_with, all_pairs_residual_with, auto_workers, DirtyLinks,
+    EdgeChange, PatchStats,
 };
 pub use metrics::{Bandwidth, Latency, Qos};
 pub use shortest_widest::{

@@ -77,13 +77,15 @@ pub mod world;
 pub use client::Client;
 pub use load::{LinkId, LoadCell, LoadMap, LoadPlane};
 pub use server::{serve, serve_on, ServerConfig, ServerHandle};
-pub use snapshot::{Snap, WorldSnapshot};
+pub use snapshot::{Snap, SolveKey, WorldSnapshot};
 pub use stats::StatsSnapshot;
 pub use wire::WireError;
 pub use world::World;
 
 /// Which federation algorithm a [`Request::Federate`] should run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub enum Algorithm {
     /// The paper's sFlow algorithm (horizon from the request's `hop_limit`).
     #[default]

@@ -356,6 +356,18 @@ impl LoadPlane {
             .as_kbps()
     }
 
+    /// `true` if `links` — a flow's per-link reservations, as produced by
+    /// [`links_of`] — still fit into residual capacity link by link. This
+    /// is the cheap feasibility check behind solve-cache revalidation: a
+    /// cached flow may only be served if every link it would reserve on has
+    /// at least its demand still free. Links absent from this epoch's
+    /// overlay fail the check (their residual reads zero).
+    pub fn fits(&self, links: &[(LinkId, u64)]) -> bool {
+        links
+            .iter()
+            .all(|&(link, need)| self.residual_kbps(link) >= need)
+    }
+
     /// `link`'s utilization in permille (`reserved · 1000 / capacity`).
     /// Infinite capacity is always 0‰; an over-booked link reads over
     /// 1000‰; a reservation on a zero-capacity link saturates.

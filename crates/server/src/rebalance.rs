@@ -121,6 +121,14 @@ pub(crate) fn sweep(shared: &Shared) -> SweepOutcome {
             if session.solved_epoch != snapshot.epoch() {
                 return None;
             }
+            // Forest members never migrate individually: the holder's
+            // reservation carries every tenant of the shared instance set,
+            // so moving one member would strand the others on a booking
+            // their flow no longer matches. (Non-holders carry no links and
+            // would never rank anyway; this also pins the holder.)
+            if session.forest.is_some() {
+                return None;
+            }
             let overlap = session
                 .links
                 .iter()

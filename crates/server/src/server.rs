@@ -17,7 +17,7 @@
 //! overload.
 //!
 //! Locking: there is none on the solve path. `Federate` loads the current
-//! [`WorldSnapshot`](crate::snapshot::WorldSnapshot) from the [`Snap`] cell
+//! [`WorldSnapshot`] from the [`Snap`] cell
 //! (an `Arc` clone) and solves against that immutable epoch with zero shared
 //! locks held; the per-epoch hop matrix lives inside the snapshot and is
 //! built at most once however many solvers race on it. `Mutate` serializes
@@ -48,7 +48,7 @@ use sflow_runtime::duration_us;
 
 use crate::load::{links_of, LinkId, LoadCell, LoadMap, LoadPlane};
 use crate::rebalance;
-use crate::snapshot::Snap;
+use crate::snapshot::{Snap, SolveKey, WorldSnapshot};
 use crate::stats::Metrics;
 use crate::wire::{read_frame, write_frame};
 use crate::world::World;
@@ -77,6 +77,11 @@ pub struct ServerConfig {
     /// turns it off — the load ledger still tracks every session, but the
     /// solver goes back to being blind to live load.
     pub residual: bool,
+    /// Serve repeated requirements from the per-snapshot solve cache and
+    /// attach same-key tenants to shared service forests. On by default;
+    /// `serve --no-solve-cache` turns it off — every federate then runs a
+    /// cold solve and opens a private session.
+    pub solve_cache: bool,
     /// Run a background rebalancer sweep this often. `None` (the default)
     /// starts no thread; [`Request::Rebalance`] still sweeps on demand.
     pub rebalance_interval: Option<Duration>,
@@ -97,6 +102,7 @@ impl Default for ServerConfig {
             route_workers: 0,
             audit: false,
             residual: true,
+            solve_cache: true,
             rebalance_interval: None,
             utilization_threshold_permille: 900,
             debug_delay: None,
@@ -115,14 +121,53 @@ pub(crate) struct Session {
     pub(crate) solved_epoch: u64,
     /// The per-link bandwidth this session reserves in the load plane —
     /// exactly what was booked when it opened (or last repaired/migrated),
-    /// so closing it releases exactly what it holds.
+    /// so closing it releases exactly what it holds. For a forest tenant
+    /// that is the *marginal* reservation: the forest's holder carries the
+    /// shared instance set's full booking, every other member carries none
+    /// (shared links reserve the `max`, not the `sum`, of the common
+    /// streams — and for an exact-key forest every stream is common).
     pub(crate) links: Vec<(LinkId, u64)>,
+    /// The shared service forest this session is attached to, if any.
+    pub(crate) forest: Option<u64>,
+}
+
+/// One shared service forest: N same-key tenants attached to a single
+/// shared instance set. Exactly one member — the *holder*, the member
+/// whose `Session::links` is non-empty — carries the forest's reservation
+/// in the load plane; releasing the holder hands the booking to a
+/// surviving member, so the conservation invariant (ledger == Σ session
+/// links) holds at every instant without special-casing forests.
+pub(crate) struct Forest {
+    /// The solve key every member federated under.
+    pub(crate) key: SolveKey,
+    /// The epoch the shared flow is currently valid at (moves forward when
+    /// a mutation's repair sweep carries the forest over).
+    pub(crate) epoch: u64,
+    /// The shared flow every member is attached to.
+    pub(crate) flow: FlowGraph,
+    /// Member session ids, in attach order.
+    pub(crate) members: Vec<u64>,
 }
 
 #[derive(Default)]
 pub(crate) struct Sessions {
     pub(crate) next_id: u64,
     pub(crate) live: BTreeMap<u64, Session>,
+    pub(crate) next_forest: u64,
+    pub(crate) forests: BTreeMap<u64, Forest>,
+    /// The live forest currently accepting tenants for a key. An entry can
+    /// be superseded (a new forest takes the key after a mutation moved
+    /// the old one); superseded forests keep serving their members but
+    /// accept no new ones.
+    pub(crate) by_key: BTreeMap<SolveKey, u64>,
+}
+
+impl Sessions {
+    /// Live forest census: `(forests, tenants)` — the `--stats` gauges.
+    pub(crate) fn forest_census(&self) -> (u64, u64) {
+        let tenants: usize = self.forests.values().map(|f| f.members.len()).sum();
+        (self.forests.len() as u64, tenants as u64)
+    }
 }
 
 /// State shared by every thread of one server instance.
@@ -333,6 +378,11 @@ fn dispatch(shared: &Shared, job_tx: &Sender<Job>, request: Request) -> Response
             shared
                 .metrics
                 .set_max_link_utilization(shared.load.load().max_utilization_permille());
+            // The forest census, read under a short sessions-lock hold
+            // (the forests map stays in place even while a repair sweep
+            // has the live map taken out).
+            let (forests, tenants) = shared.sessions.lock().forest_census();
+            shared.metrics.set_forests(forests, tenants);
             Response::Stats(shared.metrics.snapshot(epoch, sessions))
         }
         // Like Stats: a read of the published plane, answerable under
@@ -438,17 +488,50 @@ fn federate(
     federate_against(shared, snapshot, requirement, algorithm, hop_limit)
 }
 
-/// The epoch-pinned half of [`federate`]: solves against exactly
-/// `snapshot`, then opens a session — unless a mutation overtook the solve,
-/// in which case the answer is [`Response::Stale`]. Split out so the race
-/// window is testable with a deliberately outdated snapshot.
+/// The epoch-pinned half of [`federate`]: serves the requirement from the
+/// snapshot's solve cache when possible (revalidating the cached flow
+/// against the live load plane), falls through to a cold solve otherwise,
+/// then opens a session — unless a mutation overtook it, in which case the
+/// answer is [`Response::Stale`]. Split out so the race window is testable
+/// with a deliberately outdated snapshot.
 fn federate_against(
     shared: &Shared,
-    snapshot: Arc<crate::snapshot::WorldSnapshot>,
+    snapshot: Arc<WorldSnapshot>,
     requirement: ServiceRequirement,
     algorithm: Algorithm,
     hop_limit: Option<usize>,
 ) -> Response {
+    let key = shared.config.solve_cache.then(|| SolveKey {
+        requirement: requirement.canonical_key(),
+        algorithm,
+        hop_limit,
+    });
+    // Warm path: an earlier federate against this very snapshot solved the
+    // same key. The cached flow is exact w.r.t. topology and QoS (it lives
+    // inside the epoch) but blind to load, so `open_session` revalidates it
+    // against the live plane and refuses if the capacity is gone — the
+    // request then falls through to the cold path below.
+    if let Some(key) = &key {
+        if let Some(flow) = snapshot.cached_solve(key) {
+            match open_session(shared, &snapshot, &requirement, &flow, Some(key), true) {
+                OpenOutcome::Answered(response) => {
+                    if matches!(*response, Response::Federated(_)) {
+                        shared.metrics.cache_hit();
+                    }
+                    return *response;
+                }
+                OpenOutcome::Refused => {
+                    shared.metrics.cache_revalidation_fail();
+                    // Evict the no-longer-feasible entry so the cold solve
+                    // below can file its load-aware answer (`cache_solve`
+                    // is first-writer-wins and would keep the stale flow).
+                    snapshot.evict_solve(key);
+                }
+            }
+        } else {
+            shared.metrics.cache_miss();
+        }
+    }
     // Residual routing: when the load plane tracks this snapshot's epoch,
     // solve against what live sessions left free — the clamped overlay and
     // its patched table. Otherwise (the `--no-residual` knob, or a plane
@@ -470,9 +553,9 @@ fn federate_against(
                 Some(limit) => {
                     let (matrix, built) = snapshot.hop_matrix_tracked();
                     if built {
-                        shared.metrics.cache_miss();
+                        shared.metrics.hop_cache_miss();
                     } else {
-                        shared.metrics.cache_hit();
+                        shared.metrics.hop_cache_hit();
                     }
                     Solver::new(&ctx).with_hop_matrix(limit, matrix)
                 }
@@ -498,7 +581,56 @@ fn federate_against(
         }
     };
     audit_flow(shared, &ctx, &requirement, &flow);
+    // File the answer under its key. `cache_solve` is first-writer-wins, so
+    // racing cold solves of one key converge on a single canonical flow —
+    // the instance set later tenants' forests share.
+    let flow = match &key {
+        Some(key) => snapshot.cache_solve(key.clone(), flow),
+        None => Arc::new(flow),
+    };
+    // A cold solve against the residual context already proved it fits;
+    // no revalidation, so this open cannot be refused.
+    match open_session(shared, &snapshot, &requirement, &flow, key.as_ref(), false) {
+        OpenOutcome::Answered(response) => *response,
+        OpenOutcome::Refused => Response::Error("cold open refused".into()),
+    }
+}
 
+/// What [`open_session`] did with a candidate flow.
+enum OpenOutcome {
+    /// A definitive answer: the session opened (`Federated`), or the open
+    /// is impossible at this epoch (`Stale`, table full). Boxed so the
+    /// `Refused` arm doesn't pay `Response`'s footprint.
+    Answered(Box<Response>),
+    /// The cached flow failed load revalidation; the caller should fall
+    /// through to a cold solve.
+    Refused,
+}
+
+/// `true` if two flows describe the same federation: same instance
+/// selection, same streams over the same overlay paths, same quality.
+fn same_flow(a: &FlowGraph, b: &FlowGraph) -> bool {
+    a.selection() == b.selection() && a.quality() == b.quality() && a.edges() == b.edges()
+}
+
+/// Opens one session for `flow` under a single sessions-lock hold: epoch
+/// and capacity checks, forest attach-or-found, reservation booking. The
+/// one entry point both the warm (cached) and cold (fresh solve) paths
+/// funnel through, so the admission rules cannot drift apart.
+///
+/// With `revalidate`, the flow's full reservation must fit the live
+/// residual plane or the open is [`OpenOutcome::Refused`] — unless the
+/// tenant attaches to a live forest, whose shared links are already booked
+/// (the marginal demand of an exact-key tenant is zero, the `max` of
+/// identical streams being the holder's existing reservation).
+fn open_session(
+    shared: &Shared,
+    snapshot: &WorldSnapshot,
+    requirement: &ServiceRequirement,
+    flow: &Arc<FlowGraph>,
+    key: Option<&SolveKey>,
+    revalidate: bool,
+) -> OpenOutcome {
     let mut sessions = shared.sessions.lock();
     // Epoch check under the sessions lock: repair sweeps also take it, so
     // this decides atomically whether the session will be covered by every
@@ -508,10 +640,10 @@ fn federate_against(
     if current_epoch != snapshot.epoch() {
         drop(sessions);
         shared.metrics.stale();
-        return Response::Stale {
+        return OpenOutcome::Answered(Box::new(Response::Stale {
             solved_epoch: snapshot.epoch(),
             current_epoch,
-        };
+        }));
     }
     // The counter, not `live.len()`: a concurrent repair sweep empties the
     // map while it re-resolves, and the cap must keep counting those
@@ -520,10 +652,59 @@ fn federate_against(
     // sweep decrements can only make this check conservative.
     if shared.live_sessions.load(Ordering::SeqCst) >= shared.config.max_sessions {
         shared.metrics.failed();
-        return Response::Error("session table full".into());
+        return OpenOutcome::Answered(Box::new(Response::Error("session table full".into())));
+    }
+    // Attach to the key's live forest if it matches exactly — same epoch,
+    // same flow. A forest left at another epoch (or moved to a different
+    // instance set by a repair) does not match and is superseded below.
+    let attach = key.and_then(|key| {
+        let fid = *sessions.by_key.get(key)?;
+        let forest = sessions.forests.get(&fid)?;
+        (forest.epoch == snapshot.epoch() && same_flow(&forest.flow, flow)).then_some(fid)
+    });
+    let links = match attach {
+        Some(_) => Vec::new(),
+        None => links_of(flow, snapshot.overlay()),
+    };
+    if revalidate && attach.is_none() {
+        // The cached flow must fit residual capacity in full (it founds a
+        // new forest, so its whole reservation is marginal). Skipped when
+        // residual admission is off or the plane is mid-rebase — the cold
+        // path would be equally blind there.
+        let plane = shared.load.load();
+        if shared.config.residual && plane.epoch() == snapshot.epoch() && !plane.fits(&links) {
+            return OpenOutcome::Refused;
+        }
     }
     let session = sessions.next_id;
     sessions.next_id += 1;
+    let forest = match (key, attach) {
+        (_, Some(fid)) => {
+            if let Some(forest) = sessions.forests.get_mut(&fid) {
+                forest.members.push(session);
+            }
+            Some(fid)
+        }
+        (Some(key), None) => {
+            // Found a forest for this key (superseding any stale holder of
+            // the `by_key` slot — its members keep being served, it just
+            // accepts no new tenants).
+            let fid = sessions.next_forest;
+            sessions.next_forest += 1;
+            sessions.forests.insert(
+                fid,
+                Forest {
+                    key: key.clone(),
+                    epoch: snapshot.epoch(),
+                    flow: flow.as_ref().clone(),
+                    members: vec![session],
+                },
+            );
+            sessions.by_key.insert(key.clone(), fid);
+            Some(fid)
+        }
+        (None, None) => None,
+    };
     let summary = FlowSummary {
         session,
         epoch: snapshot.epoch(),
@@ -531,48 +712,86 @@ fn federate_against(
         latency_us: flow.quality().latency.as_micros(),
         instances: flow.instances().clone(),
     };
-    let links = links_of(&flow, snapshot.overlay());
     sessions.live.insert(
         session,
         Session {
-            requirement,
-            flow,
+            requirement: requirement.clone(),
+            flow: flow.as_ref().clone(),
             solved_epoch: snapshot.epoch(),
             links: links.clone(),
+            forest,
         },
     );
     shared.live_sessions.fetch_add(1, Ordering::SeqCst);
     // Book the reservations, still under the sessions lock, re-loading the
     // plane because other opens may have published since our solve-time
     // load. A plane at another epoch means a mutation's rebase is imminent
-    // and will account this session from the table itself.
-    let plane = shared.load.load();
-    if plane.epoch() == snapshot.epoch() {
-        shared.load.publish(Arc::new(plane.with_changes(
-            &links,
-            &[],
-            shared.config.route_workers,
-        )));
+    // and will account this session from the table itself. A forest tenant
+    // books nothing — the holder's reservation already carries the shared
+    // streams.
+    if !links.is_empty() {
+        let plane = shared.load.load();
+        if plane.epoch() == snapshot.epoch() {
+            shared.load.publish(Arc::new(plane.with_changes(
+                &links,
+                &[],
+                shared.config.route_workers,
+            )));
+        }
     }
     shared.metrics.served();
-    Response::Federated(summary)
+    OpenOutcome::Answered(Box::new(Response::Federated(summary)))
 }
 
 /// Closes one session and releases exactly the reservations it holds — the
 /// other half of the session lifecycle, and the only way load leaves the
 /// plane without a migration or a repair drop.
+///
+/// Forest members complicate this in one way: the *holder* carries the
+/// whole forest's reservation. A holder leaving survivors hands its links
+/// to the next member under the same lock hold — the ledger never moves —
+/// and only the last member out actually releases the booking.
 fn release(shared: &Shared, session: u64) -> Response {
     let mut sessions = shared.sessions.lock();
-    let Some(closed) = sessions.live.remove(&session) else {
+    let Some(mut closed) = sessions.live.remove(&session) else {
         shared.metrics.failed();
         return Response::Error(format!("no such session {session}"));
     };
     shared.live_sessions.fetch_sub(1, Ordering::SeqCst);
+    if let Some(fid) = closed.forest {
+        if let Some(forest) = sessions.forests.get_mut(&fid) {
+            forest.members.retain(|&m| m != session);
+            let heir = forest.members.first().copied();
+            match heir {
+                Some(heir) => {
+                    if !closed.links.is_empty() {
+                        // The holder leaves; a survivor inherits the
+                        // booking in place. Nothing is published: the
+                        // ledger still equals the sum of session links.
+                        if let Some(survivor) = sessions.live.get_mut(&heir) {
+                            survivor.links = std::mem::take(&mut closed.links);
+                        }
+                    }
+                }
+                None => {
+                    // Last member out: the forest dissolves and `closed`
+                    // (the holder by construction) releases below. The
+                    // `by_key` slot is dropped only if this forest still
+                    // owns it — a superseding forest may have taken it.
+                    if let Some(gone) = sessions.forests.remove(&fid) {
+                        if sessions.by_key.get(&gone.key) == Some(&fid) {
+                            sessions.by_key.remove(&gone.key);
+                        }
+                    }
+                }
+            }
+        }
+    }
     let plane = shared.load.load();
     // Release against the epoch the links were booked under; across a
     // rebase the ledger is rebuilt from the table (which no longer holds
     // this session), so there is nothing to subtract.
-    if plane.epoch() == closed.solved_epoch {
+    if !closed.links.is_empty() && plane.epoch() == closed.solved_epoch {
         shared.load.publish(Arc::new(plane.with_changes(
             &[],
             &closed.links,
@@ -707,6 +926,46 @@ fn mutate(shared: &Shared, mutation: &crate::Mutation) -> Response {
     // are memory.
     let mut sessions = shared.sessions.lock();
     sessions.live.extend(kept);
+    // Carry the forests across the epoch. Repair is deterministic over
+    // identical inputs, so every surviving member of a forest was repaired
+    // onto the same new flow — but the per-session sweep above gave each of
+    // them the flow's *full* links. Re-pin the holder role: the first
+    // survivor keeps the reservation, every other member's links clear, so
+    // the rebase below books each shared instance set exactly once (`max`,
+    // not `sum`, of the common streams). Forests with no survivors (or
+    // already created at the new epoch mid-sweep) dissolve or pass through.
+    {
+        let Sessions {
+            live,
+            forests,
+            by_key,
+            ..
+        } = &mut *sessions;
+        forests.retain(|fid, forest| {
+            if forest.epoch == epoch {
+                return true; // opened mid-sweep, already current
+            }
+            forest
+                .members
+                .retain(|m| live.get(m).is_some_and(|s| s.solved_epoch == epoch));
+            let Some(&holder) = forest.members.first() else {
+                if by_key.get(&forest.key) == Some(fid) {
+                    by_key.remove(&forest.key);
+                }
+                return false;
+            };
+            if let Some(held) = live.get(&holder) {
+                forest.flow = held.flow.clone();
+            }
+            forest.epoch = epoch;
+            for member in forest.members.iter().skip(1) {
+                if let Some(tenant) = live.get_mut(member) {
+                    tenant.links = Vec::new();
+                }
+            }
+            true
+        });
+    }
     let mut map = LoadMap::from_reservations(
         sessions
             .live
@@ -837,6 +1096,7 @@ mod tests {
                 flow,
                 solved_epoch: 1,
                 links,
+                forest: None,
             },
         );
         shared.live_sessions.fetch_add(1, Ordering::SeqCst);
@@ -1057,6 +1317,10 @@ mod tests {
             addr: "127.0.0.1:0".parse().unwrap(),
             config: ServerConfig {
                 residual: false, // blind opens; the *rebalancer* is under test
+                // Cached repeats would share one forest (one booking, no
+                // movable second session); this test needs two independent
+                // bookings on the same route.
+                solve_cache: false,
                 utilization_threshold_permille: 900,
                 route_workers: 1,
                 ..ServerConfig::default()
@@ -1172,5 +1436,288 @@ mod tests {
         }
         assert!(shared.load.load().map().is_empty(), "no leaked reservation");
         assert_conserved(&shared);
+    }
+
+    /// Tentpole: repeated same-requirement federates hit the per-snapshot
+    /// solve cache, attach to one shared forest, and reserve the shared
+    /// links once (`max`, not `sum`) — and the warm answer is byte-identical
+    /// to the cold one and audits clean.
+    #[test]
+    fn repeated_federates_share_a_forest_one_booking_and_identical_flows() {
+        let shared = shared_over_diamond();
+        let requirement = diamond_requirement();
+        // The reference answer at this epoch+load: the cold path below sees
+        // an empty ledger, so it solves against this same raw context.
+        let snapshot = shared.snap.load();
+        let reference = Solver::new(&snapshot.context())
+            .solve(&requirement)
+            .unwrap();
+
+        for _ in 0..3 {
+            match federate_against(
+                &shared,
+                shared.snap.load(),
+                requirement.clone(),
+                Algorithm::Sflow,
+                None,
+            ) {
+                Response::Federated(_) => {}
+                other => panic!("expected Federated, got {other:?}"),
+            }
+        }
+        let stats = shared.metrics.snapshot(0, 3);
+        assert_eq!(stats.cache_misses, 1, "only the first solve is cold");
+        assert_eq!(stats.cache_hits, 2, "repeats are served warm");
+        assert_eq!(stats.cache_revalidation_fails, 0);
+        assert_eq!(snapshot.cached_solve_count(), 1);
+
+        let sessions = shared.sessions.lock();
+        assert_eq!(
+            sessions.forest_census(),
+            (1, 3),
+            "one forest, three tenants"
+        );
+        // Exactly one member — the holder — carries the reservation; the
+        // ledger reserves the shared links once, not three times.
+        let holders = sessions
+            .live
+            .values()
+            .filter(|s| !s.links.is_empty())
+            .count();
+        assert_eq!(holders, 1, "one holder books for the whole forest");
+        assert!(sessions.live.values().all(|s| s.forest == Some(0)));
+        // Byte-identical satellite: every tenant's flow serializes to the
+        // same bytes as an independent cold solve at the same epoch+load,
+        // and the shared flow audits clean.
+        let want = serde_json::to_string(&reference).unwrap();
+        for session in sessions.live.values() {
+            assert_eq!(
+                serde_json::to_string(&session.flow).unwrap(),
+                want,
+                "a cache hit must be byte-identical to the cold solve"
+            );
+        }
+        let cached = snapshot
+            .cached_solve(&SolveKey {
+                requirement: requirement.canonical_key(),
+                algorithm: Algorithm::Sflow,
+                hop_limit: None,
+            })
+            .expect("the cold solve filled the cache");
+        let ctx = snapshot.context();
+        let report = FlowGraphAuditor::new(&ctx, &requirement).audit(&cached);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        drop(sessions);
+        assert_conserved(&shared);
+    }
+
+    /// Satellite: a cached solve never survives an epoch whose patch
+    /// dirties one of its links — and survives (same arc, no re-solve) an
+    /// epoch that patches only links it avoids.
+    #[test]
+    fn qos_patches_invalidate_dirtied_cache_entries_and_keep_clean_ones() {
+        let shared = shared_over_diamond();
+        let requirement = diamond_requirement();
+        match federate_against(
+            &shared,
+            shared.snap.load(),
+            requirement.clone(),
+            Algorithm::Sflow,
+            None,
+        ) {
+            Response::Federated(_) => {}
+            other => panic!("expected Federated, got {other:?}"),
+        }
+        let snapshot = shared.snap.load();
+        assert_eq!(snapshot.cached_solve_count(), 1);
+        // Classify every directed overlay link as on or off the cached
+        // flow's paths (instance identities survive QoS epochs).
+        let key = SolveKey {
+            requirement: requirement.canonical_key(),
+            algorithm: Algorithm::Sflow,
+            hop_limit: None,
+        };
+        let cached = snapshot.cached_solve(&key).unwrap();
+        let overlay = snapshot.overlay();
+        let used: Vec<(ServiceInstance, ServiceInstance)> = cached
+            .edges()
+            .iter()
+            .flat_map(|e| e.overlay_path.windows(2))
+            .map(|w| (overlay.instance(w[0]), overlay.instance(w[1])))
+            .collect();
+        let all: Vec<(ServiceInstance, ServiceInstance)> = overlay
+            .graph()
+            .node_ids()
+            .flat_map(|n| overlay.graph().out_edges(n))
+            .map(|e| (overlay.instance(e.from), overlay.instance(e.to)))
+            .collect();
+        let &(cf, ct) = all.iter().find(|pair| !used.contains(pair)).unwrap();
+        let &(df, dt) = all.iter().find(|pair| used.contains(pair)).unwrap();
+
+        // An off-path wobble: the entry is adopted across the epoch.
+        match mutate(
+            &shared,
+            &Mutation::SetLinkQos {
+                from: cf,
+                to: ct,
+                bandwidth_kbps: 77,
+                latency_us: 1_234,
+            },
+        ) {
+            Response::Mutated { epoch: 1, .. } => {}
+            other => panic!("expected Mutated, got {other:?}"),
+        }
+        let clean = shared.snap.load();
+        let carried = clean
+            .cached_solve(&key)
+            .expect("a clean patch keeps the entry");
+        assert!(Arc::ptr_eq(&carried, &cached), "adoption shares the arc");
+
+        // A patch on a link the flow traverses: the entry must not survive.
+        match mutate(
+            &shared,
+            &Mutation::SetLinkQos {
+                from: df,
+                to: dt,
+                bandwidth_kbps: 66,
+                latency_us: 2_345,
+            },
+        ) {
+            Response::Mutated { epoch: 2, .. } => {}
+            other => panic!("expected Mutated, got {other:?}"),
+        }
+        assert!(
+            shared.snap.load().cached_solve(&key).is_none(),
+            "a dirtied path drops the cached solve"
+        );
+    }
+
+    /// Forest lifecycle: releasing the holder hands the booking to a
+    /// survivor in place (the ledger never moves), and only the last member
+    /// out releases it.
+    #[test]
+    fn releasing_the_holder_hands_the_booking_over_and_the_last_out_releases() {
+        let shared = shared_over_diamond();
+        let requirement = diamond_requirement();
+        for _ in 0..3 {
+            match federate_against(
+                &shared,
+                shared.snap.load(),
+                requirement.clone(),
+                Algorithm::Sflow,
+                None,
+            ) {
+                Response::Federated(_) => {}
+                other => panic!("expected Federated, got {other:?}"),
+            }
+        }
+        let booked = shared.load.load().map().total_reserved_kbps();
+        assert!(booked > 0, "the holder booked the shared links");
+
+        // The holder (session 0) leaves first: session 1 inherits the links,
+        // the ledger does not move, conservation holds throughout.
+        for (leaving, heir) in [(0u64, 1u64), (1, 2)] {
+            match release(&shared, leaving) {
+                Response::Released { session } => assert_eq!(session, leaving),
+                other => panic!("expected Released, got {other:?}"),
+            }
+            assert_eq!(
+                shared.load.load().map().total_reserved_kbps(),
+                booked,
+                "survivors keep the forest's one booking"
+            );
+            let sessions = shared.sessions.lock();
+            assert!(
+                !sessions.live.get(&heir).unwrap().links.is_empty(),
+                "the next member inherits the holder's links"
+            );
+            drop(sessions);
+            assert_conserved(&shared);
+        }
+        match release(&shared, 2) {
+            Response::Released { session } => assert_eq!(session, 2),
+            other => panic!("expected Released, got {other:?}"),
+        }
+        assert!(shared.load.load().map().is_empty(), "last out releases");
+        let sessions = shared.sessions.lock();
+        assert_eq!(sessions.forest_census(), (0, 0));
+        assert!(
+            sessions.by_key.is_empty(),
+            "the key slot dies with the forest"
+        );
+    }
+
+    /// A warm hit whose capacity was consumed in the meantime fails
+    /// revalidation, evicts the stale entry, and is re-solved cold against
+    /// residual capacity — landing on the free route.
+    #[test]
+    fn a_warm_hit_that_no_longer_fits_is_re_solved_cold() {
+        let (mut shared, requirement) = shared_over_twin_routes();
+        shared.config.residual = true;
+        shared.config.solve_cache = true;
+        // Cold open saturates one route (each session's flow fills a full
+        // 100 kbps route in this fixture).
+        match federate_against(
+            &shared,
+            shared.snap.load(),
+            requirement.clone(),
+            Algorithm::Sflow,
+            None,
+        ) {
+            Response::Federated(_) => {}
+            other => panic!("expected Federated, got {other:?}"),
+        }
+        assert_eq!(shared.load.load().max_utilization_permille(), 1000);
+        // Tear the forest down while keeping the booking: this is the
+        // superseded-forest shape — the cached flow is still filed, but a
+        // new tenant can no longer attach and must justify a reservation of
+        // its own.
+        {
+            let mut sessions = shared.sessions.lock();
+            sessions.forests.clear();
+            sessions.by_key.clear();
+            for session in sessions.live.values_mut() {
+                session.forest = None;
+            }
+        }
+        let first_selection = shared
+            .sessions
+            .lock()
+            .live
+            .values()
+            .next()
+            .unwrap()
+            .flow
+            .selection()
+            .clone();
+
+        match federate_against(
+            &shared,
+            shared.snap.load(),
+            requirement,
+            Algorithm::Sflow,
+            None,
+        ) {
+            Response::Federated(_) => {}
+            other => panic!("expected Federated, got {other:?}"),
+        }
+        let stats = shared.metrics.snapshot(0, 2);
+        assert_eq!(
+            stats.cache_revalidation_fails, 1,
+            "the warm hit no longer fits the residual plane"
+        );
+        assert_eq!(stats.cache_misses, 1, "only the first open was a miss");
+        assert_eq!(stats.cache_hits, 0, "a refused hit is not a hit");
+        let sessions = shared.sessions.lock();
+        let second = sessions.live.values().nth(1).unwrap();
+        assert_ne!(
+            *second.flow.selection(),
+            first_selection,
+            "the cold re-solve steered onto the free route"
+        );
+        drop(sessions);
+        assert_conserved(&shared);
+        // The re-solve replaced the evicted entry with the load-aware flow.
+        assert_eq!(shared.snap.load().cached_solve_count(), 1);
     }
 }

@@ -17,14 +17,34 @@
 //! alive (and solvable) for as long as any in-flight request still holds
 //! its `Arc`.
 
+use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 use sflow_core::baseline::HopMatrix;
-use sflow_core::{FederationContext, OwnedFederationContext};
+use sflow_core::{CanonicalKey, FederationContext, FlowGraph, OwnedFederationContext};
 use sflow_graph::NodeIx;
 use sflow_net::{OverlayGraph, ServiceInstance};
-use sflow_routing::AllPairs;
+use sflow_routing::{AllPairs, DirtyLinks};
+
+use crate::Algorithm;
+
+/// The identity of one cached solve: the requirement's structural
+/// [`CanonicalKey`] plus the solve parameters that shape the answer
+/// (algorithm and hop horizon). Everything else a solve depends on — the
+/// overlay, its QoS and the routing table — is pinned by the snapshot the
+/// cache lives in, and *load* is deliberately excluded: cached flows are
+/// revalidated against the live [`LoadPlane`](crate::load::LoadPlane) at
+/// hit time instead of being keyed by it.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SolveKey {
+    /// Structural identity of the requirement (order-insensitive).
+    pub requirement: CanonicalKey,
+    /// Which federation algorithm solved it.
+    pub algorithm: Algorithm,
+    /// The hop horizon the solve ran under, if any.
+    pub hop_limit: Option<usize>,
+}
 
 /// One immutable epoch of the world: overlay + routing table + source pin +
 /// epoch number, with the epoch's hop matrix built lazily on first use.
@@ -40,6 +60,15 @@ pub struct WorldSnapshot {
     /// the snapshot itself, so it can never be paired with the wrong epoch
     /// and dies with the snapshot.
     hop_matrix: OnceLock<Arc<HopMatrix>>,
+    /// The requirement-keyed solve cache for exactly this epoch: flow
+    /// graphs federated against this snapshot, shared by every tenant that
+    /// presents the same [`SolveKey`]. The same lives-inside-the-snapshot
+    /// reasoning as the hop matrix applies — an entry can never be paired
+    /// with the wrong epoch and dies with the snapshot — but the cache is a
+    /// keyed map, not a single value, so it sits behind a short
+    /// `parking_lot::Mutex` (held for a lookup or an insert, never across a
+    /// solve; the `guard-across-solve` audit rule polices the callers).
+    solves: Mutex<BTreeMap<SolveKey, Arc<FlowGraph>>>,
 }
 
 impl WorldSnapshot {
@@ -66,6 +95,7 @@ impl WorldSnapshot {
             source_node,
             epoch,
             hop_matrix: OnceLock::new(),
+            solves: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -148,6 +178,71 @@ impl WorldSnapshot {
     pub fn adopt_hop_matrix(&self, matrix: Arc<HopMatrix>) {
         let _ = self.hop_matrix.set(matrix);
     }
+
+    /// The cached solve for `key`, if some earlier federate against this
+    /// snapshot (or an adoption from the predecessor epoch) filled it.
+    ///
+    /// A hit is exact w.r.t. topology and QoS by construction — the cache
+    /// lives inside one epoch — but says nothing about *load*: callers on
+    /// the residual path must revalidate the flow against the live
+    /// `LoadPlane` before serving it.
+    pub fn cached_solve(&self, key: &SolveKey) -> Option<Arc<FlowGraph>> {
+        self.solves.lock().get(key).map(Arc::clone)
+    }
+
+    /// Files a freshly solved flow under `key` and returns the canonical
+    /// shared instance: if a racing filler got there first, *its* flow wins
+    /// and the argument is dropped, so every tenant of the key federates
+    /// onto one pointer-identical flow graph (the forest layer's anchor).
+    pub fn cache_solve(&self, key: SolveKey, flow: FlowGraph) -> Arc<FlowGraph> {
+        Arc::clone(
+            self.solves
+                .lock()
+                .entry(key)
+                .or_insert_with(|| Arc::new(flow)),
+        )
+    }
+
+    /// Drops the cached solve for `key`, if any. Used when a served flow
+    /// turns out to be inconsistent with live state (e.g. its forest was
+    /// torn down between lookup and admission).
+    pub fn evict_solve(&self, key: &SolveKey) {
+        self.solves.lock().remove(key);
+    }
+
+    /// Entries currently cached (tests and stats gauges).
+    pub fn cached_solve_count(&self) -> usize {
+        self.solves.lock().len()
+    }
+
+    /// Pre-seeds this snapshot's solve cache from its predecessor when the
+    /// epoch step was a QoS-only patch: every entry whose flow's overlay
+    /// paths avoid all `dirty` links kept its exact QoS (the same fact the
+    /// routing dirty rules stand on), so it is adopted; entries traversing
+    /// a dirtied link are dropped cold. Returns how many entries were
+    /// adopted.
+    ///
+    /// Only sound for successors that preserve node numbering (QoS patches
+    /// do; structural rebuilds renumber and must start cold).
+    pub fn adopt_clean_solves(&self, prev: &WorldSnapshot, dirty: &DirtyLinks) -> usize {
+        let inherited: Vec<(SolveKey, Arc<FlowGraph>)> = prev
+            .solves
+            .lock()
+            .iter()
+            .filter(|(_, flow)| {
+                flow.edges()
+                    .iter()
+                    .all(|e| dirty.path_is_clean(&e.overlay_path))
+            })
+            .map(|(k, f)| (k.clone(), Arc::clone(f)))
+            .collect();
+        let adopted = inherited.len();
+        let mut mine = self.solves.lock();
+        for (key, flow) in inherited {
+            mine.entry(key).or_insert(flow);
+        }
+        adopted
+    }
 }
 
 /// The publication cell: one `Arc<WorldSnapshot>` swapped atomically from
@@ -207,7 +302,9 @@ impl Snap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sflow_core::fixtures::diamond_fixture;
+    use sflow_core::fixtures::{diamond_fixture, diamond_requirement};
+    use sflow_core::Solver;
+    use sflow_routing::{Bandwidth, Latency, Qos};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::thread;
 
@@ -297,5 +394,93 @@ mod tests {
     fn snap_store_rejects_epoch_regressions() {
         let cell = Snap::new(Arc::new(snapshot_of_diamond()));
         cell.store(Arc::new(snapshot_of_diamond())); // 0 -> 0 regresses
+    }
+
+    fn diamond_solve_key() -> (SolveKey, sflow_core::ServiceRequirement) {
+        let req = diamond_requirement();
+        let key = SolveKey {
+            requirement: req.canonical_key(),
+            algorithm: Algorithm::Sflow,
+            hop_limit: None,
+        };
+        (key, req)
+    }
+
+    #[test]
+    fn solve_cache_first_writer_wins_and_eviction_clears() {
+        let snap = snapshot_of_diamond();
+        let (key, req) = diamond_solve_key();
+        assert!(snap.cached_solve(&key).is_none());
+        assert_eq!(snap.cached_solve_count(), 0);
+
+        let flow = Solver::new(&snap.context()).solve(&req).unwrap();
+        let first = snap.cache_solve(key.clone(), flow.clone());
+        let racer = snap.cache_solve(key.clone(), flow);
+        assert!(
+            Arc::ptr_eq(&first, &racer),
+            "a racing filler adopts the first writer's flow"
+        );
+        let hit = snap.cached_solve(&key).expect("filled");
+        assert!(Arc::ptr_eq(&hit, &first), "hits share the canonical arc");
+        assert_eq!(snap.cached_solve_count(), 1);
+
+        snap.evict_solve(&key);
+        assert!(snap.cached_solve(&key).is_none());
+        assert_eq!(snap.cached_solve_count(), 0);
+        snap.evict_solve(&key); // eviction of a missing key is a no-op
+    }
+
+    /// The QoS-successor adoption rule: entries whose paths avoid every
+    /// dirtied link are carried (same arc, no re-solve); entries crossing a
+    /// dirtied link start the successor cold.
+    #[test]
+    fn adoption_keeps_clean_solves_and_drops_dirty_ones() {
+        let prev = snapshot_of_diamond();
+        let (key, req) = diamond_solve_key();
+        let flow = Solver::new(&prev.context()).solve(&req).unwrap();
+        let cached = prev.cache_solve(key.clone(), flow);
+
+        // Every overlay link the cached flow traverses.
+        let mut used: Vec<(NodeIx, NodeIx)> = cached
+            .edges()
+            .iter()
+            .flat_map(|e| e.overlay_path.windows(2).map(|w| (w[0], w[1])))
+            .collect();
+        used.sort_unstable();
+        let on_path = used[0];
+        // The diamond has two disjoint middle routes; the flow uses one, so
+        // some overlay link is untouched.
+        let graph = prev.overlay().graph();
+        let off_path = graph
+            .node_ids()
+            .flat_map(|n| graph.out_edges(n).map(|l| (l.from, l.to)))
+            .find(|pair| used.binary_search(pair).is_err())
+            .expect("the unused branch has links");
+        let squeeze = Qos::new(Bandwidth::kbps(1), Latency::from_micros(99_999));
+
+        // A patch on an unused link: the entry survives, arc and all.
+        let (overlay, change) = prev
+            .overlay()
+            .with_link_qos(off_path.0, off_path.1, squeeze)
+            .unwrap();
+        let dirty = DirtyLinks::of(overlay.graph(), std::slice::from_ref(&change));
+        let fx = diamond_fixture();
+        let clean_next =
+            WorldSnapshot::new(Arc::new(overlay), Arc::new(fx.all_pairs), fx.source, 1);
+        assert_eq!(clean_next.adopt_clean_solves(&prev, &dirty), 1);
+        let adopted = clean_next.cached_solve(&key).expect("adopted");
+        assert!(Arc::ptr_eq(&adopted, &cached));
+
+        // A patch on a traversed link: the entry is not carried.
+        let (overlay, change) = prev
+            .overlay()
+            .with_link_qos(on_path.0, on_path.1, squeeze)
+            .unwrap();
+        let dirty = DirtyLinks::of(overlay.graph(), std::slice::from_ref(&change));
+        let fx = diamond_fixture();
+        let dirty_next =
+            WorldSnapshot::new(Arc::new(overlay), Arc::new(fx.all_pairs), fx.source, 1);
+        assert_eq!(dirty_next.adopt_clean_solves(&prev, &dirty), 0);
+        assert!(dirty_next.cached_solve(&key).is_none());
     }
 }

@@ -19,11 +19,27 @@ pub struct StatsSnapshot {
     pub shed: u64,
     /// Admitted requests that failed (parse error, unsatisfiable, …).
     pub failed: u64,
+    /// Federates served straight from the snapshot's requirement-keyed
+    /// solve cache (after load revalidation on the residual path) — no
+    /// solver ran.
+    pub cache_hits: u64,
+    /// Federates that found no cached solve for their key and ran cold.
+    pub cache_misses: u64,
+    /// Cached solves found but rejected because the flow no longer fit
+    /// residual capacity under the live load plane; the request fell
+    /// through to a cold solve. Disjoint from both hits and misses.
+    pub cache_revalidation_fails: u64,
+    /// Live shared service forests (gauge: tenant groups attached to one
+    /// shared instance set).
+    pub forests: u64,
+    /// Live sessions attached to some forest (gauge; `sessions -
+    /// forest_tenants` federated privately).
+    pub forest_tenants: u64,
     /// Solves that reused the snapshot's already-built `HopMatrix` (its own
     /// first touch, or one carried forward from a QoS-only predecessor).
-    pub cache_hits: u64,
+    pub hop_cache_hits: u64,
     /// Solves that performed an epoch's first-touch `HopMatrix` build.
-    pub cache_misses: u64,
+    pub hop_cache_misses: u64,
     /// Federate answers discarded as `Stale`: the solve raced a mutation
     /// and its snapshot epoch was no longer current at session-open time.
     pub stale: u64,
@@ -73,6 +89,11 @@ pub struct Metrics {
     failed: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    cache_revalidation_fails: AtomicU64,
+    forests: AtomicU64,
+    forest_tenants: AtomicU64,
+    hop_cache_hits: AtomicU64,
+    hop_cache_misses: AtomicU64,
     stale: AtomicU64,
     rebuilds: AtomicU64,
     rebuild_us_total: AtomicU64,
@@ -108,14 +129,37 @@ impl Metrics {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// One solve reused the shared hop matrix.
+    /// One federate served from the requirement-keyed solve cache.
     pub fn cache_hit(&self) {
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// One solve had to build the hop matrix.
+    /// One federate found no cached solve and ran cold.
     pub fn cache_miss(&self) {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One cached solve failed load revalidation and fell through cold.
+    pub fn cache_revalidation_fail(&self) {
+        self.cache_revalidation_fails
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the current forest census (gauges: each reading replaces
+    /// the last).
+    pub fn set_forests(&self, forests: u64, tenants: u64) {
+        self.forests.store(forests, Ordering::Relaxed);
+        self.forest_tenants.store(tenants, Ordering::Relaxed);
+    }
+
+    /// One solve reused the shared hop matrix.
+    pub fn hop_cache_hit(&self) {
+        self.hop_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One solve had to build the hop matrix.
+    pub fn hop_cache_miss(&self) {
+        self.hop_cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// One federate answer was discarded because a mutation raced the solve.
@@ -186,6 +230,11 @@ impl Metrics {
             failed: self.failed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_revalidation_fails: self.cache_revalidation_fails.load(Ordering::Relaxed),
+            forests: self.forests.load(Ordering::Relaxed),
+            forest_tenants: self.forest_tenants.load(Ordering::Relaxed),
+            hop_cache_hits: self.hop_cache_hits.load(Ordering::Relaxed),
+            hop_cache_misses: self.hop_cache_misses.load(Ordering::Relaxed),
             stale: self.stale.load(Ordering::Relaxed),
             epoch,
             sessions,
@@ -234,7 +283,22 @@ mod tests {
         m.residual_reject();
         m.set_max_link_utilization(1400);
         m.set_max_link_utilization(450); // a gauge: each reading replaces
+        m.cache_hit();
+        m.cache_hit();
+        m.cache_miss();
+        m.cache_revalidation_fail();
+        m.hop_cache_hit();
+        m.hop_cache_miss();
+        m.set_forests(9, 90);
+        m.set_forests(2, 5); // gauges replace, never accumulate
         let s = m.snapshot(3, 7);
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_revalidation_fails, 1);
+        assert_eq!(s.hop_cache_hits, 1);
+        assert_eq!(s.hop_cache_misses, 1);
+        assert_eq!(s.forests, 2);
+        assert_eq!(s.forest_tenants, 5);
         assert_eq!(s.migrations, 2);
         assert_eq!(s.migration_failures, 1);
         assert_eq!(s.residual_rejects, 1);

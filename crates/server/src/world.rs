@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 use sflow_core::fixtures::Fixture;
 use sflow_core::OwnedFederationContext;
 use sflow_net::{ServiceInstance, UnderlyingNetwork};
-use sflow_routing::{Bandwidth, Latency, Qos};
+use sflow_routing::{Bandwidth, DirtyLinks, Latency, Qos};
 
 use crate::snapshot::{Snap, WorldSnapshot};
 use crate::Mutation;
@@ -192,6 +192,9 @@ impl World {
                     trees_total: patched.trees_total as u64,
                     full_rebuild: patched.full_rebuild,
                 };
+                // QoS changes keep the node and edge numbering, so the
+                // change's endpoints are valid in the successor overlay.
+                let dirty = DirtyLinks::of(overlay.graph(), std::slice::from_ref(&change));
                 let next = WorldSnapshot::new(
                     Arc::new(overlay),
                     Arc::new(table),
@@ -203,6 +206,10 @@ impl World {
                 if let Some(matrix) = prev.cached_hop_matrix() {
                     next.adopt_hop_matrix(matrix);
                 }
+                // Cached solves whose paths avoid every dirtied link kept
+                // their exact QoS across the patch, so the successor adopts
+                // them; the rest start cold.
+                next.adopt_clean_solves(&prev, &dirty);
                 (next, stats)
             }
             Mutation::FailInstance { instance } => {
@@ -297,6 +304,7 @@ impl World {
             trees_total: patched.trees_total as u64,
             full_rebuild: patched.full_rebuild,
         };
+        let dirty = DirtyLinks::of(overlay.graph(), &changes);
         let next = WorldSnapshot::new(
             Arc::new(overlay),
             Arc::new(table),
@@ -306,6 +314,8 @@ impl World {
         if let Some(matrix) = prev.cached_hop_matrix() {
             next.adopt_hop_matrix(matrix);
         }
+        // Solve-cache entries untouched by the whole batch survive it.
+        next.adopt_clean_solves(&prev, &dirty);
         self.snap.store(Arc::new(next));
         Ok(stats)
     }

@@ -14,8 +14,9 @@ const CLIENTS: usize = 4;
 const REQUESTS_PER_CLIENT: usize = 30; // 4 × 30 = 120 ≥ 100
 
 /// ≥ 100 federations from ≥ 4 concurrent clients, every response equal to
-/// the centralized result; cache hits accumulate; a mutation bumps the
-/// epoch and invalidates the cache.
+/// the centralized result; solve-cache hits accumulate and every tenant
+/// shares one forest (so 120 identical sessions fit residual capacity as a
+/// single booking); a mutation bumps the epoch and invalidates the cache.
 #[test]
 fn concurrent_clients_match_the_centralized_result() {
     let fixture = diamond_fixture();
@@ -25,15 +26,24 @@ fn concurrent_clients_match_the_centralized_result() {
     let expected_kbps = expected.quality().bandwidth.as_kbps();
     assert_eq!(expected_kbps, 80, "diamond fixture sanity");
 
-    // Blind routing for this test: it pins snapshot/cache behaviour with
-    // 120 identical sessions held open, which by design would not all fit
-    // into residual capacity.
-    let config = ServerConfig {
-        residual: false,
-        ..ServerConfig::default()
-    };
+    // Residual routing ON (the default): forest sharing reserves the
+    // shared links once, however many tenants attach, so the whole herd
+    // fits capacity that a booking per session would blow through.
+    let config = ServerConfig::default();
     let handle = serve(World::new(fixture), &config).unwrap();
     let addr = handle.addr();
+
+    // Pre-warm: one cold solve fills the requirement-keyed cache and
+    // founds the forest; every concurrent request below is then a
+    // deterministic warm hit on the same shared flow.
+    let mut warmer = Client::connect(addr).unwrap();
+    match warmer
+        .federate(DIAMOND_SPEC, Algorithm::Sflow, Some(2))
+        .unwrap()
+    {
+        Response::Federated(summary) => assert_eq!(summary.bandwidth_kbps, expected_kbps),
+        other => panic!("expected Federated, got {other:?}"),
+    }
 
     let threads: Vec<_> = (0..CLIENTS)
         .map(|_| {
@@ -61,15 +71,23 @@ fn concurrent_clients_match_the_centralized_result() {
 
     let mut client = Client::connect(addr).unwrap();
     let stats = client.stats().unwrap();
-    assert_eq!(stats.served, (CLIENTS * REQUESTS_PER_CLIENT) as u64);
+    let total = (CLIENTS * REQUESTS_PER_CLIENT + 1) as u64; // + the pre-warm
+    assert_eq!(stats.served, total);
     assert_eq!(stats.shed, 0);
     assert_eq!(stats.epoch, 0);
-    assert_eq!(stats.sessions, (CLIENTS * REQUESTS_PER_CLIENT) as u64);
-    assert!(
-        stats.cache_hits > 0,
-        "the shared hop matrix must be reused: {stats:?}"
+    assert_eq!(stats.sessions, total);
+    assert_eq!(
+        stats.cache_misses, 1,
+        "only the pre-warm solve is cold: {stats:?}"
     );
-    assert!(stats.cache_misses >= 1);
+    assert_eq!(stats.cache_hits, total - 1, "every repeat is a warm hit");
+    assert_eq!(stats.cache_revalidation_fails, 0);
+    // The hop matrix was consulted exactly once — warm hits never solve.
+    assert_eq!(stats.hop_cache_misses, 1, "{stats:?}");
+    assert_eq!(stats.hop_cache_hits, 0, "{stats:?}");
+    // Every tenant shares the one forest (and the one booking).
+    assert_eq!(stats.forests, 1, "{stats:?}");
+    assert_eq!(stats.forest_tenants, total, "{stats:?}");
     assert!(stats.latency_p50_us <= stats.latency_p99_us);
 
     // Mutate: fail an instance the sessions route through. The epoch bumps,
@@ -92,7 +110,7 @@ fn concurrent_clients_match_the_centralized_result() {
             assert_eq!(epoch, 1);
             assert_eq!(
                 repaired + dropped,
-                CLIENTS * REQUESTS_PER_CLIENT,
+                CLIENTS * REQUESTS_PER_CLIENT + 1,
                 "every session is accounted for"
             );
         }
@@ -101,7 +119,17 @@ fn concurrent_clients_match_the_centralized_result() {
     let stats = client.stats().unwrap();
     assert_eq!(stats.epoch, 1, "mutation must bump the epoch");
 
-    // The next horizon-limited solve rebuilds the matrix for the new epoch.
+    // Drain the herd so the next federate is not residual-refused (the
+    // repaired forest holder books the surviving branch). Session ids are
+    // sequential; a session the repair sweep dropped answers an error.
+    for id in 0..total {
+        let _ = client.release(id).unwrap();
+    }
+    let ledger = client.load_map().unwrap();
+    assert!(ledger.links.is_empty(), "no leaked reservation: {ledger:?}");
+
+    // The structural mutation renumbers the overlay: both the solve cache
+    // and the hop matrix start cold at the new epoch.
     let misses_before = stats.cache_misses;
     match client
         .federate(DIAMOND_SPEC, Algorithm::Sflow, Some(2))
@@ -114,38 +142,42 @@ fn concurrent_clients_match_the_centralized_result() {
     assert_eq!(
         stats.cache_misses,
         misses_before + 1,
-        "epoch bump must invalidate the hop-matrix cache"
+        "a structural epoch must invalidate the solve cache"
     );
+    assert_eq!(stats.hop_cache_misses, 2, "and the hop-matrix cache");
 
     handle.shutdown();
 }
 
 /// A QoS-only mutation goes down the incremental patch path: the rebuild
 /// counters record it, and the structural hop-matrix cache stays warm
-/// (retagged to the new epoch) — only an instance failure clears it.
+/// (retagged to the new epoch) — only an instance failure clears it. The
+/// solve cache is stricter: a patch on a link the cached flow traverses
+/// dirties the entry, so the next federate is a solve-cache miss even
+/// though the hop matrix hits.
 #[test]
 fn qos_mutations_patch_and_keep_the_hop_cache_warm() {
-    // Blind routing: the sessions this test opens stay open across the
-    // mutations, and the cache assertions assume repeat solves stay
-    // feasible regardless of booked load.
-    let config = ServerConfig {
-        residual: false,
-        ..ServerConfig::default()
-    };
-    let handle = serve(World::new(diamond_fixture()), &config).unwrap();
+    // Residual routing ON (the default): each session is released before
+    // the next mutation, so booked load never constrains the next solve.
+    let handle = serve(World::new(diamond_fixture()), &ServerConfig::default()).unwrap();
     let mut client = Client::connect(handle.addr()).unwrap();
 
-    // Prime the hop-matrix cache.
-    match client
+    // Prime both caches.
+    let first = match client
         .federate(DIAMOND_SPEC, Algorithm::Sflow, Some(2))
         .unwrap()
     {
-        Response::Federated(_) => {}
+        Response::Federated(summary) => summary,
         other => panic!("expected Federated, got {other:?}"),
-    }
+    };
     let stats = client.stats().unwrap();
     assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.hop_cache_misses, 1);
     assert_eq!(stats.rebuilds, 0);
+    match client.release(first.session).unwrap() {
+        Response::Released { .. } => {}
+        other => panic!("expected Released, got {other:?}"),
+    }
 
     // Find a real overlay link via a probe fixture (same topology).
     let probe = diamond_fixture();
@@ -177,21 +209,34 @@ fn qos_mutations_patch_and_keep_the_hop_cache_warm() {
     );
 
     // The hop matrix is structural, so the QoS mutation must NOT cost a
-    // rebuild: the cached matrix is retagged and the next solve hits.
-    let hits_before = stats.cache_hits;
-    match client
+    // rebuild: the cached matrix is retagged and the next solve hits. The
+    // solve cache, by contrast, dirtied the entry — the patched link is on
+    // the cached flow's path — so the same federate is a solve-cache miss.
+    let second = match client
         .federate(DIAMOND_SPEC, Algorithm::Sflow, Some(2))
         .unwrap()
     {
-        Response::Federated(summary) => assert_eq!(summary.epoch, 1),
+        Response::Federated(summary) => {
+            assert_eq!(summary.epoch, 1);
+            summary
+        }
         other => panic!("expected Federated, got {other:?}"),
-    }
+    };
     let stats = client.stats().unwrap();
     assert_eq!(
-        stats.cache_misses, 1,
+        stats.hop_cache_misses, 1,
         "retag must avoid a rebuild: {stats:?}"
     );
-    assert_eq!(stats.cache_hits, hits_before + 1);
+    assert_eq!(stats.hop_cache_hits, 1);
+    assert_eq!(
+        stats.cache_misses, 2,
+        "a patch on a cached path must dirty the solve cache: {stats:?}"
+    );
+    assert_eq!(stats.cache_hits, 0);
+    match client.release(second.session).unwrap() {
+        Response::Released { .. } => {}
+        other => panic!("expected Released, got {other:?}"),
+    }
 
     // An instance failure renumbers the overlay; the cache must clear.
     let expected = SflowAlgorithm::default()
@@ -218,9 +263,10 @@ fn qos_mutations_patch_and_keep_the_hop_cache_warm() {
     }
     let stats = client.stats().unwrap();
     assert_eq!(
-        stats.cache_misses, 2,
+        stats.hop_cache_misses, 2,
         "structural mutations must clear the hop cache: {stats:?}"
     );
+    assert_eq!(stats.cache_misses, 3, "and the solve cache");
     assert_eq!(stats.rebuilds, 2);
     assert!(stats.rebuild_us_total > 0);
 
@@ -314,12 +360,10 @@ fn the_load_plane_round_trips_over_the_wire() {
         assert!(link.estimate_kbps > 0, "the DRE estimator saw the open");
     }
 
-    // The second identical federate must route around the booked links —
-    // residual admission at work — and land on the narrow south route.
-    let second = match client
-        .federate(DIAMOND_SPEC, Algorithm::Sflow, Some(2))
-        .unwrap()
-    {
+    // A second, *distinct* requirement (an identical one would share the
+    // first session's forest and booking) must fit into what the first
+    // left free — residual admission at work on the default path.
+    let second = match client.federate("0>1>3", Algorithm::Sflow, Some(2)).unwrap() {
         Response::Federated(summary) => summary,
         other => panic!("expected Federated, got {other:?}"),
     };
@@ -338,6 +382,9 @@ fn the_load_plane_round_trips_over_the_wire() {
     let stats = client.stats().unwrap();
     assert_eq!(stats.sessions, 2);
     assert!(stats.max_link_utilization_permille > 0);
+    // Each requirement founded a (single-tenant) forest of its own.
+    assert_eq!(stats.forests, 2, "{stats:?}");
+    assert_eq!(stats.forest_tenants, 2, "{stats:?}");
 
     // Releasing both sessions drains the ledger completely.
     for summary in [&first, &second] {
@@ -354,7 +401,10 @@ fn the_load_plane_round_trips_over_the_wire() {
         Response::Error(msg) => assert!(msg.contains("no such session"), "{msg}"),
         other => panic!("expected Error, got {other:?}"),
     }
-    // With everything released, a third federate gets the wide route back.
+    // With everything released, a repeat federate gets the wide route back
+    // — served warm: the cached epoch-0 flow revalidates against the now
+    // empty plane (its forest is gone, so the full reservation re-books).
+    let hits_before = client.stats().unwrap().cache_hits;
     match client
         .federate(DIAMOND_SPEC, Algorithm::Sflow, Some(2))
         .unwrap()
@@ -362,6 +412,13 @@ fn the_load_plane_round_trips_over_the_wire() {
         Response::Federated(summary) => assert_eq!(summary.bandwidth_kbps, 80),
         other => panic!("expected Federated, got {other:?}"),
     }
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.cache_hits,
+        hits_before + 1,
+        "a released world revalidates the cached flow: {stats:?}"
+    );
+    assert_eq!(stats.cache_revalidation_fails, 0);
 
     handle.shutdown();
 }

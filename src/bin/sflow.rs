@@ -77,13 +77,14 @@ fn usage() -> ExitCode {
          \x20            [--route-workers N] routing rebuild pool (0 = auto)\n\
          \x20            [--audit] verify every answer, count violations in stats\n\
          \x20            [--no-residual] federate against raw instead of residual capacity\n\
+         \x20            [--no-solve-cache] cold-solve every federate, no shared forests\n\
          \x20            [--rebalance-interval-ms MS] background rebalancer sweeps\n\
          \x20            [--utilization-threshold F] links hotter than F (e.g. 0.9) rebalance\n\
          \x20            [--hosts N --services K --instances M --seed S]\n\
          \x20 request    talk to a running server\n\
          \x20            --addr IP:PORT --edges \"0>1>3,0>2>3\"\n\
          \x20            [--algorithm sflow|global|fixed|service-path]\n\
-         \x20            [--hop-limit H | --full-view]\n\
+         \x20            [--hop-limit H | --full-view] [--repeat N]\n\
          \x20            | --stats | --shutdown | --fail S/H\n\
          \x20            | --release N | --rebalance | --load-map\n\
          \x20            | --set-link \"S/H>S/H\" --bandwidth KBPS --latency US"
@@ -102,7 +103,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         };
         match key {
             "dot" | "distributed" | "stats" | "shutdown" | "full-view" | "audit"
-            | "no-residual" | "rebalance" | "load-map" => {
+            | "no-residual" | "no-solve-cache" | "rebalance" | "load-map" => {
                 flags.insert(key.into(), "true".into());
             }
             _ => {
@@ -286,6 +287,7 @@ fn serve(flags: &Flags) -> Result<(), String> {
         route_workers: get(flags, "route-workers", 0usize)?,
         audit: flags.contains_key("audit"),
         residual: !flags.contains_key("no-residual"),
+        solve_cache: !flags.contains_key("no-solve-cache"),
         rebalance_interval: match get(flags, "rebalance-interval-ms", 0u64)? {
             0 => None,
             ms => Some(std::time::Duration::from_millis(ms)),
@@ -361,8 +363,16 @@ fn request(flags: &Flags) -> Result<(), String> {
             s.epoch, s.sessions, s.served, s.shed, s.failed, s.stale
         );
         println!(
+            "solve cache: {} hits / {} misses / {} revalidation failures",
+            s.cache_hits, s.cache_misses, s.cache_revalidation_fails
+        );
+        println!(
+            "forests: {} live, {} tenants attached",
+            s.forests, s.forest_tenants
+        );
+        println!(
             "hop-matrix cache: {} hits / {} misses",
-            s.cache_hits, s.cache_misses
+            s.hop_cache_hits, s.hop_cache_misses
         );
         println!(
             "latency: p50 {} µs  p90 {} µs  p99 {} µs",
@@ -482,30 +492,44 @@ fn request(flags: &Flags) -> Result<(), String> {
     } else {
         Some(get(flags, "hop-limit", 2usize)?)
     };
-    match client
-        .federate(spec, algorithm, hop_limit)
-        .map_err(|e| e.to_string())?
-    {
-        Response::Federated(s) => {
-            println!(
-                "federated: session {} epoch {}  {} kbit/s, {} µs",
-                s.session, s.epoch, s.bandwidth_kbps, s.latency_us
-            );
-            for (service, instance) in &s.instances {
-                println!("  {service} -> {instance}");
-            }
-            Ok(())
-        }
-        Response::Stale {
-            solved_epoch,
-            current_epoch,
-        } => Err(format!(
-            "stale: solved at epoch {solved_epoch}, world moved to {current_epoch}; re-issue"
-        )),
-        Response::Overloaded => Err("server overloaded; request shed".into()),
-        Response::Error(msg) => Err(msg),
-        other => Err(format!("unexpected response {other:?}")),
+    // `--repeat N` federates the same requirement N times on one
+    // connection — a quick smoke test of the server's warm path (the
+    // repeats should show up as solve-cache hits and forest tenants in
+    // `--stats`).
+    let repeat: usize = get(flags, "repeat", 1usize)?;
+    if repeat == 0 {
+        return Err("--repeat wants at least 1".into());
     }
+    for round in 0..repeat {
+        match client
+            .federate(spec, algorithm, hop_limit)
+            .map_err(|e| e.to_string())?
+        {
+            Response::Federated(s) => {
+                println!(
+                    "federated: session {} epoch {}  {} kbit/s, {} µs",
+                    s.session, s.epoch, s.bandwidth_kbps, s.latency_us
+                );
+                if round == 0 {
+                    for (service, instance) in &s.instances {
+                        println!("  {service} -> {instance}");
+                    }
+                }
+            }
+            Response::Stale {
+                solved_epoch,
+                current_epoch,
+            } => {
+                return Err(format!(
+                "stale: solved at epoch {solved_epoch}, world moved to {current_epoch}; re-issue"
+            ))
+            }
+            Response::Overloaded => return Err("server overloaded; request shed".into()),
+            Response::Error(msg) => return Err(msg),
+            other => return Err(format!("unexpected response {other:?}")),
+        }
+    }
+    Ok(())
 }
 
 fn print_mutated(resp: &sflow::server::Response) -> Result<(), String> {
