@@ -1,0 +1,395 @@
+//! Findings baseline and ratchet.
+//!
+//! A baseline freezes the tree's *known* findings as stable fingerprints so
+//! CI can fail on any **new** finding while pre-existing debt burns down
+//! monotonically: fixing a baselined finding makes its entry *stale*, and a
+//! stale entry also fails the gate until it is removed from the baseline
+//! (`--write-baseline` regenerates it). The ratchet therefore only ever
+//! tightens.
+//!
+//! Fingerprints hash `(rule, path, whitespace-normalised snippet)` — never
+//! line numbers — so unrelated edits that shift a finding up or down the
+//! file do not churn the baseline. Identical findings in one file (same
+//! rule, same snippet text) are disambiguated with a duplicate index.
+//!
+//! The file format is a single JSON document with one entry per line (see
+//! [`Baseline::to_json`]); the parser is line-oriented and, like the rest
+//! of this crate, dependency-free.
+
+use crate::report::{json_str, AuditReport, Finding};
+
+/// One baselined finding, identified by its stable fingerprint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Stable fingerprint: `"<fnv64 hex>.<dup index>"`.
+    pub fingerprint: String,
+    /// The rule that fired (informational; the fingerprint is the key).
+    pub rule: String,
+    /// Repo-relative path (informational).
+    pub path: String,
+    /// The finding's message (informational).
+    pub message: String,
+}
+
+/// A set of accepted findings that the ratchet compares against.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    /// Entries in fingerprint order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// The result of comparing a report against a baseline.
+#[derive(Debug, Default)]
+pub struct Ratchet {
+    /// Findings whose fingerprint is not in the baseline: these fail the
+    /// `--deny-new` gate.
+    pub new: Vec<Finding>,
+    /// How many findings were already baselined (accepted debt).
+    pub carried: usize,
+    /// Baseline entries that matched no current finding: the debt was paid
+    /// (or the code moved); remove them so the ratchet tightens. These also
+    /// fail the `--deny-new` gate.
+    pub stale: Vec<BaselineEntry>,
+}
+
+impl Ratchet {
+    /// True when the ratchet gate passes: no new findings, no stale entries.
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+
+    /// Renders the ratchet verdict for the human report.
+    pub fn render_human(&self) -> String {
+        let mut s = String::new();
+        for f in &self.new {
+            s.push_str(&format!(
+                "error[{}]: NEW finding (not in baseline): {}\n  --> {}:{}:{}\n",
+                f.rule, f.message, f.path, f.line, f.column
+            ));
+            if !f.snippet.is_empty() {
+                s.push_str(&format!("   | {}\n", f.snippet));
+            }
+        }
+        for e in &self.stale {
+            s.push_str(&format!(
+                "stale[{}]: baseline entry {} matches no finding (debt paid?): {} — \
+                 regenerate with --write-baseline\n",
+                e.rule, e.fingerprint, e.path
+            ));
+        }
+        s.push_str(&format!(
+            "ratchet: {} new, {} baselined, {} stale\n",
+            self.new.len(),
+            self.carried,
+            self.stale.len()
+        ));
+        s
+    }
+}
+
+/// FNV-1a 64-bit over `bytes`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The stable fingerprint of a finding, given how many identical findings
+/// (`dup`) precede it in the same report. Line and column are deliberately
+/// excluded so the baseline survives unrelated line drift.
+pub fn fingerprint(rule: &str, path: &str, snippet: &str, dup: usize) -> String {
+    let normalised = snippet.split_whitespace().collect::<Vec<_>>().join(" ");
+    let key = format!("{rule}\u{0}{path}\u{0}{normalised}");
+    format!("{:016x}.{dup}", fnv1a(key.as_bytes()))
+}
+
+/// Fingerprints for every finding in `findings`, aligned by index, with
+/// duplicate disambiguation in iteration order.
+pub fn fingerprints(findings: &[Finding]) -> Vec<String> {
+    let mut seen: Vec<(String, usize)> = Vec::new();
+    findings
+        .iter()
+        .map(|f| {
+            let base = fingerprint(f.rule, &f.path, &f.snippet, 0);
+            let dup = match seen.iter_mut().find(|(b, _)| *b == base) {
+                Some((_, n)) => {
+                    *n += 1;
+                    *n
+                }
+                None => {
+                    seen.push((base.clone(), 0));
+                    0
+                }
+            };
+            if dup == 0 {
+                base
+            } else {
+                fingerprint(f.rule, &f.path, &f.snippet, dup)
+            }
+        })
+        .collect()
+}
+
+/// Compares `report` against `baseline`.
+pub fn ratchet(report: &AuditReport, baseline: &Baseline) -> Ratchet {
+    let prints = fingerprints(&report.findings);
+    let mut matched = vec![false; baseline.entries.len()];
+    let mut out = Ratchet::default();
+    for (f, fp) in report.findings.iter().zip(&prints) {
+        match baseline.entries.iter().position(|e| e.fingerprint == *fp) {
+            Some(i) => {
+                matched[i] = true;
+                out.carried += 1;
+            }
+            None => out.new.push(f.clone()),
+        }
+    }
+    out.stale = baseline
+        .entries
+        .iter()
+        .zip(&matched)
+        .filter(|(_, m)| !**m)
+        .map(|(e, _)| e.clone())
+        .collect();
+    out
+}
+
+impl Baseline {
+    /// Builds a baseline accepting every finding in `report`.
+    pub fn from_report(report: &AuditReport) -> Baseline {
+        let prints = fingerprints(&report.findings);
+        let mut entries: Vec<BaselineEntry> = report
+            .findings
+            .iter()
+            .zip(prints)
+            .map(|(f, fingerprint)| BaselineEntry {
+                fingerprint,
+                rule: f.rule.to_string(),
+                path: f.path.clone(),
+                message: f.message.clone(),
+            })
+            .collect();
+        entries.sort_by(|a, b| a.fingerprint.cmp(&b.fingerprint));
+        Baseline { entries }
+    }
+
+    /// Serialises the baseline: one JSON object per entry line, so diffs
+    /// and the line-oriented parser stay trivial.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"version\": 1,\n  \"tool\": \"sflow-audit\",\n  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"fingerprint\": {}, \"rule\": {}, \"path\": {}, \"message\": {}}}",
+                json_str(&e.fingerprint),
+                json_str(&e.rule),
+                json_str(&e.path),
+                json_str(&e.message)
+            ));
+        }
+        if !self.entries.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Parses a baseline document produced by [`Baseline::to_json`]. The
+    /// parser is line-oriented: every line carrying a `"fingerprint"` key
+    /// is one entry; the other keys are informational and optional.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        if !text.contains("\"entries\"") {
+            return Err("not a baseline file (no \"entries\" key)".to_string());
+        }
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let Some(fingerprint) = json_string_field(line, "fingerprint") else {
+                continue;
+            };
+            entries.push(BaselineEntry {
+                fingerprint,
+                rule: json_string_field(line, "rule").unwrap_or_default(),
+                path: json_string_field(line, "path").unwrap_or_default(),
+                message: json_string_field(line, "message").unwrap_or_default(),
+            });
+        }
+        Ok(Baseline { entries })
+    }
+}
+
+/// Renders the full report as JSON with ratchet annotations: each finding
+/// carries its `fingerprint` and whether it is `baselined`, and a trailing
+/// `ratchet` block summarises new/carried/stale (stale entries listed by
+/// fingerprint). This is the CI artifact for baseline runs.
+pub fn report_to_json(report: &AuditReport, baseline: &Baseline, r: &Ratchet) -> String {
+    let prints = fingerprints(&report.findings);
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    s.push_str(&format!("  \"suppressed\": {},\n", report.suppressed));
+    s.push_str(&format!("  \"clean\": {},\n", report.is_clean()));
+    s.push_str("  \"findings\": [");
+    for (i, (f, fp)) in report.findings.iter().zip(&prints).enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let baselined = baseline.entries.iter().any(|e| e.fingerprint == *fp);
+        let extra = format!(", \"fingerprint\": {}, \"baselined\": {baselined}", json_str(fp));
+        s.push_str("\n    ");
+        s.push_str(&f.to_json_obj(&extra));
+    }
+    if !report.findings.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n");
+    s.push_str(&format!(
+        "  \"ratchet\": {{\"new\": {}, \"carried\": {}, \"stale\": [{}]}}\n}}\n",
+        r.new.len(),
+        r.carried,
+        r.stale
+            .iter()
+            .map(|e| json_str(&e.fingerprint))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    s
+}
+
+/// Extracts the JSON string value of `"key"` from one line, unescaping the
+/// common escapes [`json_str`] produces.
+fn json_string_field(line: &str, key: &str) -> Option<String> {
+    let quoted = format!("\"{key}\"");
+    let at = line.find(&quoted)?;
+    let rest = &line[at + quoted.len()..];
+    let colon = rest.find(':')?;
+    let rest = rest[colon + 1..].trim_start();
+    let mut chars = rest.chars();
+    if chars.next() != Some('"') {
+        return None;
+    }
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                        out.push(c);
+                    }
+                }
+                Some(other) => out.push(other),
+                None => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, line: usize, snippet: &str) -> Finding {
+        Finding::new(rule, path, line, 1, format!("msg for {rule}"), snippet.to_string())
+    }
+
+    #[test]
+    fn fingerprints_ignore_line_numbers_and_whitespace() {
+        let a = fingerprint("no-unwrap", "src/a.rs", "let x =  y.unwrap();", 0);
+        let b = fingerprint("no-unwrap", "src/a.rs", "let x = y.unwrap();", 0);
+        assert_eq!(a, b);
+        let f1 = finding("no-unwrap", "src/a.rs", 10, "y.unwrap();");
+        let f2 = finding("no-unwrap", "src/a.rs", 99, "y.unwrap();");
+        let prints = fingerprints(&[f1, f2]);
+        assert_ne!(prints[0], prints[1], "duplicates are disambiguated");
+        assert!(prints[1].ends_with(".1"));
+    }
+
+    #[test]
+    fn baseline_json_round_trips() {
+        let report = AuditReport {
+            findings: vec![
+                finding("no-unwrap", "src/a.rs", 3, "y.unwrap(); // \"quoted\""),
+                finding("no-print", "src/b.rs", 7, "println!(\"x\")"),
+            ],
+            ..Default::default()
+        };
+        let baseline = Baseline::from_report(&report);
+        let parsed = Baseline::parse(&baseline.to_json()).expect("parses");
+        assert_eq!(parsed.entries, baseline.entries);
+    }
+
+    #[test]
+    fn ratchet_separates_new_carried_and_stale() {
+        let old = AuditReport {
+            findings: vec![
+                finding("no-unwrap", "src/a.rs", 3, "y.unwrap();"),
+                finding("no-print", "src/b.rs", 7, "println!(\"x\")"),
+            ],
+            ..Default::default()
+        };
+        let baseline = Baseline::from_report(&old);
+
+        // Same debt, shifted lines: clean.
+        let drifted = AuditReport {
+            findings: vec![
+                finding("no-unwrap", "src/a.rs", 30, "y.unwrap();"),
+                finding("no-print", "src/b.rs", 70, "println!(\"x\")"),
+            ],
+            ..Default::default()
+        };
+        let r = ratchet(&drifted, &baseline);
+        assert!(r.is_clean(), "{r:?}");
+        assert_eq!(r.carried, 2);
+
+        // One new finding: denied.
+        let grown = AuditReport {
+            findings: vec![
+                finding("no-unwrap", "src/a.rs", 3, "y.unwrap();"),
+                finding("no-unwrap", "src/a.rs", 5, "z.expect(\"boom\");"),
+                finding("no-print", "src/b.rs", 7, "println!(\"x\")"),
+            ],
+            ..Default::default()
+        };
+        let r = ratchet(&grown, &baseline);
+        assert!(!r.is_clean());
+        assert_eq!(r.new.len(), 1);
+        assert!(r.new[0].snippet.contains("z.expect"));
+        assert_eq!(r.carried, 2);
+        assert!(r.stale.is_empty());
+
+        // Debt paid: the leftover entry is stale and also fails the gate.
+        let paid = AuditReport {
+            findings: vec![finding("no-print", "src/b.rs", 7, "println!(\"x\")")],
+            ..Default::default()
+        };
+        let r = ratchet(&paid, &baseline);
+        assert!(!r.is_clean());
+        assert!(r.new.is_empty());
+        assert_eq!(r.carried, 1);
+        assert_eq!(r.stale.len(), 1);
+        assert_eq!(r.stale[0].rule, "no-unwrap");
+    }
+
+    #[test]
+    fn empty_baseline_denies_everything_and_parses() {
+        let baseline = Baseline::parse("{\n  \"version\": 1,\n  \"entries\": []\n}\n").expect("parses");
+        assert!(baseline.entries.is_empty());
+        let report = AuditReport {
+            findings: vec![finding("no-unwrap", "src/a.rs", 3, "y.unwrap();")],
+            ..Default::default()
+        };
+        let r = ratchet(&report, &baseline);
+        assert_eq!(r.new.len(), 1);
+        assert!(Baseline::parse("hello").is_err());
+    }
+}

@@ -3,8 +3,14 @@
 //! Enforces sflow-specific source discipline that generic tooling cannot:
 //! panic-freedom on server/routing hot paths, `parking_lot`-only locking,
 //! allocation-free Dijkstra kernels, print-free libraries, `forbid(unsafe)`
-//! crate roots, and single-acquisition world-lock discipline. See
+//! crate roots, guard-free solve paths, sanctioned-only epoch publication,
+//! counter/wire coverage across files, and dead-suppression hygiene. See
 //! [`rules::RULES`] for the catalogue and `DESIGN.md` §8 for rationale.
+//!
+//! The engine lexes every file once ([`lex`]) into a token stream with
+//! brace depth; per-file rules ([`rules`]) and cross-file rules ([`cross`])
+//! share that parse. Findings ratchet against a fingerprint baseline
+//! ([`baseline`]) so CI denies new debt while old debt burns down.
 //!
 //! The crate intentionally has **zero dependencies** — not even the
 //! workspace's vendored shims — so the audit gate stays green-buildable even
@@ -12,12 +18,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+pub mod cross;
+pub mod lex;
 pub mod report;
 pub mod rules;
-pub mod scan;
 
+pub use baseline::{ratchet, Baseline, Ratchet};
 pub use report::{AuditReport, Finding};
-pub use rules::{scan_source, FileClass, Rule, RULES};
+pub use rules::{scan_source, FileClass, Rule, SourceFile, RULES};
 
 use std::path::{Path, PathBuf};
 
@@ -37,19 +46,23 @@ pub fn find_root(start: &Path) -> Option<PathBuf> {
     None
 }
 
-/// Collects every workspace `.rs` source under `root`: the top-level `src/`
-/// tree plus each `crates/*/src`, `crates/*/tests`, `crates/*/benches`.
-/// Vendored shims (`vendor/`) are third-party style and exempt.
+/// Collects every workspace `.rs` source under `root`: the top-level
+/// `src/`, `tests/`, `benches/` and `examples/` trees plus each
+/// `crates/*/{src,tests,benches,examples}`. Vendored shims (`vendor/`) are
+/// third-party style and exempt.
 pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    const SOURCE_DIRS: &[&str] = &["src", "tests", "benches", "examples"];
     let mut files = Vec::new();
-    collect_rs(&root.join("src"), &mut files);
+    for dir in SOURCE_DIRS {
+        collect_rs(&root.join(dir), &mut files);
+    }
     if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
         for entry in entries.flatten() {
             let dir = entry.path();
             if dir.is_dir() {
-                collect_rs(&dir.join("src"), &mut files);
-                collect_rs(&dir.join("tests"), &mut files);
-                collect_rs(&dir.join("benches"), &mut files);
+                for sub in SOURCE_DIRS {
+                    collect_rs(&dir.join(sub), &mut files);
+                }
             }
         }
     }
@@ -71,9 +84,40 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
+/// Audits an already-parsed set of files: per-file rules, cross-file rules,
+/// suppression matching (including `unused-suppression`). Public so tests
+/// can audit synthetic workspaces without touching the filesystem.
+pub fn audit_files(files: &[SourceFile]) -> AuditReport {
+    let mut report = AuditReport {
+        files_scanned: files.len(),
+        ..AuditReport::default()
+    };
+    // Cross-file findings are anchored at a declaration site in some file;
+    // route each to that file so site-local `audit:allow` directives govern
+    // them like any other finding.
+    let mut cross_by_file: Vec<Vec<Finding>> = vec![Vec::new(); files.len()];
+    for f in cross::cross_findings(files) {
+        match files.iter().position(|s| s.rel == f.path) {
+            Some(i) => cross_by_file[i].push(f),
+            None => report.findings.push(f),
+        }
+    }
+    for (file, extra) in files.iter().zip(cross_by_file) {
+        let mut raw = rules::local_findings(file);
+        raw.extend(extra);
+        let (findings, suppressed) = rules::apply_suppressions(file, raw);
+        report.findings.extend(findings);
+        report.suppressed += suppressed;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.column).cmp(&(&b.path, b.line, b.column)));
+    report
+}
+
 /// Audits the whole workspace rooted at `root`.
 pub fn audit_workspace(root: &Path) -> std::io::Result<AuditReport> {
-    let mut report = AuditReport::default();
+    let mut files = Vec::new();
     for path in workspace_sources(root) {
         let rel = path
             .strip_prefix(root)
@@ -83,13 +127,7 @@ pub fn audit_workspace(root: &Path) -> std::io::Result<AuditReport> {
             .collect::<Vec<_>>()
             .join("/");
         let text = std::fs::read_to_string(&path)?;
-        let (findings, suppressed) = scan_source(&rel, &text);
-        report.findings.extend(findings);
-        report.suppressed += suppressed;
-        report.files_scanned += 1;
+        files.push(SourceFile::parse(&rel, &text));
     }
-    report
-        .findings
-        .sort_by(|a, b| (&a.path, a.line, a.column).cmp(&(&b.path, b.line, b.column)));
-    Ok(report)
+    Ok(audit_files(&files))
 }

@@ -39,6 +39,22 @@ impl Finding {
             snippet,
         }
     }
+
+    /// Serialises the finding as one JSON object. `extra` is spliced raw
+    /// before the closing brace (pass `""`, or e.g.
+    /// `, "fingerprint": "…"` — the caller owns its validity).
+    pub fn to_json_obj(&self, extra: &str) -> String {
+        format!(
+            "{{\"rule\": {}, \"path\": {}, \"line\": {}, \"column\": {}, \
+             \"message\": {}, \"snippet\": {}{extra}}}",
+            json_str(self.rule),
+            json_str(&self.path),
+            self.line,
+            self.column,
+            json_str(&self.message),
+            json_str(&self.snippet)
+        )
+    }
 }
 
 /// The result of auditing a set of files.
@@ -90,16 +106,8 @@ impl AuditReport {
             if i > 0 {
                 s.push(',');
             }
-            s.push_str(&format!(
-                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"column\": {}, \
-                 \"message\": {}, \"snippet\": {}}}",
-                json_str(f.rule),
-                json_str(&f.path),
-                f.line,
-                f.column,
-                json_str(&f.message),
-                json_str(&f.snippet)
-            ));
+            s.push_str("\n    ");
+            s.push_str(&f.to_json_obj(""));
         }
         if !self.findings.is_empty() {
             s.push_str("\n  ");
@@ -110,7 +118,7 @@ impl AuditReport {
 }
 
 /// Escapes `v` as a JSON string literal.
-fn json_str(v: &str) -> String {
+pub(crate) fn json_str(v: &str) -> String {
     let mut s = String::with_capacity(v.len() + 2);
     s.push('"');
     for c in v.chars() {

@@ -11,13 +11,23 @@
 //! | `no-print` | library sources | no `println!` family / `dbg!` (binaries excepted) |
 //! | `forbid-unsafe` | every crate root | `#![forbid(unsafe_code)]` present |
 //! | `guard-across-solve` | `crates/server` non-test code | no lock guard live across a solve/federate/repair call |
+//! | `epoch-discipline` | `crates/server` non-test code | `Snap::store` / `LoadCell::publish` only from sanctioned mutators |
+//! | `counter-coverage` | workspace (cross-file) | every `Metrics` atomic counter is bumped, snapshotted, and rendered |
+//! | `wire-exhaustive` | workspace (cross-file) | every `Request`/`Response` variant spans server, client, and CLI |
+//! | `unused-suppression` | every scanned file | an `audit:allow` that silences nothing is itself a finding |
 //!
-//! Findings can be suppressed per site with `// audit:allow(rule-name)` on
-//! the same line or the line directly above; the file-level `forbid-unsafe`
-//! rule accepts the directive anywhere in the file.
+//! All rules run over the token stream produced by [`crate::lex`]: rules see
+//! scopes (brace depth), statements and bindings, never raw lines, so string
+//! literals and comments can't fire them and guard liveness is tracked from
+//! the binding to end-of-scope or `drop(guard)`.
+//!
+//! Findings can be suppressed per site with an `audit:allow(<rule>)` comment
+//! directive on the same line or the line directly above; the file-level
+//! `forbid-unsafe` rule accepts the directive anywhere in the file. A
+//! directive that suppresses nothing is flagged by `unused-suppression`.
 
+use crate::lex::{self, FnItem, Lexed, Token, TokenKind};
 use crate::report::Finding;
-use crate::scan::{self, Masked};
 
 /// One lint rule: stable name, scope summary, rationale.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,6 +68,28 @@ pub const RULES: &[Rule] = &[
         description: "no lock guard may be live across a solve/federate/repair call in \
                       crates/server (the read path loads an immutable snapshot and solves \
                       off-lock; a guard spanning a solve reintroduces reader/mutator coupling)",
+    },
+    Rule {
+        name: "epoch-discipline",
+        description: "Snap::store and LoadCell::publish only from sanctioned mutator functions \
+                      in crates/server (epoch monotonicity, DESIGN \u{a7}9-10, holds only when \
+                      publication sites are enumerable)",
+    },
+    Rule {
+        name: "counter-coverage",
+        description: "every AtomicU64 counter in server/src/stats.rs is incremented, read into \
+                      the snapshot, and rendered by the CLI stats view (a counter missing a leg \
+                      is dead telemetry or an invisible hole in the report)",
+    },
+    Rule {
+        name: "wire-exhaustive",
+        description: "every Request/Response wire variant has a server dispatch arm, a client \
+                      method, and a CLI path (the wire surface moves in lockstep or not at all)",
+    },
+    Rule {
+        name: "unused-suppression",
+        description: "an audit:allow directive that suppresses no finding is itself a finding \
+                      (stale allows hide real regressions behind dead exemptions)",
     },
 ];
 
@@ -100,480 +132,632 @@ impl FileClass {
     }
 }
 
-/// Scans one source file; returns `(findings, suppressed_count)`.
+/// One parsed source file: the unit every rule (local or cross-file)
+/// operates on. Parsing happens once per file; local rules, cross-file
+/// rules and suppression matching all share the result.
+pub struct SourceFile {
+    /// Repo-relative `/`-separated path.
+    pub rel: String,
+    /// Path-derived classification.
+    pub class: FileClass,
+    /// Original source lines (for snippets).
+    pub lines: Vec<String>,
+    /// The token stream and harvested `audit:allow` directives.
+    pub lexed: Lexed,
+    /// `true` for every 1-based line inside a test item body (index 0 is
+    /// line 1).
+    pub test_mask: Vec<bool>,
+    /// Every `fn` item, nested ones included.
+    pub fns: Vec<FnItem>,
+}
+
+impl SourceFile {
+    /// Lexes and classifies one source file.
+    pub fn parse(rel: &str, text: &str) -> SourceFile {
+        let lexed = lex::lex(text);
+        let test_mask = lex::test_lines(&lexed);
+        let fns = lex::functions(&lexed.tokens);
+        SourceFile {
+            rel: rel.to_string(),
+            class: FileClass::of(rel),
+            lines: text.lines().map(str::to_string).collect(),
+            lexed,
+            test_mask,
+            fns,
+        }
+    }
+
+    /// True when the 1-based `line` lies inside a test item body.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        line >= 1 && self.test_mask.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// The trimmed source text of the 1-based `line`.
+    pub fn snippet(&self, line: usize) -> String {
+        self.lines
+            .get(line.saturating_sub(1))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+}
+
+/// Runs every single-file rule over `file` and returns the raw findings
+/// (suppressions not yet applied, snippets not yet attached).
+pub fn local_findings(file: &SourceFile) -> Vec<Finding> {
+    let mut raw = Vec::new();
+    let class = &file.class;
+    let hot_crate = class.crate_dir == "crates/server" || class.crate_dir == "crates/routing";
+
+    if hot_crate && !class.in_tests {
+        no_unwrap(file, &mut raw);
+    }
+    if !class.in_tests {
+        std_sync_lock(file, &mut raw);
+    }
+    if class.crate_dir == "crates/routing" && !class.in_tests {
+        kernel_discipline(file, &mut raw);
+    }
+    if !class.is_bin && !class.in_tests {
+        no_print(file, &mut raw);
+    }
+    if class.is_crate_root {
+        forbid_unsafe(file, &mut raw);
+    }
+    if class.crate_dir == "crates/server" && !class.in_tests {
+        guard_across_solve(file, &mut raw);
+        epoch_discipline(file, &mut raw);
+    }
+    raw
+}
+
+/// Scans one source file in isolation; returns `(findings, suppressed)`.
 ///
 /// `rel` is the repo-relative path (used for rule scoping and reporting),
-/// `text` the file contents.
+/// `text` the file contents. Cross-file rules need the whole workspace and
+/// run in [`crate::audit_workspace`], not here.
 pub fn scan_source(rel: &str, text: &str) -> (Vec<Finding>, usize) {
     if !rel.ends_with(".rs") {
         return (Vec::new(), 0);
     }
-    let class = FileClass::of(rel);
-    let masked = scan::mask(text);
-    let lines: Vec<&str> = masked.text.lines().collect();
-    let orig_lines: Vec<&str> = text.lines().collect();
-    let in_test_region = test_line_mask(&masked.text, lines.len());
+    let file = SourceFile::parse(rel, text);
+    let raw = local_findings(&file);
+    let (mut findings, suppressed) = apply_suppressions(&file, raw);
+    findings.sort_by_key(|f| (f.line, f.column));
+    (findings, suppressed)
+}
 
-    let mut raw: Vec<Finding> = Vec::new();
-    let hot_crate = class.crate_dir == "crates/server" || class.crate_dir == "crates/routing";
-
-    if hot_crate && !class.in_tests {
-        no_unwrap(rel, &lines, &in_test_region, &mut raw);
-    }
-    if !class.in_tests {
-        std_sync_lock(rel, &lines, &in_test_region, &mut raw);
-    }
-    if class.crate_dir == "crates/routing" && !class.in_tests {
-        kernel_discipline(rel, &masked, &in_test_region, &mut raw);
-    }
-    if !class.is_bin && !class.in_tests {
-        no_print(rel, &lines, &in_test_region, &mut raw);
-    }
-    if class.is_crate_root && !masked.text.contains("#![forbid(unsafe_code)]") {
-        raw.push(Finding::new(
-            "forbid-unsafe",
-            rel,
-            1,
-            1,
-            "crate root is missing #![forbid(unsafe_code)]".to_string(),
-            orig_lines.first().unwrap_or(&"").trim().to_string(),
-        ));
-    }
-    if class.crate_dir == "crates/server" && !class.in_tests {
-        guard_across_solve(rel, &masked, &in_test_region, &mut raw);
-    }
-
-    // Attach snippets from the original (unmasked) source.
-    for f in &mut raw {
-        if f.snippet.is_empty() {
-            f.snippet = orig_lines
-                .get(f.line.saturating_sub(1))
-                .unwrap_or(&"")
-                .trim()
-                .to_string();
-        }
-    }
-
-    // Apply suppressions: same line, the line directly above, or (for the
-    // file-level forbid-unsafe rule) anywhere in the file.
+/// Applies `audit:allow` directives to `raw` findings for `file`: a finding
+/// is suppressed by a directive naming its rule on the same line or the line
+/// directly above (the file-level `forbid-unsafe` rule accepts it anywhere).
+/// Directives that suppress nothing become `unused-suppression` findings —
+/// themselves suppressible by an `unused-suppression` directive at the site.
+/// Also attaches snippets. Returns `(findings, suppressed_count)`.
+pub fn apply_suppressions(file: &SourceFile, raw: Vec<Finding>) -> (Vec<Finding>, usize) {
+    let allows = &file.lexed.allows;
+    let mut used = vec![false; allows.len()];
     let mut findings = Vec::new();
     let mut suppressed = 0usize;
+
     for f in raw {
-        let allowed = masked.allows.iter().any(|(line, rule)| {
-            rule == f.rule && (*line == f.line || *line + 1 == f.line || f.rule == "forbid-unsafe")
-        });
-        if allowed {
+        let mut hit = false;
+        for (k, a) in allows.iter().enumerate() {
+            if a.rule == f.rule
+                && (a.line == f.line || a.line + 1 == f.line || f.rule == "forbid-unsafe")
+            {
+                used[k] = true;
+                hit = true;
+            }
+        }
+        if hit {
             suppressed += 1;
         } else {
             findings.push(f);
         }
     }
+
+    // A directive that silenced nothing is dead: either the violation was
+    // fixed (remove the allow) or the rule name is wrong (it guards nothing).
+    let known: Vec<&str> = RULES.iter().map(|r| r.name).collect();
+    for (k, a) in allows.iter().enumerate() {
+        if used[k] || a.rule == "unused-suppression" {
+            continue;
+        }
+        let message = if known.contains(&a.rule.as_str()) {
+            format!("`audit:allow({})` suppresses nothing: remove it", a.rule)
+        } else {
+            format!(
+                "`audit:allow({})` names an unknown rule (see --list-rules): remove or fix it",
+                a.rule
+            )
+        };
+        let f = Finding::new("unused-suppression", &file.rel, a.line, 1, message, String::new());
+        // The dead directive itself may be intentionally kept (e.g. a
+        // template); that exemption must be explicit at the site.
+        let mut hit = false;
+        for (j, b) in allows.iter().enumerate() {
+            if b.rule == "unused-suppression" && (b.line == f.line || b.line + 1 == f.line) {
+                used[j] = true;
+                hit = true;
+            }
+        }
+        if hit {
+            suppressed += 1;
+        } else {
+            findings.push(f);
+        }
+    }
+
+    for f in &mut findings {
+        if f.snippet.is_empty() {
+            f.snippet = file.snippet(f.line);
+        }
+    }
     (findings, suppressed)
 }
 
-/// Marks every line that lies inside a `#[cfg(test)]` / `#[test]` item body.
-fn test_line_mask(masked: &str, n_lines: usize) -> Vec<bool> {
-    let chars: Vec<char> = masked.chars().collect();
-    let mut mask = vec![false; n_lines];
-    let mut line = 0usize; // 0-based while walking
-    let mut depth = 0i64;
-    let mut pending: Option<i64> = None;
-    let mut regions: Vec<i64> = Vec::new();
-    let mut i = 0usize;
-    while i < chars.len() {
-        match chars[i] {
-            '\n' => line += 1,
-            '{' => {
-                if pending == Some(depth) {
-                    regions.push(depth);
-                    pending = None;
-                }
-                depth += 1;
-            }
-            '}' => {
-                depth -= 1;
-                if !regions.is_empty() && line < mask.len() {
-                    mask[line] = true; // the closing brace's own line
-                }
-                if regions.last() == Some(&depth) {
-                    regions.pop();
-                }
-            }
-            // An attribute on a brace-less item (`#[cfg(test)] mod t;`)
-            // does not open an inline region.
-            ';' if pending == Some(depth) => pending = None,
-            '#' => {
-                let ahead: String = chars[i..chars.len().min(i + 16)].iter().collect();
-                if ahead.starts_with("#[test]")
-                    || ahead.starts_with("#[cfg(test")
-                    || ahead.starts_with("#[cfg(all(test")
-                {
-                    pending = Some(depth);
-                }
-            }
+// ---------------------------------------------------------------------------
+// Token-stream helpers
+// ---------------------------------------------------------------------------
+
+/// True when `tokens[at..]` is an empty-argument guard acquisition:
+/// `. lock ( )` (or `.read()` / `.write()`).
+fn is_guard_acq(tokens: &[Token], at: usize) -> bool {
+    tokens[at].is_punct('.')
+        && tokens
+            .get(at + 1)
+            .is_some_and(|t| t.kind == TokenKind::Ident && matches!(t.text.as_str(), "lock" | "read" | "write"))
+        && tokens.get(at + 2).is_some_and(|t| t.is_punct('('))
+        && tokens.get(at + 3).is_some_and(|t| t.is_punct(')'))
+}
+
+/// The token index just past the end of the `let` statement starting at
+/// `let_at`: the `;` at the `let`'s brace depth outside any parens/brackets,
+/// or — for `if let` / `while let` conditions — the `{` opening the block.
+/// Returns the index of that terminator (capped at `limit`).
+fn let_statement_end(tokens: &[Token], let_at: usize, limit: usize) -> usize {
+    let d = tokens[let_at].depth;
+    let in_condition = let_at > 0
+        && (tokens[let_at - 1].is_ident("if") || tokens[let_at - 1].is_ident("while"));
+    let mut brackets = 0i64;
+    for (j, t) in tokens.iter().enumerate().take(limit).skip(let_at + 1) {
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" => brackets += 1,
+            ")" | "]" => brackets -= 1,
+            ";" if brackets == 0 && t.depth == d => return j,
+            "{" if in_condition && brackets == 0 && t.depth == d => return j,
             _ => {}
         }
-        if !regions.is_empty() && line < mask.len() {
-            mask[line] = true;
-        }
-        i += 1;
     }
-    mask
+    limit
 }
 
-/// Every char-index occurrence of `pat` in `line` (masked text).
-fn occurrences(line: &str, pat: &str) -> Vec<usize> {
-    let mut at = 0usize;
-    let mut hits = Vec::new();
-    while let Some(rel) = line[at..].find(pat) {
-        hits.push(at + rel);
-        at += rel + pat.len();
-    }
-    hits
-}
+// ---------------------------------------------------------------------------
+// Local rules
+// ---------------------------------------------------------------------------
 
-fn no_unwrap(rel: &str, lines: &[&str], test: &[bool], out: &mut Vec<Finding>) {
-    for (ix, l) in lines.iter().enumerate() {
-        if test.get(ix).copied().unwrap_or(false) {
+fn no_unwrap(file: &SourceFile, out: &mut Vec<Finding>) {
+    let tokens = &file.lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_punct('.') || file.is_test_line(t.line) {
             continue;
         }
-        for pat in [".unwrap()", ".expect("] {
-            for col in occurrences(l, pat) {
+        let Some(name) = tokens.get(i + 1) else { continue };
+        if name.kind != TokenKind::Ident
+            || !tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            continue;
+        }
+        let pat = match name.text.as_str() {
+            "unwrap" => ".unwrap()",
+            "expect" => ".expect(",
+            _ => continue,
+        };
+        out.push(Finding::new(
+            "no-unwrap",
+            &file.rel,
+            t.line,
+            t.col,
+            format!("`{pat}` in hot-path crate: return a typed error instead"),
+            String::new(),
+        ));
+    }
+}
+
+fn std_sync_lock(file: &SourceFile, out: &mut Vec<Finding>) {
+    let tokens = &file.lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("std") || file.is_test_line(t.line) {
+            continue;
+        }
+        if !lex::match_seq(tokens, i + 1, &["::", "sync", "::"]) {
+            continue;
+        }
+        // Direct path: `std::sync::Mutex` in a `use` or a type.
+        if let Some(last) = tokens.get(i + 4) {
+            if last.is_ident("Mutex") || last.is_ident("RwLock") {
                 out.push(Finding::new(
-                    "no-unwrap",
-                    rel,
-                    ix + 1,
-                    col + 1,
-                    format!("`{pat}` in hot-path crate: return a typed error instead"),
+                    "std-sync-lock",
+                    &file.rel,
+                    t.line,
+                    t.col,
+                    format!("`std::sync::{}`: this workspace mandates parking_lot locks", last.text),
                     String::new(),
                 ));
+                continue;
             }
         }
-    }
-}
-
-fn std_sync_lock(rel: &str, lines: &[&str], test: &[bool], out: &mut Vec<Finding>) {
-    for (ix, l) in lines.iter().enumerate() {
-        if test.get(ix).copied().unwrap_or(false) {
-            continue;
-        }
-        let mut cols: Vec<(usize, &str)> = Vec::new();
-        for pat in ["std::sync::Mutex", "std::sync::RwLock"] {
-            for col in occurrences(l, pat) {
-                cols.push((col, pat));
-            }
-        }
-        // Brace imports: `use std::sync::{Arc, Mutex}`.
-        if l.trim_start().starts_with("use std::sync::") && l.contains('{') {
-            for name in ["Mutex", "RwLock"] {
-                for col in occurrences(l, name) {
-                    if !cols.iter().any(|(c, p)| col >= *c && col < *c + p.len()) {
-                        cols.push((col, name));
-                    }
-                }
-            }
-        }
-        for (col, pat) in cols {
-            out.push(Finding::new(
-                "std-sync-lock",
-                rel,
-                ix + 1,
-                col + 1,
-                format!("`{pat}`: this workspace mandates parking_lot locks"),
-                String::new(),
-            ));
-        }
-    }
-}
-
-fn no_print(rel: &str, lines: &[&str], test: &[bool], out: &mut Vec<Finding>) {
-    for (ix, l) in lines.iter().enumerate() {
-        if test.get(ix).copied().unwrap_or(false) {
-            continue;
-        }
-        for col in occurrences(l, "dbg!") {
-            out.push(Finding::new(
-                "no-print",
-                rel,
-                ix + 1,
-                col + 1,
-                "`dbg!` in a library crate".to_string(),
-                String::new(),
-            ));
-        }
-        // Classify every `print` occurrence into its exact macro name, so
-        // `eprintln!` is reported once (not also as `println!`).
-        for col in occurrences(l, "print") {
-            let chars: Vec<char> = l.chars().collect();
-            let start = if col > 0 && chars[col - 1] == 'e' {
-                col - 1
-            } else {
-                col
+        // Brace import: `use std::sync::{Arc, Mutex}` (nested trees too).
+        if tokens.get(i + 4).is_some_and(|t| t.is_punct('{')) {
+            let Some(close) = lex::matching_close(tokens, i + 4) else {
+                continue;
             };
-            if start < col && col > 1 && is_ident_char(chars[col - 2]) {
-                continue; // `…eprint` inside a longer identifier
-            }
-            if start == col && col > 0 && is_ident_char(chars[col - 1]) {
-                continue; // `…print` inside a longer identifier (incl. eprint, handled above)
-            }
-            let mut end = col + "print".len();
-            if chars.get(end) == Some(&'l') && chars.get(end + 1) == Some(&'n') {
-                end += 2;
-            }
-            if chars.get(end) != Some(&'!') {
-                continue; // not a macro invocation
-            }
-            let name: String = chars[start..=end].iter().collect();
-            out.push(Finding::new(
-                "no-print",
-                rel,
-                ix + 1,
-                start + 1,
-                format!("`{name}` in a library crate: route output through the caller"),
-                String::new(),
-            ));
-        }
-    }
-}
-
-fn is_ident_char(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
-}
-
-/// Tokens that betray an allocation or a clock read inside a kernel loop.
-const KERNEL_BANNED: &[&str] = &[
-    "Instant::now",
-    "SystemTime::now",
-    "Vec::new",
-    "VecDeque::new",
-    "vec!",
-    "with_capacity",
-    "Box::new",
-    "String::new",
-    "String::from",
-    "format!",
-    "to_vec()",
-    "to_owned()",
-    "to_string()",
-    ".collect()",
-    "HashMap::new",
-    "HashSet::new",
-    "BTreeMap::new",
-];
-
-fn kernel_discipline(rel: &str, masked: &Masked, test: &[bool], out: &mut Vec<Finding>) {
-    let chars: Vec<char> = masked.text.chars().collect();
-    for start in occurrences(&masked.text, "while let") {
-        // The loop header runs up to the body's opening brace; only loops
-        // draining a heap (`.pop()`, not a deque's `.pop_front()`) are
-        // Dijkstra kernels.
-        let Some(open) = find_forward(&chars, char_index_of(&masked.text, start), '{') else {
-            continue;
-        };
-        let header: String = chars[char_index_of(&masked.text, start)..open]
-            .iter()
-            .collect();
-        if !header.contains(".pop()") || header.contains(".pop_front") {
-            continue;
-        }
-        let Some(close) = matching_brace(&chars, open) else {
-            continue;
-        };
-        let body_first_line = line_of(&chars, open);
-        if test.get(body_first_line).copied().unwrap_or(false) {
-            continue;
-        }
-        let body: String = chars[open..=close].iter().collect();
-        let body_start_line = line_of(&chars, open); // 0-based
-        for pat in KERNEL_BANNED {
-            for rel_col in occurrences(&body, pat) {
-                let line0 = body_start_line + body[..rel_col].matches('\n').count();
-                let col = body[..rel_col]
-                    .rfind('\n')
-                    .map_or(rel_col + open, |nl| rel_col - nl - 1);
-                out.push(Finding::new(
-                    "kernel-discipline",
-                    rel,
-                    line0 + 1,
-                    col + 1,
-                    format!("`{pat}` inside a heap-pop kernel loop: hoist it out of the kernel"),
-                    String::new(),
-                ));
-            }
-        }
-    }
-}
-
-/// Calls that run a federation solve (directly, via repair, or via the
-/// rebalancer's re-solve entry points), plus the solve-cache fill and
-/// admission entry points (`cache_solve`, `open_session`), which take the
-/// cache or sessions lock internally. A lock guard live across any of
-/// these couples readers to mutators again — exactly what the snapshot
-/// architecture removed — or re-enters a lock the callee takes itself.
-const SOLVE_TOKENS: &[&str] = &[
-    ".solve(",
-    ".solve_pinned(",
-    ".federate(",
-    "repair(",
-    "resolve_mover(",
-    "federate_against(",
-    ".cache_solve(",
-    "open_session(",
-];
-
-/// Statement-final lock acquisitions whose `let` binding creates a guard.
-const GUARD_TOKENS: &[&str] = &[".lock();", ".read();", ".write();"];
-
-fn guard_across_solve(rel: &str, masked: &Masked, test: &[bool], out: &mut Vec<Finding>) {
-    let chars: Vec<char> = masked.text.chars().collect();
-    for at in occurrences(&masked.text, "fn ") {
-        let ci = char_index_of(&masked.text, at);
-        if ci > 0 && is_ident_char(chars[ci - 1]) {
-            continue; // part of a longer identifier
-        }
-        // Find the body `{`, skipping the parameter list and return type; a
-        // `;` at paren depth 0 means a body-less declaration.
-        let mut j = ci;
-        let mut paren = 0i64;
-        let mut open = None;
-        while j < chars.len() {
-            match chars[j] {
-                '(' | '[' => paren += 1,
-                ')' | ']' => paren -= 1,
-                '{' if paren == 0 => {
-                    open = Some(j);
-                    break;
-                }
-                ';' if paren == 0 => break,
-                _ => {}
-            }
-            j += 1;
-        }
-        let Some(open) = open else { continue };
-        let Some(close) = matching_brace(&chars, open) else {
-            continue;
-        };
-        if test.get(line_of(&chars, ci)).copied().unwrap_or(false) {
-            continue;
-        }
-        let body: String = chars[open..=close].iter().collect();
-        let body_start_line = line_of(&chars, open); // 0-based, line of `{`
-        let body_lines: Vec<&str> = body.lines().collect();
-
-        // Solve call sites, as 0-based line indices within the body. A
-        // A bare-name token (`repair(`, `resolve_mover(`, …) preceded by an
-        // identifier char is part of a longer name, not the entry point.
-        let mut solves: Vec<(usize, &str)> = Vec::new();
-        for pat in SOLVE_TOKENS {
-            for rel_col in occurrences(&body, pat) {
-                if !pat.starts_with('.')
-                    && body[..rel_col]
-                        .chars()
-                        .next_back()
-                        .is_some_and(is_ident_char)
-                {
-                    continue;
-                }
-                solves.push((body[..rel_col].matches('\n').count(), pat));
-            }
-        }
-        solves.sort_unstable();
-
-        // Guard bindings: `let [mut] <ident> = …​.lock();` (or .read()/
-        // .write()). The guard is live from its binding line until a
-        // `drop(<ident>)` or the end of the function — conservative on
-        // inner blocks, which is the point: shrinking a guard's scope
-        // below a solve should be explicit (`drop`) or allowed per site.
-        for (li, line) in body_lines.iter().enumerate() {
-            let trimmed = line.trim_start();
-            let is_guard_binding =
-                trimmed.starts_with("let ") && GUARD_TOKENS.iter().any(|g| line.contains(g));
-            if !is_guard_binding {
-                // A guard temporary and a solve in one statement is the
-                // same coupling without even a name to drop.
-                if GUARD_TOKENS
-                    .iter()
-                    .any(|g| line.contains(&g[..g.len() - 1]))
-                    && SOLVE_TOKENS.iter().any(|s| line.contains(s))
-                {
+            for name in &tokens[i + 5..close] {
+                if name.is_ident("Mutex") || name.is_ident("RwLock") {
                     out.push(Finding::new(
-                        "guard-across-solve",
-                        rel,
-                        body_start_line + li + 1,
-                        line.len() - trimmed.len() + 1,
-                        "lock acquired and solve run in one statement: the temporary guard \
-                         spans the solve"
-                            .to_string(),
+                        "std-sync-lock",
+                        &file.rel,
+                        name.line,
+                        name.col,
+                        format!("`{}`: this workspace mandates parking_lot locks", name.text),
                         String::new(),
                     ));
                 }
+            }
+        }
+    }
+}
+
+fn no_print(file: &SourceFile, out: &mut Vec<Finding>) {
+    let tokens = &file.lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident
+            || !tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            || file.is_test_line(t.line)
+        {
+            continue;
+        }
+        let message = match t.text.as_str() {
+            "println" | "eprintln" | "print" | "eprint" => {
+                format!("`{}!` in a library crate: route output through the caller", t.text)
+            }
+            "dbg" => "`dbg!` in a library crate".to_string(),
+            _ => continue,
+        };
+        out.push(Finding::new(
+            "no-print",
+            &file.rel,
+            t.line,
+            t.col,
+            message,
+            String::new(),
+        ));
+    }
+}
+
+fn forbid_unsafe(file: &SourceFile, out: &mut Vec<Finding>) {
+    let tokens = &file.lexed.tokens;
+    let present = (0..tokens.len()).any(|i| {
+        lex::match_seq(tokens, i, &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"])
+    });
+    if !present {
+        out.push(Finding::new(
+            "forbid-unsafe",
+            &file.rel,
+            1,
+            1,
+            "crate root is missing #![forbid(unsafe_code)]".to_string(),
+            file.snippet(1),
+        ));
+    }
+}
+
+/// Allocation and clock constructors banned inside a heap-pop kernel, as
+/// `(leading ident path, trailing ident)` or method/macro forms below.
+const KERNEL_BANNED_NEW: &[&str] = &[
+    "Vec", "VecDeque", "Box", "String", "HashMap", "HashSet", "BTreeMap",
+];
+
+fn kernel_discipline(file: &SourceFile, out: &mut Vec<Finding>) {
+    let tokens = &file.lexed.tokens;
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("while") || !tokens.get(i + 1).is_some_and(|t| t.is_ident("let")) {
+            continue;
+        }
+        // The loop header runs up to the body's opening brace; only loops
+        // draining a heap (`.pop()`, not a deque's `.pop_front()`) are
+        // Dijkstra kernels.
+        let d = tokens[i].depth;
+        let Some(open) = (i + 2..tokens.len())
+            .find(|&j| tokens[j].is_punct('{') && tokens[j].depth == d)
+        else {
+            continue;
+        };
+        let header = &tokens[i..open];
+        let pops_heap = (0..header.len()).any(|k| {
+            is_method_call(header, k, "pop") && header[k + 3].is_punct(')')
+        });
+        if !pops_heap || header.iter().any(|t| t.is_ident("pop_front")) {
+            continue;
+        }
+        let Some(close) = lex::matching_close(tokens, open) else {
+            continue;
+        };
+        if file.is_test_line(tokens[open].line) {
+            continue;
+        }
+        for k in open + 1..close {
+            let Some((at, pat)) = kernel_banned_at(tokens, k) else {
+                continue;
+            };
+            if file.is_test_line(tokens[at].line) {
                 continue;
             }
-            let rest = trimmed.trim_start_matches("let ");
-            let ident: String = rest
-                .strip_prefix("mut ")
-                .unwrap_or(rest)
-                .chars()
-                .take_while(|&c| is_ident_char(c))
-                .collect();
-            if ident.is_empty() {
+            out.push(Finding::new(
+                "kernel-discipline",
+                &file.rel,
+                tokens[at].line,
+                tokens[at].col,
+                format!("`{pat}` inside a heap-pop kernel loop: hoist it out of the kernel"),
+                String::new(),
+            ));
+        }
+    }
+}
+
+/// True when `tokens[at..]` is `. name (`.
+fn is_method_call(tokens: &[Token], at: usize, name: &str) -> bool {
+    tokens[at].is_punct('.')
+        && tokens.get(at + 1).is_some_and(|t| t.is_ident(name))
+        && tokens.get(at + 2).is_some_and(|t| t.is_punct('('))
+}
+
+/// If a banned kernel construct *starts* at token `k`, returns the index to
+/// anchor the finding at and its display pattern.
+fn kernel_banned_at(tokens: &[Token], k: usize) -> Option<(usize, String)> {
+    let t = &tokens[k];
+    if t.kind != TokenKind::Ident {
+        return None;
+    }
+    let next_is = |off: usize, c: char| tokens.get(k + off).is_some_and(|t| t.is_punct(c));
+    match t.text.as_str() {
+        // `Instant::now()`, `Vec::new()`, `String::from(…)` — anchored at
+        // the type ident so `k` is the pattern start.
+        "Instant" | "SystemTime" if lex::match_seq(tokens, k + 1, &["::", "now"]) => {
+            Some((k, format!("{}::now", t.text)))
+        }
+        c if KERNEL_BANNED_NEW.contains(&c) && lex::match_seq(tokens, k + 1, &["::", "new"]) => {
+            Some((k, format!("{c}::new")))
+        }
+        "String" if lex::match_seq(tokens, k + 1, &["::", "from"]) => {
+            Some((k, "String::from".to_string()))
+        }
+        "vec" if next_is(1, '!') => Some((k, "vec!".to_string())),
+        "format" if next_is(1, '!') => Some((k, "format!".to_string())),
+        "with_capacity" if next_is(1, '(') => Some((k, "with_capacity".to_string())),
+        m @ ("to_vec" | "to_owned" | "to_string") if k > 0 && tokens[k - 1].is_punct('.') && next_is(1, '(') => {
+            Some((k, format!("{m}()")))
+        }
+        // `.collect()` and the turbofish form `.collect::<…>()`.
+        "collect"
+            if k > 0
+                && tokens[k - 1].is_punct('.')
+                && (next_is(1, '(') || tokens.get(k + 1).is_some_and(|t| t.text == "::")) => {
+            Some((k - 1, ".collect()".to_string()))
+        }
+        _ => None,
+    }
+}
+
+/// Entry points that run a federation solve (directly, via repair, or via
+/// the rebalancer's re-solve paths), plus the solve-cache fill and admission
+/// entry points (`cache_solve`, `open_session`), which take the cache or
+/// sessions lock internally. A lock guard live across any of these couples
+/// readers to mutators again — exactly what the snapshot architecture
+/// removed — or re-enters a lock the callee takes itself.
+const SOLVE_NAMES: &[&str] = &[
+    "solve",
+    "solve_pinned",
+    "federate",
+    "repair",
+    "resolve_mover",
+    "federate_against",
+    "cache_solve",
+    "open_session",
+];
+
+fn guard_across_solve(file: &SourceFile, out: &mut Vec<Finding>) {
+    let tokens = &file.lexed.tokens;
+    for f in &file.fns {
+        if file.is_test_line(f.line) {
+            continue;
+        }
+        // A nested `fn` item's body executes when called, not where it is
+        // written: exclude its token range from this function's analysis
+        // (it gets its own pass).
+        let nested: Vec<(usize, usize)> = file
+            .fns
+            .iter()
+            .filter(|g| g.open > f.open && g.close < f.close)
+            .map(|g| (g.open, g.close))
+            .collect();
+        let nested_range = |i: usize| nested.iter().find(|&&(a, b)| i >= a && i <= b).copied();
+
+        // Solve call sites inside this body, with a display pattern that
+        // mirrors the source (`.solve(` for methods, `repair(` for frees).
+        let mut solves: Vec<(usize, String)> = Vec::new();
+        for k in f.open + 1..f.close {
+            if nested_range(k).is_some() {
                 continue;
             }
-            let dropped_at = body_lines
-                .iter()
-                .enumerate()
-                .skip(li + 1)
-                .find(|(_, l)| l.contains(&format!("drop({ident})")))
-                .map_or(body_lines.len(), |(di, _)| di);
-            if let Some((solve_line, pat)) =
-                solves.iter().find(|(sl, _)| (li..dropped_at).contains(sl))
+            let t = &tokens[k];
+            if t.kind != TokenKind::Ident
+                || !SOLVE_NAMES.contains(&t.text.as_str())
+                || !tokens.get(k + 1).is_some_and(|n| n.is_punct('('))
+                || tokens[k - 1].is_ident("fn")
             {
+                continue;
+            }
+            let pat = if tokens[k - 1].is_punct('.') {
+                format!(".{}(", t.text)
+            } else {
+                format!("{}(", t.text)
+            };
+            solves.push((k, pat));
+        }
+
+        // Walk the body statement by statement. A `let` whose initializer
+        // contains an empty-argument `.lock()`/`.read()`/`.write()` binds a
+        // guard; the guard is live from the end of that statement until a
+        // `drop(<guard>)` or its scope closes (the first `}` shallower than
+        // the binding). A solve inside the live range is the finding.
+        let mut i = f.open + 1;
+        while i < f.close {
+            if let Some((_, b)) = nested_range(i) {
+                i = b + 1;
+                continue;
+            }
+            if !tokens[i].is_ident("let") {
+                i += 1;
+                continue;
+            }
+            let let_tok = &tokens[i];
+            let end = let_statement_end(tokens, i, f.close);
+            let acquires = (i..end).any(|k| is_guard_acq(tokens, k));
+            if !acquires {
+                i = end + 1;
+                continue;
+            }
+            // Guard temporary and solve in one statement: the same coupling
+            // without even a name to drop.
+            if solves.iter().any(|(si, _)| (i..end).contains(si)) {
                 out.push(Finding::new(
                     "guard-across-solve",
-                    rel,
-                    body_start_line + li + 1,
-                    line.len() - trimmed.len() + 1,
+                    &file.rel,
+                    let_tok.line,
+                    let_tok.col,
+                    "lock acquired and solve run in one statement: the temporary guard \
+                     spans the solve"
+                        .to_string(),
+                    String::new(),
+                ));
+                i = end + 1;
+                continue;
+            }
+            // The binding holds the guard only when the acquisition is the
+            // statement's final expression (`let g = x.lock();`, possibly
+            // spanning lines). In `let v = x.lock().field;` or
+            // `mem::take(&mut x.lock().y)` the guard is a temporary that
+            // dies at the `;`, which the same-statement check covers.
+            if !(end >= 4 && is_guard_acq(tokens, end - 4)) {
+                i = end + 1;
+                continue;
+            }
+            // Simple binding pattern: `let [mut] g = …`. Destructuring
+            // patterns bind no droppable guard name; their temporaries die
+            // at the statement end, which the same-statement check covers.
+            let mut ni = i + 1;
+            if tokens.get(ni).is_some_and(|t| t.is_ident("mut")) {
+                ni += 1;
+            }
+            let named = tokens.get(ni).filter(|t| t.kind == TokenKind::Ident).cloned();
+            let Some(guard) = named else {
+                i = end + 1;
+                continue;
+            };
+            let d_let = let_tok.depth;
+            let mut death = f.close;
+            let mut k = end + 1;
+            while k < f.close {
+                if let Some((_, b)) = nested_range(k) {
+                    k = b + 1;
+                    continue;
+                }
+                let t = &tokens[k];
+                if t.is_punct('}') && t.depth < d_let {
+                    death = k;
+                    break;
+                }
+                if t.is_ident("drop")
+                    && tokens.get(k + 1).is_some_and(|t| t.is_punct('('))
+                    && tokens.get(k + 2).is_some_and(|t| t.text == guard.text)
+                    && tokens.get(k + 3).is_some_and(|t| t.is_punct(')'))
+                {
+                    death = k;
+                    break;
+                }
+                k += 1;
+            }
+            if let Some((si, pat)) = solves.iter().find(|(si, _)| (end..death).contains(si)) {
+                out.push(Finding::new(
+                    "guard-across-solve",
+                    &file.rel,
+                    let_tok.line,
+                    let_tok.col,
                     format!(
-                        "lock guard `{ident}` is live across a `{pat}` call on line {}: \
+                        "lock guard `{}` is live across a `{pat}` call on line {}: \
                          load a snapshot and solve off-lock instead",
-                        body_start_line + solve_line + 1
+                        guard.text, tokens[*si].line
                     ),
                     String::new(),
                 ));
             }
+            i = end + 1;
         }
     }
 }
 
-/// Converts a byte offset in `text` to its char index.
-fn char_index_of(text: &str, byte_at: usize) -> usize {
-    text[..byte_at].chars().count()
-}
+/// Functions allowed to publish a world snapshot (`Snap::store`): the cell's
+/// own `store` plus the world mutators that own epoch advancement.
+const SNAP_SANCTIONED: &[&str] = &["store", "apply", "apply_batch"];
 
-/// The 0-based line of char index `at`.
-fn line_of(chars: &[char], at: usize) -> usize {
-    chars[..at].iter().filter(|&&c| c == '\n').count()
-}
+/// Functions allowed to publish a load-plane epoch (`LoadCell::publish`):
+/// the cell's own `publish` plus the session mutators and the rebalancer
+/// sweep (DESIGN §10).
+const LOAD_SANCTIONED: &[&str] = &["publish", "open_session", "release", "mutate", "sweep"];
 
-/// First occurrence of `what` at or after char index `from`.
-fn find_forward(chars: &[char], from: usize, what: char) -> Option<usize> {
-    (from..chars.len()).find(|&k| chars[k] == what)
-}
-
-/// The index of the `}` matching the `{` at `open`.
-fn matching_brace(chars: &[char], open: usize) -> Option<usize> {
-    let mut depth = 0i64;
-    for (k, &c) in chars.iter().enumerate().skip(open) {
-        match c {
-            '{' => depth += 1,
-            '}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(k);
-                }
-            }
-            _ => {}
+fn epoch_discipline(file: &SourceFile, out: &mut Vec<Finding>) {
+    let tokens = &file.lexed.tokens;
+    for k in 0..tokens.len() {
+        let (anchor, cell, sanctioned): (usize, &str, &[&str]) = if lex::match_seq(
+            tokens,
+            k,
+            &["snap", ".", "store", "("],
+        ) || lex::match_seq(tokens, k, &["Snap", "::", "store", "("])
+        {
+            (k, "Snap::store", SNAP_SANCTIONED)
+        } else if is_method_call(tokens, k, "publish") {
+            (k + 1, "LoadCell::publish", LOAD_SANCTIONED)
+        } else {
+            continue;
+        };
+        let line = tokens[anchor].line;
+        if file.is_test_line(line) {
+            continue;
         }
+        // Attribute the publication to its innermost enclosing function.
+        let owner = file
+            .fns
+            .iter()
+            .filter(|f| f.open < anchor && anchor < f.close)
+            .max_by_key(|f| f.open);
+        let fn_name = owner.map(|f| f.name.as_str()).unwrap_or("<top level>");
+        if sanctioned.contains(&fn_name) {
+            continue;
+        }
+        out.push(Finding::new(
+            "epoch-discipline",
+            &file.rel,
+            line,
+            tokens[anchor].col,
+            format!(
+                "`{cell}` inside fn `{fn_name}`: epoch publication is sanctioned only in \
+                 {} (DESIGN \u{a7}9-10); route the change through a sanctioned mutator",
+                sanctioned.join("/")
+            ),
+            String::new(),
+        ));
     }
-    None
 }

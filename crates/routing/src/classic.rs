@@ -92,7 +92,7 @@ fn dijkstra<N>(
             continue;
         }
         done[node.index()] = true;
-        let cur = qos[node.index()].expect("popped node has a label"); // audit:allow(no-unwrap)
+        let cur = qos[node.index()].expect("popped node has a label"); // audit:allow(no-unwrap): popped implies labelled
         for e in g.out_edges(node) {
             if e.weight.bandwidth == Bandwidth::ZERO {
                 continue;

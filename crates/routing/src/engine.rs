@@ -225,7 +225,7 @@ pub fn all_pairs_parallel_with<N>(g: &DiGraph<N, Qos>, workers: usize) -> AllPai
     AllPairs {
         trees: trees
             .into_iter()
-            .map(|t| t.expect("every source index is claimed exactly once")) // audit:allow(no-unwrap)
+            .map(|t| t.expect("every source index is claimed exactly once")) // audit:allow(no-unwrap): disjoint claim invariant
             .collect(),
     }
 }
@@ -260,7 +260,7 @@ pub fn all_pairs_residual_with<N>(
     AllPairs {
         trees: trees
             .into_iter()
-            .map(|t| t.expect("every source index is claimed exactly once")) // audit:allow(no-unwrap)
+            .map(|t| t.expect("every source index is claimed exactly once")) // audit:allow(no-unwrap): disjoint claim invariant
             .collect(),
     }
 }
@@ -315,7 +315,7 @@ fn compute_trees<V: OutEdges + Sync>(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("routing worker panicked")) // audit:allow(no-unwrap)
+            .map(|h| h.join().expect("routing worker panicked")) // audit:allow(no-unwrap): worker panic is fatal by design
             .collect()
     });
     for batch in computed {

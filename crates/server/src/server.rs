@@ -855,7 +855,7 @@ fn audit_flow(
 /// the one sanctioned exception to the no-guard-across-solve invariant,
 /// which is why the binding carries an audit allow.
 fn mutate(shared: &Shared, mutation: &crate::Mutation) -> Response {
-    let mut world = shared.world.lock(); // audit:allow(guard-across-solve)
+    let mut world = shared.world.lock(); // audit:allow(guard-across-solve): sanctioned mutator, see fn docs
     let from_epoch = world.epoch();
     let rebuild = match world.apply(mutation) {
         Ok(rebuild) => rebuild,

@@ -226,7 +226,8 @@ impl World {
                 let overlay = prev.overlay().without_instances(&[instance]);
                 let source_node = overlay
                     .node_of(prev.source())
-                    .expect("source survives non-source failure"); // audit:allow(no-unwrap)
+                    // audit:allow(no-unwrap): failing a non-source instance cannot remove the source
+                    .expect("source survives non-source failure");
                 let started = Instant::now();
                 let table = overlay.all_pairs_parallel_with(self.route_workers);
                 let trees = table.len() as u64;

@@ -446,9 +446,14 @@ fn request(flags: &Flags) -> Result<(), String> {
         }
     }
     if flags.contains_key("shutdown") {
-        let resp = client.shutdown().map_err(|e| e.to_string())?;
-        println!("{resp:?}");
-        return Ok(());
+        match client.shutdown().map_err(|e| e.to_string())? {
+            Response::ShuttingDown => {
+                println!("server shutting down");
+                return Ok(());
+            }
+            Response::Error(msg) => return Err(msg),
+            other => return Err(format!("unexpected response {other:?}")),
+        }
     }
     if let Some(victim) = flags.get("fail") {
         let instance = parse_instance(victim)?;
