@@ -179,7 +179,8 @@ impl Baseline {
     /// Serialises the baseline: one JSON object per entry line, so diffs
     /// and the line-oriented parser stay trivial.
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n  \"version\": 1,\n  \"tool\": \"sflow-audit\",\n  \"entries\": [");
+        let mut s =
+            String::from("{\n  \"version\": 1,\n  \"tool\": \"sflow-audit\",\n  \"entries\": [");
         for (i, e) in self.entries.iter().enumerate() {
             if i > 0 {
                 s.push(',');
@@ -238,7 +239,10 @@ pub fn report_to_json(report: &AuditReport, baseline: &Baseline, r: &Ratchet) ->
             s.push(',');
         }
         let baselined = baseline.entries.iter().any(|e| e.fingerprint == *fp);
-        let extra = format!(", \"fingerprint\": {}, \"baselined\": {baselined}", json_str(fp));
+        let extra = format!(
+            ", \"fingerprint\": {}, \"baselined\": {baselined}",
+            json_str(fp)
+        );
         s.push_str("\n    ");
         s.push_str(&f.to_json_obj(&extra));
     }
@@ -299,7 +303,14 @@ mod tests {
     use super::*;
 
     fn finding(rule: &'static str, path: &str, line: usize, snippet: &str) -> Finding {
-        Finding::new(rule, path, line, 1, format!("msg for {rule}"), snippet.to_string())
+        Finding::new(
+            rule,
+            path,
+            line,
+            1,
+            format!("msg for {rule}"),
+            snippet.to_string(),
+        )
     }
 
     #[test]
@@ -382,7 +393,8 @@ mod tests {
 
     #[test]
     fn empty_baseline_denies_everything_and_parses() {
-        let baseline = Baseline::parse("{\n  \"version\": 1,\n  \"entries\": []\n}\n").expect("parses");
+        let baseline =
+            Baseline::parse("{\n  \"version\": 1,\n  \"entries\": []\n}\n").expect("parses");
         assert!(baseline.entries.is_empty());
         let report = AuditReport {
             findings: vec![finding("no-unwrap", "src/a.rs", 3, "y.unwrap();")],

@@ -117,7 +117,9 @@ fn counter_coverage(files: &[SourceFile], out: &mut Vec<Finding>) {
     let cli = by_rel(files, CLI_RS);
     let tokens = &stats.lexed.tokens;
     for (name_at, (ty_from, ty_to)) in struct_fields(stats, "Metrics") {
-        let is_atomic = tokens[ty_from..ty_to].iter().any(|t| t.is_ident("AtomicU64"));
+        let is_atomic = tokens[ty_from..ty_to]
+            .iter()
+            .any(|t| t.is_ident("AtomicU64"));
         if !is_atomic {
             continue;
         }
@@ -236,9 +238,7 @@ fn wire_exhaustive(files: &[SourceFile], out: &mut Vec<Finding>) {
             missing.push("a client method".to_string());
         }
         if let Some(cli) = cli {
-            let reaches_cli = methods
-                .iter()
-                .any(|m| has_seq(cli, &[".", m, "("]))
+            let reaches_cli = methods.iter().any(|m| has_seq(cli, &[".", m, "("]))
                 || has_seq(cli, &["Request", "::", v]);
             if !reaches_cli {
                 missing.push(format!(

@@ -672,21 +672,21 @@ mod tests {
 
     #[test]
     fn allow_directives_are_harvested_with_lines() {
-        let l = lex("x(); // audit:allow(no-unwrap, no-print)\n// audit:allow(guard-across-solve)\ny();\n");
+        let l = lex(
+            "x(); // audit:allow(no-unwrap, no-print)\n// audit:allow(guard-across-solve)\ny();\n",
+        );
         let got: Vec<(usize, &str)> = l.allows.iter().map(|a| (a.line, a.rule.as_str())).collect();
         assert_eq!(
             got,
-            vec![
-                (1, "no-unwrap"),
-                (1, "no-print"),
-                (2, "guard-across-solve"),
-            ]
+            vec![(1, "no-unwrap"), (1, "no-print"), (2, "guard-across-solve"),]
         );
     }
 
     #[test]
     fn directives_inside_strings_or_with_placeholders_do_not_count() {
-        assert!(lex("let s = \"audit:allow(no-unwrap)\";\n").allows.is_empty());
+        assert!(lex("let s = \"audit:allow(no-unwrap)\";\n")
+            .allows
+            .is_empty());
         // Documentation writing `audit:allow(<rule>)` is prose, not a
         // directive: the placeholder is outside the rule-name charset.
         assert!(lex("// suppress with audit:allow(<rule>) on the line\n")

@@ -11,6 +11,7 @@
 //! | `no-print` | library sources | no `println!` family / `dbg!` (binaries excepted) |
 //! | `forbid-unsafe` | every crate root | `#![forbid(unsafe_code)]` present |
 //! | `guard-across-solve` | `crates/server` non-test code | no lock guard live across a solve/federate/repair call |
+//! | `reactor-nonblocking` | `crates/server/src/reactor.rs` non-test code | no blocking call on the event path |
 //! | `epoch-discipline` | `crates/server` non-test code | `Snap::store` / `LoadCell::publish` only from sanctioned mutators |
 //! | `counter-coverage` | workspace (cross-file) | every `Metrics` atomic counter is bumped, snapshotted, and rendered |
 //! | `wire-exhaustive` | workspace (cross-file) | every `Request`/`Response` variant spans server, client, and CLI |
@@ -68,6 +69,13 @@ pub const RULES: &[Rule] = &[
         description: "no lock guard may be live across a solve/federate/repair call in \
                       crates/server (the read path loads an immutable snapshot and solves \
                       off-lock; a guard spanning a solve reintroduces reader/mutator coupling)",
+    },
+    Rule {
+        name: "reactor-nonblocking",
+        description: "no blocking call in the reactor event path (crates/server/src/reactor.rs): \
+                      no read_exact/write_all/read_to_end, no blocking channel recv(), no lock \
+                      guards, no blocking wire helpers — one stalled connection must never \
+                      stall the loop that owns every other connection",
     },
     Rule {
         name: "epoch-discipline",
@@ -206,6 +214,9 @@ pub fn local_findings(file: &SourceFile) -> Vec<Finding> {
     if class.crate_dir == "crates/server" && !class.in_tests {
         guard_across_solve(file, &mut raw);
         epoch_discipline(file, &mut raw);
+        if file.rel.ends_with("/reactor.rs") {
+            reactor_nonblocking(file, &mut raw);
+        }
     }
     raw
 }
@@ -270,7 +281,14 @@ pub fn apply_suppressions(file: &SourceFile, raw: Vec<Finding>) -> (Vec<Finding>
                 a.rule
             )
         };
-        let f = Finding::new("unused-suppression", &file.rel, a.line, 1, message, String::new());
+        let f = Finding::new(
+            "unused-suppression",
+            &file.rel,
+            a.line,
+            1,
+            message,
+            String::new(),
+        );
         // The dead directive itself may be intentionally kept (e.g. a
         // template); that exemption must be explicit at the site.
         let mut hit = false;
@@ -303,9 +321,9 @@ pub fn apply_suppressions(file: &SourceFile, raw: Vec<Finding>) -> (Vec<Finding>
 /// `. lock ( )` (or `.read()` / `.write()`).
 fn is_guard_acq(tokens: &[Token], at: usize) -> bool {
     tokens[at].is_punct('.')
-        && tokens
-            .get(at + 1)
-            .is_some_and(|t| t.kind == TokenKind::Ident && matches!(t.text.as_str(), "lock" | "read" | "write"))
+        && tokens.get(at + 1).is_some_and(|t| {
+            t.kind == TokenKind::Ident && matches!(t.text.as_str(), "lock" | "read" | "write")
+        })
         && tokens.get(at + 2).is_some_and(|t| t.is_punct('('))
         && tokens.get(at + 3).is_some_and(|t| t.is_punct(')'))
 }
@@ -316,8 +334,8 @@ fn is_guard_acq(tokens: &[Token], at: usize) -> bool {
 /// Returns the index of that terminator (capped at `limit`).
 fn let_statement_end(tokens: &[Token], let_at: usize, limit: usize) -> usize {
     let d = tokens[let_at].depth;
-    let in_condition = let_at > 0
-        && (tokens[let_at - 1].is_ident("if") || tokens[let_at - 1].is_ident("while"));
+    let in_condition =
+        let_at > 0 && (tokens[let_at - 1].is_ident("if") || tokens[let_at - 1].is_ident("while"));
     let mut brackets = 0i64;
     for (j, t) in tokens.iter().enumerate().take(limit).skip(let_at + 1) {
         if t.kind != TokenKind::Punct {
@@ -344,10 +362,10 @@ fn no_unwrap(file: &SourceFile, out: &mut Vec<Finding>) {
         if !t.is_punct('.') || file.is_test_line(t.line) {
             continue;
         }
-        let Some(name) = tokens.get(i + 1) else { continue };
-        if name.kind != TokenKind::Ident
-            || !tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
-        {
+        let Some(name) = tokens.get(i + 1) else {
+            continue;
+        };
+        if name.kind != TokenKind::Ident || !tokens.get(i + 2).is_some_and(|t| t.is_punct('(')) {
             continue;
         }
         let pat = match name.text.as_str() {
@@ -383,7 +401,10 @@ fn std_sync_lock(file: &SourceFile, out: &mut Vec<Finding>) {
                     &file.rel,
                     t.line,
                     t.col,
-                    format!("`std::sync::{}`: this workspace mandates parking_lot locks", last.text),
+                    format!(
+                        "`std::sync::{}`: this workspace mandates parking_lot locks",
+                        last.text
+                    ),
                     String::new(),
                 ));
                 continue;
@@ -421,7 +442,10 @@ fn no_print(file: &SourceFile, out: &mut Vec<Finding>) {
         }
         let message = match t.text.as_str() {
             "println" | "eprintln" | "print" | "eprint" => {
-                format!("`{}!` in a library crate: route output through the caller", t.text)
+                format!(
+                    "`{}!` in a library crate: route output through the caller",
+                    t.text
+                )
             }
             "dbg" => "`dbg!` in a library crate".to_string(),
             _ => continue,
@@ -440,7 +464,11 @@ fn no_print(file: &SourceFile, out: &mut Vec<Finding>) {
 fn forbid_unsafe(file: &SourceFile, out: &mut Vec<Finding>) {
     let tokens = &file.lexed.tokens;
     let present = (0..tokens.len()).any(|i| {
-        lex::match_seq(tokens, i, &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"])
+        lex::match_seq(
+            tokens,
+            i,
+            &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"],
+        )
     });
     if !present {
         out.push(Finding::new(
@@ -470,15 +498,14 @@ fn kernel_discipline(file: &SourceFile, out: &mut Vec<Finding>) {
         // draining a heap (`.pop()`, not a deque's `.pop_front()`) are
         // Dijkstra kernels.
         let d = tokens[i].depth;
-        let Some(open) = (i + 2..tokens.len())
-            .find(|&j| tokens[j].is_punct('{') && tokens[j].depth == d)
+        let Some(open) =
+            (i + 2..tokens.len()).find(|&j| tokens[j].is_punct('{') && tokens[j].depth == d)
         else {
             continue;
         };
         let header = &tokens[i..open];
-        let pops_heap = (0..header.len()).any(|k| {
-            is_method_call(header, k, "pop") && header[k + 3].is_punct(')')
-        });
+        let pops_heap = (0..header.len())
+            .any(|k| is_method_call(header, k, "pop") && header[k + 3].is_punct(')'));
         if !pops_heap || header.iter().any(|t| t.is_ident("pop_front")) {
             continue;
         }
@@ -537,14 +564,17 @@ fn kernel_banned_at(tokens: &[Token], k: usize) -> Option<(usize, String)> {
         "vec" if next_is(1, '!') => Some((k, "vec!".to_string())),
         "format" if next_is(1, '!') => Some((k, "format!".to_string())),
         "with_capacity" if next_is(1, '(') => Some((k, "with_capacity".to_string())),
-        m @ ("to_vec" | "to_owned" | "to_string") if k > 0 && tokens[k - 1].is_punct('.') && next_is(1, '(') => {
+        m @ ("to_vec" | "to_owned" | "to_string")
+            if k > 0 && tokens[k - 1].is_punct('.') && next_is(1, '(') =>
+        {
             Some((k, format!("{m}()")))
         }
         // `.collect()` and the turbofish form `.collect::<…>()`.
         "collect"
             if k > 0
                 && tokens[k - 1].is_punct('.')
-                && (next_is(1, '(') || tokens.get(k + 1).is_some_and(|t| t.text == "::")) => {
+                && (next_is(1, '(') || tokens.get(k + 1).is_some_and(|t| t.text == "::")) =>
+        {
             Some((k - 1, ".collect()".to_string()))
         }
         _ => None,
@@ -662,7 +692,10 @@ fn guard_across_solve(file: &SourceFile, out: &mut Vec<Finding>) {
             if tokens.get(ni).is_some_and(|t| t.is_ident("mut")) {
                 ni += 1;
             }
-            let named = tokens.get(ni).filter(|t| t.kind == TokenKind::Ident).cloned();
+            let named = tokens
+                .get(ni)
+                .filter(|t| t.kind == TokenKind::Ident)
+                .cloned();
             let Some(guard) = named else {
                 i = end + 1;
                 continue;
@@ -709,6 +742,90 @@ fn guard_across_solve(file: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// Blocking `Read`/`Write` helpers banned on the reactor's event path:
+/// each loops inside the call until the peer delivers (or accepts) every
+/// byte, which on a slow peer parks the thread that owns every other
+/// connection. The reactor must stage bytes through its per-connection
+/// buffers and return to the poller instead.
+const REACTOR_BLOCKING_IO: &[&str] = &["read_exact", "write_all", "read_to_end", "read_to_string"];
+
+fn reactor_nonblocking(file: &SourceFile, out: &mut Vec<Finding>) {
+    let tokens = &file.lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        // Blocking wire helpers: `read_frame(…)` / `write_frame(…)` (plain
+        // or turbofish) spin on the socket until a whole frame moves.
+        if t.kind == TokenKind::Ident
+            && matches!(t.text.as_str(), "read_frame" | "write_frame")
+            && tokens
+                .get(i + 1)
+                .is_some_and(|n| n.is_punct('(') || n.text == "::")
+        {
+            out.push(Finding::new(
+                "reactor-nonblocking",
+                &file.rel,
+                t.line,
+                t.col,
+                format!(
+                    "`{}` in the reactor: the blocking wire helpers loop until a whole \
+                     frame moves; use the incremental FrameDecoder / staged write buffer",
+                    t.text
+                ),
+                String::new(),
+            ));
+            continue;
+        }
+        if !t.is_punct('.') {
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1) else {
+            continue;
+        };
+        if name.kind != TokenKind::Ident || !tokens.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let empty_args = tokens.get(i + 3).is_some_and(|t| t.is_punct(')'));
+        if REACTOR_BLOCKING_IO.contains(&name.text.as_str()) {
+            out.push(Finding::new(
+                "reactor-nonblocking",
+                &file.rel,
+                t.line,
+                t.col,
+                format!(
+                    "`.{}(` blocks the event loop until the peer cooperates: stage bytes \
+                     through the connection's buffers and return to the poller",
+                    name.text
+                ),
+                String::new(),
+            ));
+        } else if name.is_ident("recv") && empty_args {
+            out.push(Finding::new(
+                "reactor-nonblocking",
+                &file.rel,
+                t.line,
+                t.col,
+                "`.recv()` parks the reactor on a channel: drain with `try_recv()` and let \
+                 the poller's wait be the only block"
+                    .to_string(),
+                String::new(),
+            ));
+        } else if name.is_ident("lock") && empty_args {
+            out.push(Finding::new(
+                "reactor-nonblocking",
+                &file.rel,
+                t.line,
+                t.col,
+                "`.lock()` on the event path: a contended mutex stalls every connection \
+                 this loop owns; hand the work to a worker via the admission queue"
+                    .to_string(),
+                String::new(),
+            ));
+        }
+    }
+}
+
 /// Functions allowed to publish a world snapshot (`Snap::store`): the cell's
 /// own `store` plus the world mutators that own epoch advancement.
 const SNAP_SANCTIONED: &[&str] = &["store", "apply", "apply_batch"];
@@ -721,18 +838,16 @@ const LOAD_SANCTIONED: &[&str] = &["publish", "open_session", "release", "mutate
 fn epoch_discipline(file: &SourceFile, out: &mut Vec<Finding>) {
     let tokens = &file.lexed.tokens;
     for k in 0..tokens.len() {
-        let (anchor, cell, sanctioned): (usize, &str, &[&str]) = if lex::match_seq(
-            tokens,
-            k,
-            &["snap", ".", "store", "("],
-        ) || lex::match_seq(tokens, k, &["Snap", "::", "store", "("])
-        {
-            (k, "Snap::store", SNAP_SANCTIONED)
-        } else if is_method_call(tokens, k, "publish") {
-            (k + 1, "LoadCell::publish", LOAD_SANCTIONED)
-        } else {
-            continue;
-        };
+        let (anchor, cell, sanctioned): (usize, &str, &[&str]) =
+            if lex::match_seq(tokens, k, &["snap", ".", "store", "("])
+                || lex::match_seq(tokens, k, &["Snap", "::", "store", "("])
+            {
+                (k, "Snap::store", SNAP_SANCTIONED)
+            } else if is_method_call(tokens, k, "publish") {
+                (k + 1, "LoadCell::publish", LOAD_SANCTIONED)
+            } else {
+                continue;
+            };
         let line = tokens[anchor].line;
         if file.is_test_line(line) {
             continue;

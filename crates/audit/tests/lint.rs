@@ -4,8 +4,7 @@
 
 use sflow_audit::baseline::{ratchet, Baseline};
 use sflow_audit::{
-    audit_files, audit_workspace, find_root, scan_source, workspace_sources, FileClass,
-    SourceFile,
+    audit_files, audit_workspace, find_root, scan_source, workspace_sources, FileClass, SourceFile,
 };
 
 fn findings_for(rel: &str, src: &str) -> Vec<String> {
@@ -116,7 +115,10 @@ fn unused_suppression_flags_dead_and_unknown_directives() {
     // Nothing to suppress: the directive is dead.
     let src = "// audit:allow(no-unwrap)\nfn f() { let x = 1; }\n";
     let (fs, _) = scan_source("crates/server/src/clean.rs", src);
-    let us: Vec<_> = fs.iter().filter(|f| f.rule == "unused-suppression").collect();
+    let us: Vec<_> = fs
+        .iter()
+        .filter(|f| f.rule == "unused-suppression")
+        .collect();
     assert_eq!(us.len(), 1, "{fs:?}");
     assert_eq!(us[0].line, 1);
     assert!(us[0].message.contains("suppresses nothing"), "{us:?}");
@@ -480,6 +482,81 @@ fn a_solve_in_a_nested_fn_item_does_not_leak_into_the_outer_guard() {
 }
 
 // ---------------------------------------------------------------------------
+// reactor-nonblocking
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reactor_nonblocking_flags_blocking_io_and_waits() {
+    let src = "fn service(stream: &mut TcpStream, rx: &Receiver<Job>, m: &Mutex<u32>) {\n\
+                   stream.read_exact(&mut buf);\n\
+                   stream.write_all(&bytes);\n\
+                   let job = rx.recv();\n\
+                   let g = m.lock();\n\
+                   let f = read_frame::<Request>(stream);\n\
+                   write_frame(stream, &resp);\n\
+               }\n";
+    let (fs, _) = scan_source("crates/server/src/reactor.rs", src);
+    let rn: Vec<_> = fs
+        .iter()
+        .filter(|f| f.rule == "reactor-nonblocking")
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(rn, vec![2, 3, 4, 5, 6, 7], "{fs:?}");
+}
+
+#[test]
+fn reactor_nonblocking_accepts_the_nonblocking_vocabulary() {
+    // Plain read/write with buffers, try_recv/try_send, and a decoder are
+    // exactly what the reactor should be doing.
+    let src = "fn service(stream: &mut TcpStream, rx: &Receiver<Job>) {\n\
+                   let n = stream.read(&mut buf);\n\
+                   let m = stream.write(&pending[pos..]);\n\
+                   while let Ok(job) = rx.try_recv() { dispatch(job); }\n\
+                   decoder.feed(&buf[..n]);\n\
+                   let frame = decoder.next_frame::<Request>();\n\
+               }\n";
+    let (fs, _) = scan_source("crates/server/src/reactor.rs", src);
+    assert!(fs.iter().all(|f| f.rule != "reactor-nonblocking"), "{fs:?}");
+}
+
+#[test]
+fn reactor_nonblocking_scopes_to_the_reactor_module_only() {
+    // The same blocking calls are the *point* of the threaded plane and the
+    // blocking client; only reactor.rs is in scope.
+    let src = "fn pump(stream: &mut TcpStream) { stream.read_exact(&mut buf); }\n";
+    for rel in [
+        "crates/server/src/server.rs",
+        "crates/server/src/client.rs",
+        "crates/server/src/wire.rs",
+    ] {
+        let (fs, _) = scan_source(rel, src);
+        assert!(
+            fs.iter().all(|f| f.rule != "reactor-nonblocking"),
+            "{rel}: {fs:?}"
+        );
+    }
+    // Test code inside reactor.rs may block (loopback fixtures do).
+    let test_src = "#[cfg(test)]\n\
+                    mod tests {\n\
+                        #[test]\n\
+                        fn t() { stream.read_exact(&mut buf); }\n\
+                    }\n";
+    let (fs, _) = scan_source("crates/server/src/reactor.rs", test_src);
+    assert!(fs.iter().all(|f| f.rule != "reactor-nonblocking"), "{fs:?}");
+}
+
+#[test]
+fn reactor_nonblocking_is_suppressible_at_the_site() {
+    let src = "fn drain(rx: &Receiver<Job>) {\n\
+                   // audit:allow(reactor-nonblocking): shutdown path, loop already stopped\n\
+                   let last = rx.recv();\n\
+               }\n";
+    let (fs, sup) = scan_source("crates/server/src/reactor.rs", src);
+    assert!(fs.iter().all(|f| f.rule != "reactor-nonblocking"), "{fs:?}");
+    assert_eq!(sup, 1);
+}
+
+// ---------------------------------------------------------------------------
 // epoch-discipline
 // ---------------------------------------------------------------------------
 
@@ -706,12 +783,7 @@ const WIRE_CLI: &str = "#![forbid(unsafe_code)]\n\
         let _ = client.fetch(7);\n\
     }\n";
 
-fn wire_set(
-    lib: &str,
-    server: &str,
-    client: &str,
-    cli: &str,
-) -> Vec<SourceFile> {
+fn wire_set(lib: &str, server: &str, client: &str, cli: &str) -> Vec<SourceFile> {
     parse_set(&[
         ("crates/server/src/lib.rs", lib),
         ("crates/server/src/server.rs", server),
@@ -741,12 +813,16 @@ fn wire_exhaustive_flags_each_missing_leg() {
         .filter(|f| f.rule == "wire-exhaustive")
         .collect();
     assert!(
-        wf.iter().any(|f| f.message.contains("`Request::Ping`")
-            && f.message.contains("server dispatch arm")),
+        wf.iter()
+            .any(|f| f.message.contains("`Request::Ping`")
+                && f.message.contains("server dispatch arm")),
         "{}",
         report.render_human()
     );
-    assert_eq!(wf[0].path, "crates/server/src/lib.rs", "anchored at the enum");
+    assert_eq!(
+        wf[0].path, "crates/server/src/lib.rs",
+        "anchored at the enum"
+    );
 
     // A request variant the client cannot send.
     let client = WIRE_CLIENT.replace(
@@ -776,7 +852,10 @@ fn wire_exhaustive_flags_each_missing_leg() {
     );
 
     // A response variant the server never constructs…
-    let server = WIRE_SERVER.replace("Request::Ping => Response::Pong,", "Request::Ping => todo(),");
+    let server = WIRE_SERVER.replace(
+        "Request::Ping => Response::Pong,",
+        "Request::Ping => todo(),",
+    );
     let report = audit_files(&wire_set(WIRE_LIB, &server, WIRE_CLIENT, WIRE_CLI));
     assert!(
         report.findings.iter().any(|f| f.rule == "wire-exhaustive"
@@ -943,10 +1022,16 @@ fn real_workspace_audits_clean_and_seeded_violations_fail() {
     // Seeding a dead counter into the real stats.rs must be caught by the
     // cross-file rule against the real CLI.
     let stats = std::fs::read_to_string(root.join("crates/server/src/stats.rs")).unwrap();
-    let seeded = stats.replace("struct Metrics {", "struct Metrics {\n    dead_seed: AtomicU64,");
+    let seeded = stats.replace(
+        "struct Metrics {",
+        "struct Metrics {\n    dead_seed: AtomicU64,",
+    );
     assert_ne!(stats, seeded, "seed point missing from stats.rs");
     let cli = std::fs::read_to_string(root.join("src/bin/sflow.rs")).unwrap();
-    let files = parse_set(&[("crates/server/src/stats.rs", &seeded), ("src/bin/sflow.rs", &cli)]);
+    let files = parse_set(&[
+        ("crates/server/src/stats.rs", &seeded),
+        ("src/bin/sflow.rs", &cli),
+    ]);
     let report = audit_files(&files);
     assert!(
         report
@@ -983,9 +1068,8 @@ fn real_workspace_audits_clean_and_seeded_violations_fail() {
     // Seeding a rogue publication into the real rebalance.rs must be
     // caught by epoch-discipline.
     let rebalance = std::fs::read_to_string(root.join("crates/server/src/rebalance.rs")).unwrap();
-    let seeded = format!(
-        "{rebalance}\nfn rogue_seed(shared: &Shared) {{ shared.load.publish(&[], 0); }}\n"
-    );
+    let seeded =
+        format!("{rebalance}\nfn rogue_seed(shared: &Shared) {{ shared.load.publish(&[], 0); }}\n");
     let (fs, _) = scan_source("crates/server/src/rebalance.rs", &seeded);
     assert!(
         fs.iter()
@@ -993,11 +1077,25 @@ fn real_workspace_audits_clean_and_seeded_violations_fail() {
         "{fs:?}"
     );
 
+    // Seeding a blocking read into the real reactor.rs must be caught.
+    let reactor = std::fs::read_to_string(root.join("crates/server/src/reactor.rs")).unwrap();
+    let seeded = format!(
+        "{reactor}\nfn stall_seed(stream: &mut std::net::TcpStream) {{\n    \
+         let mut buf = [0u8; 4];\n    let _ = stream.read_exact(&mut buf);\n}}\n"
+    );
+    let (fs, _) = scan_source("crates/server/src/reactor.rs", &seeded);
+    assert!(
+        fs.iter()
+            .any(|f| f.rule == "reactor-nonblocking" && f.message.contains("read_exact")),
+        "{fs:?}"
+    );
+
     // Seeding a dead suppression into the real world.rs must be caught.
     let seeded = format!("// audit:allow(no-print)\n{world}");
     let (fs, _) = scan_source("crates/server/src/world.rs", &seeded);
     assert!(
-        fs.iter().any(|f| f.rule == "unused-suppression" && f.line == 1),
+        fs.iter()
+            .any(|f| f.rule == "unused-suppression" && f.line == 1),
         "{fs:?}"
     );
 }

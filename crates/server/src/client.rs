@@ -1,18 +1,169 @@
-//! A small blocking client for the federation wire protocol.
+//! Clients for the federation wire protocol: a pipelined connection and a
+//! blocking convenience wrapper.
+//!
+//! The wire carries [`RequestFrame`] envelopes; responses come back tagged
+//! with the request's id and — against a reactor server — possibly out of
+//! order. [`PipelinedClient`] exposes that directly: [`send`] many frames,
+//! then take answers as they arrive with [`recv_any`] (or wait for one
+//! specific id with [`recv`], which stashes overtakers). [`Client`] wraps it
+//! one-request-at-a-time for callers that want the old blocking call shape.
+//!
+//! Sends are **corked**: [`send`] stages the encoded frame in an outbox and
+//! the bytes hit the socket on the next [`recv_any`]/[`recv`] (or an
+//! explicit [`flush`]). A depth-N burst therefore costs one write syscall,
+//! not N — that batching, mirrored by the server's staged write buffer on
+//! the way back, is where pipelined throughput comes from. Reads are
+//! buffered for the same reason.
+//!
+//! [`send`]: PipelinedClient::send
+//! [`recv_any`]: PipelinedClient::recv_any
+//! [`recv`]: PipelinedClient::recv
+//! [`flush`]: PipelinedClient::flush
 
-use std::io;
+use std::collections::VecDeque;
+use std::io::{self, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::wire::{read_frame, write_frame};
-use crate::{Algorithm, LoadMapSummary, Mutation, Request, Response, StatsSnapshot};
+use crate::wire::{encode_frame, read_frame};
+use crate::{
+    Algorithm, LoadMapSummary, Mutation, Request, RequestFrame, Response, ResponseFrame,
+    StatsSnapshot,
+};
 
-/// One blocking connection to a federation server.
+/// One connection carrying many requests in flight.
 ///
-/// Requests are answered in order on the connection, so a `Client` is a
-/// plain sequential handle; open one per thread for concurrency.
+/// Ids are assigned by the client, monotonically from 1; id 0 is reserved
+/// for server-generated errors not attributable to any request (protocol
+/// violations).
+#[derive(Debug)]
+pub struct PipelinedClient {
+    stream: BufReader<TcpStream>,
+    /// Encoded frames staged by [`send`] and not yet written.
+    ///
+    /// [`send`]: PipelinedClient::send
+    outbox: Vec<u8>,
+    next_id: u64,
+    in_flight: usize,
+    /// Responses read while waiting for a specific id in [`recv`].
+    ///
+    /// [`recv`]: PipelinedClient::recv
+    stashed: VecDeque<ResponseFrame>,
+}
+
+impl PipelinedClient {
+    /// Connects to a server (e.g. the address from
+    /// [`ServerHandle::addr`](crate::ServerHandle::addr)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(PipelinedClient {
+            stream: BufReader::new(stream),
+            outbox: Vec::new(),
+            next_id: 1,
+            in_flight: 0,
+            stashed: VecDeque::new(),
+        })
+    }
+
+    /// Stages one request in the outbox without waiting for its response;
+    /// returns the assigned `request_id`. The frame reaches the wire on the
+    /// next [`PipelinedClient::recv_any`]/[`PipelinedClient::recv`] or an
+    /// explicit [`PipelinedClient::flush`].
+    ///
+    /// # Errors
+    ///
+    /// Encoding errors (an oversized request).
+    pub fn send(&mut self, request: &Request) -> io::Result<u64> {
+        let request_id = self.next_id;
+        let bytes = encode_frame(&RequestFrame {
+            request_id,
+            request: request.clone(),
+        })
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.next_id += 1;
+        self.outbox.extend_from_slice(&bytes);
+        self.in_flight += 1;
+        Ok(request_id)
+    }
+
+    /// Writes every staged frame to the socket now.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the transport.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if !self.outbox.is_empty() {
+            self.stream.get_mut().write_all(&self.outbox)?;
+            self.outbox.clear();
+        }
+        Ok(())
+    }
+
+    /// Requests sent whose responses have not yet been received (staged
+    /// frames included).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Blocks for the next response in arrival order, whichever request it
+    /// answers, flushing staged sends first. Stashed responses (set aside
+    /// by [`PipelinedClient::recv`]) are drained before the socket.
+    ///
+    /// # Errors
+    ///
+    /// I/O or framing errors; a server that hangs up with requests
+    /// outstanding surfaces as `UnexpectedEof`.
+    pub fn recv_any(&mut self) -> io::Result<ResponseFrame> {
+        if let Some(frame) = self.stashed.pop_front() {
+            self.in_flight = self.in_flight.saturating_sub(1);
+            return Ok(frame);
+        }
+        self.flush()?;
+        let frame: ResponseFrame = read_frame(&mut self.stream)?
+            .ok_or_else(|| io::Error::from(io::ErrorKind::UnexpectedEof))?;
+        self.in_flight = self.in_flight.saturating_sub(1);
+        Ok(frame)
+    }
+
+    /// Blocks for the response to one specific request, flushing staged
+    /// sends first and stashing any other response that arrives before it
+    /// (later [`PipelinedClient::recv_any`] or `recv` calls see those
+    /// before touching the socket again).
+    ///
+    /// # Errors
+    ///
+    /// As [`PipelinedClient::recv_any`]. An id that was never sent (or was
+    /// already received) blocks until the server hangs up.
+    pub fn recv(&mut self, request_id: u64) -> io::Result<Response> {
+        let at = self.stashed.iter().position(|f| f.request_id == request_id);
+        if let Some(frame) = at.and_then(|at| self.stashed.remove(at)) {
+            self.in_flight = self.in_flight.saturating_sub(1);
+            return Ok(frame.response);
+        }
+        self.flush()?;
+        loop {
+            let frame: ResponseFrame = read_frame(&mut self.stream)?
+                .ok_or_else(|| io::Error::from(io::ErrorKind::UnexpectedEof))?;
+            if frame.request_id == request_id {
+                self.in_flight = self.in_flight.saturating_sub(1);
+                return Ok(frame.response);
+            }
+            self.stashed.push_back(frame);
+        }
+    }
+}
+
+/// One blocking connection to a federation server: each call sends a single
+/// request and waits for its answer. A compatibility wrapper over
+/// [`PipelinedClient`] — the wire protocol is identical, this handle just
+/// never has more than one frame in flight.
 #[derive(Debug)]
 pub struct Client {
-    stream: TcpStream,
+    inner: PipelinedClient,
 }
 
 impl Client {
@@ -23,9 +174,9 @@ impl Client {
     ///
     /// Propagates connection failures.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Ok(Client {
+            inner: PipelinedClient::connect(addr)?,
+        })
     }
 
     /// Sends one request and waits for its response.
@@ -35,8 +186,8 @@ impl Client {
     /// I/O or framing errors; a server that hangs up before answering
     /// surfaces as `UnexpectedEof`.
     pub fn request(&mut self, request: &Request) -> io::Result<Response> {
-        write_frame(&mut self.stream, request)?;
-        read_frame(&mut self.stream)?.ok_or_else(|| io::ErrorKind::UnexpectedEof.into())
+        let id = self.inner.send(request)?;
+        self.inner.recv(id)
     }
 
     /// Federates `requirement` (a chain expression such as `"0>1>3, 0>2>3"`).
@@ -125,5 +276,11 @@ impl Client {
     /// Transport errors only.
     pub fn shutdown(&mut self) -> io::Result<Response> {
         self.request(&Request::Shutdown)
+    }
+
+    /// The underlying pipelined connection, for callers that start blocking
+    /// and then want depth (the CLI's `request --concurrency N`).
+    pub fn into_pipelined(self) -> PipelinedClient {
+        self.inner
     }
 }

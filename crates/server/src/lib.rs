@@ -67,6 +67,7 @@ use sflow_net::{ServiceId, ServiceInstance};
 
 pub mod client;
 pub mod load;
+pub mod reactor;
 mod rebalance;
 pub mod server;
 pub mod snapshot;
@@ -74,7 +75,7 @@ pub mod stats;
 pub mod wire;
 pub mod world;
 
-pub use client::Client;
+pub use client::{Client, PipelinedClient};
 pub use load::{LinkId, LoadCell, LoadMap, LoadPlane};
 pub use server::{serve, serve_on, ServerConfig, ServerHandle};
 pub use snapshot::{Snap, SolveKey, WorldSnapshot};
@@ -200,6 +201,32 @@ pub struct LoadMapSummary {
     pub max_utilization_permille: u64,
     /// Every link with a live reservation, in stable link-id order.
     pub links: Vec<LinkLoad>,
+}
+
+/// The envelope every request travels in: a client-assigned id plus the
+/// request itself.
+///
+/// One connection may carry many requests in flight at once (pipelining);
+/// responses come back tagged with the same id and **may arrive out of
+/// order** — a fast `Stats` behind a slow `Federate` overtakes it. Ids are
+/// chosen by the client and only need to be unique among that connection's
+/// in-flight requests; the server echoes them without interpretation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RequestFrame {
+    /// Client-assigned correlation id, echoed on the response.
+    pub request_id: u64,
+    /// The request itself.
+    pub request: Request,
+}
+
+/// The envelope every response travels in: the originating request's id plus
+/// the response itself. See [`RequestFrame`] for the ordering contract.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResponseFrame {
+    /// The `request_id` of the [`RequestFrame`] this answers.
+    pub request_id: u64,
+    /// The response itself.
+    pub response: Response,
 }
 
 /// One server response, as carried on the wire.

@@ -1,20 +1,31 @@
-//! The federation server: acceptor, worker pool, admission queue.
+//! The federation server: connection plane, worker pool, admission queue.
 //!
-//! Threading model:
+//! Threading model. The **connection plane** — who turns sockets into
+//! [`Request`]s and [`Response`]s into bytes — comes in two shapes, selected
+//! by [`ServerConfig::reactor_threads`]:
 //!
-//! * one **acceptor** thread owns the `TcpListener`;
-//! * one **connection** thread per client reads request frames and writes
-//!   response frames (responses stay ordered per connection because the
-//!   thread waits for each reply before reading the next frame);
-//! * a fixed pool of **worker** threads drains a *bounded* crossbeam job
-//!   queue and runs solves/mutations against the published world snapshot.
+//! * the **reactor** (default, `reactor_threads ≥ 1`): epoll event loops in
+//!   [`crate::reactor`] drive a non-blocking listener and every connection;
+//!   per-connection state machines parse pipelined frames incrementally and
+//!   stage responses in write buffers. One loop serves tens of thousands of
+//!   connections.
+//! * **thread-per-connection** (`reactor_threads = 0`, the legacy plane and
+//!   the `bench_server` baseline): one acceptor thread owns the listener
+//!   and spawns a blocking connection thread per client.
 //!
-//! Admission control happens where the connection thread hands a job to the
+//! Either way, a fixed pool of **worker** threads drains a *bounded*
+//! crossbeam job queue and runs solves/mutations against the published
+//! world snapshot. Requests arrive in [`RequestFrame`] envelopes and
+//! responses leave tagged with the same `request_id`; on the reactor plane
+//! many frames from one connection may be in flight at once and responses
+//! return in completion order, not arrival order.
+//!
+//! Admission control happens where the connection plane hands a job to the
 //! pool: a `try_send` into the bounded queue either enqueues or fails
 //! immediately, and a failure is answered with [`Response::Overloaded`] —
-//! the request is shed, never buffered. `Stats` and `Shutdown` are handled
-//! inline on the connection thread so observability and operability survive
-//! overload.
+//! the request is shed, never buffered. `Stats`, `LoadMap` and `Shutdown`
+//! are handled inline on the connection plane (`control_response`) so
+//! observability and operability survive overload.
 //!
 //! Locking: there is none on the solve path. `Federate` loads the current
 //! [`WorldSnapshot`] from the [`Snap`] cell
@@ -47,12 +58,16 @@ use sflow_routing::Bandwidth;
 use sflow_runtime::duration_us;
 
 use crate::load::{links_of, LinkId, LoadCell, LoadMap, LoadPlane};
+use crate::reactor::{self, Reply};
 use crate::rebalance;
 use crate::snapshot::{Snap, SolveKey, WorldSnapshot};
 use crate::stats::Metrics;
 use crate::wire::{read_frame, write_frame};
 use crate::world::World;
-use crate::{Algorithm, FlowSummary, LinkLoad, LoadMapSummary, Request, Response};
+use crate::{
+    Algorithm, FlowSummary, LinkLoad, LoadMapSummary, Request, RequestFrame, Response,
+    ResponseFrame,
+};
 
 /// How a [`serve`] instance is sized and (for tests) slowed down.
 #[derive(Clone, Copy, Debug)]
@@ -88,6 +103,20 @@ pub struct ServerConfig {
     /// A link is *hot* — a rebalancer target — above this utilization, in
     /// permille of raw capacity (900 = 90%).
     pub utilization_threshold_permille: u64,
+    /// Reactor (event-loop) threads for the connection plane. The default,
+    /// `1`, serves every connection from a single epoll loop; larger values
+    /// shard connections round-robin across loops. `0` selects the legacy
+    /// thread-per-connection plane (kept as the `bench_server` baseline).
+    pub reactor_threads: usize,
+    /// Slow-reader backpressure: a connection whose staged response bytes
+    /// exceed this mark stops being polled for read until the buffer fully
+    /// drains. Bytes; the default is 256 KiB.
+    pub write_high_water: usize,
+    /// Hard cap on concurrently open connections; the acceptor drops
+    /// streams beyond it. `0` auto-sizes: 1024 under thread-per-connection
+    /// (threads are the scarce resource), 65536 under the reactor (bounded
+    /// only by fds).
+    pub max_connections: usize,
     /// Test hook: hold every admitted job this long before solving, so
     /// tests can fill the admission queue deterministically.
     pub debug_delay: Option<Duration>,
@@ -105,7 +134,24 @@ impl Default for ServerConfig {
             solve_cache: true,
             rebalance_interval: None,
             utilization_threshold_permille: 900,
+            reactor_threads: 1,
+            write_high_water: 256 * 1024,
+            max_connections: 0,
             debug_delay: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Resolves [`ServerConfig::max_connections`]' auto value for the
+    /// selected connection plane.
+    pub(crate) fn effective_max_connections(&self) -> usize {
+        if self.max_connections != 0 {
+            self.max_connections
+        } else if self.reactor_threads == 0 {
+            1024
+        } else {
+            65_536
         }
     }
 }
@@ -245,10 +291,12 @@ impl Drop for ServerHandle {
     }
 }
 
-/// One admitted unit of work plus the channel its answer goes back on.
-struct Job {
-    request: Request,
-    reply: Sender<Response>,
+/// One admitted unit of work plus the route its answer goes back on: a
+/// rendezvous channel (thread-per-connection) or a reactor completion
+/// ([`Reply`]).
+pub(crate) struct Job {
+    pub(crate) request: Request,
+    pub(crate) reply: Reply,
 }
 
 /// Binds a loopback port and starts serving `world`.
@@ -298,7 +346,9 @@ pub fn serve_on(addr: &str, mut world: World, config: &ServerConfig) -> io::Resu
         workers.push(thread::spawn(move || rebalance::run(&shared, interval)));
     }
 
-    let acceptor = {
+    let acceptor = if config.reactor_threads > 0 {
+        reactor::spawn(Arc::clone(&shared), listener, job_tx, workers)?
+    } else {
         let shared = Arc::clone(&shared);
         thread::spawn(move || {
             for stream in listener.incoming() {
@@ -306,6 +356,11 @@ pub fn serve_on(addr: &str, mut world: World, config: &ServerConfig) -> io::Resu
                     break;
                 }
                 if let Ok(stream) = stream {
+                    let cap = shared.config.effective_max_connections() as u64;
+                    if shared.metrics.connections_open_now() >= cap {
+                        drop(stream); // over the cap: shed the connection itself
+                        continue;
+                    }
                     let shared = Arc::clone(&shared);
                     let job_tx = job_tx.clone();
                     thread::spawn(move || connection_loop(&shared, &job_tx, stream));
@@ -326,18 +381,23 @@ pub fn serve_on(addr: &str, mut world: World, config: &ServerConfig) -> io::Resu
     })
 }
 
-/// Serves one client connection: read a frame, answer it, repeat.
+/// Serves one client connection on the thread-per-connection plane: read a
+/// frame, answer it, repeat. Requests still travel in [`RequestFrame`]
+/// envelopes — the wire protocol is the same on both planes — but responses
+/// stay ordered because this thread waits for each reply before reading the
+/// next frame.
 fn connection_loop(shared: &Shared, job_tx: &Sender<Job>, mut stream: TcpStream) {
+    shared.metrics.conn_opened();
     // The read timeout doubles as the shutdown poll interval.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.set_nodelay(true);
     loop {
         if shared.shutting_down() {
-            return;
+            break;
         }
-        let request = match read_frame::<Request>(&mut stream) {
-            Ok(Some(request)) => request,
-            Ok(None) => return, // client hung up cleanly
+        let frame = match read_frame::<RequestFrame>(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break, // client hung up cleanly
             Err(e) if e.is_idle() => {
                 continue; // idle tick; re-check the shutdown flag
             }
@@ -345,29 +405,42 @@ fn connection_loop(shared: &Shared, job_tx: &Sender<Job>, mut stream: TcpStream)
                 // The peer broke framing (oversized prefix, torn frame,
                 // garbage JSON). Count it, answer an error if the stream is
                 // still writable, and degrade *this connection only* — the
-                // workers and every other connection are untouched.
+                // workers and every other connection are untouched. The
+                // error is not attributable to any request, so it carries
+                // the reserved id 0.
                 shared.metrics.wire_error();
                 let _ = write_frame(
                     &mut stream,
-                    &Response::Error(format!("protocol error: {e}")),
+                    &ResponseFrame {
+                        request_id: 0,
+                        response: Response::Error(format!("protocol error: {e}")),
+                    },
                 );
-                return;
+                break;
             }
-            Err(_) => return, // dead transport
+            Err(_) => break, // dead transport
         };
-        let shutting_down = matches!(request, Request::Shutdown);
-        let response = dispatch(shared, job_tx, request);
-        if write_frame(&mut stream, &response).is_err() || shutting_down {
-            return;
+        let shutting_down = matches!(frame.request, Request::Shutdown);
+        let response = dispatch(shared, job_tx, frame.request);
+        let out = ResponseFrame {
+            request_id: frame.request_id,
+            response,
+        };
+        if write_frame(&mut stream, &out).is_err() || shutting_down {
+            break;
         }
     }
+    shared.metrics.conn_closed();
 }
 
-/// Routes one request: control-plane inline, data-plane through admission.
-fn dispatch(shared: &Shared, job_tx: &Sender<Job>, request: Request) -> Response {
+/// Answers the control-plane requests inline — never a queue slot, so
+/// observability (`Stats`, `LoadMap`) and operability (`Shutdown`) survive
+/// overload. Returns `None` for data-plane requests, which must go through
+/// admission. Shared by both connection planes; on the reactor this runs on
+/// the event loop itself, so nothing here may block (the forest census is a
+/// gauge maintained at session open/close, not a lock taken here).
+pub(crate) fn control_response(shared: &Shared, request: &Request) -> Option<Response> {
     match request {
-        // Stats stays answerable under overload: it never takes a queue slot
-        // (and, like every read, never waits on a mutation).
         Request::Stats => {
             let epoch = shared.snap.epoch();
             // The counter, not `live.len()`: a repair sweep in flight has
@@ -378,40 +451,40 @@ fn dispatch(shared: &Shared, job_tx: &Sender<Job>, request: Request) -> Response
             shared
                 .metrics
                 .set_max_link_utilization(shared.load.load().max_utilization_permille());
-            // The forest census, read under a short sessions-lock hold
-            // (the forests map stays in place even while a repair sweep
-            // has the live map taken out).
-            let (forests, tenants) = shared.sessions.lock().forest_census();
-            shared.metrics.set_forests(forests, tenants);
-            Response::Stats(shared.metrics.snapshot(epoch, sessions))
+            Some(Response::Stats(shared.metrics.snapshot(epoch, sessions)))
         }
         // Like Stats: a read of the published plane, answerable under
         // overload without a queue slot.
-        Request::LoadMap => Response::LoadMap(load_map_summary(shared)),
+        Request::LoadMap => Some(Response::LoadMap(load_map_summary(shared))),
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             // Wake the acceptor so it notices the flag without a new client.
             let _ = TcpStream::connect(shared.addr);
-            Response::ShuttingDown
+            Some(Response::ShuttingDown)
         }
-        request => {
-            let (reply_tx, reply_rx) = bounded(1);
-            match job_tx.try_send(Job {
-                request,
-                reply: reply_tx,
-            }) {
-                Ok(()) => reply_rx
-                    .recv()
-                    .unwrap_or_else(|_| Response::Error("server shutting down".into())),
-                Err(TrySendError::Full(_)) => {
-                    shared.metrics.shed();
-                    Response::Overloaded
-                }
-                Err(TrySendError::Disconnected(_)) => {
-                    Response::Error("server shutting down".into())
-                }
-            }
+        _ => None,
+    }
+}
+
+/// Routes one request on the thread-per-connection plane: control-plane
+/// inline, data-plane through admission with a rendezvous reply.
+fn dispatch(shared: &Shared, job_tx: &Sender<Job>, request: Request) -> Response {
+    if let Some(response) = control_response(shared, &request) {
+        return response;
+    }
+    let (reply_tx, reply_rx) = bounded(1);
+    match job_tx.try_send(Job {
+        request,
+        reply: Reply::Rendezvous(reply_tx),
+    }) {
+        Ok(()) => reply_rx
+            .recv()
+            .unwrap_or_else(|_| Response::Error("server shutting down".into())),
+        Err(TrySendError::Full(_)) => {
+            shared.metrics.shed();
+            Response::Overloaded
         }
+        Err(TrySendError::Disconnected(_)) => Response::Error("server shutting down".into()),
     }
 }
 
@@ -421,7 +494,7 @@ fn worker_loop(shared: &Shared, jobs: &Receiver<Job>) {
         match jobs.recv_timeout(Duration::from_millis(100)) {
             Ok(job) => {
                 let response = execute(shared, job.request);
-                let _ = job.reply.send(response);
+                job.reply.send(shared, response);
             }
             Err(RecvTimeoutError::Timeout) => {
                 if shared.shutting_down() {
@@ -723,6 +796,11 @@ fn open_session(
         },
     );
     shared.live_sessions.fetch_add(1, Ordering::SeqCst);
+    // Keep the forest census current at its mutation points, so `Stats`
+    // never takes the sessions lock (the reactor answers it inline and must
+    // not wait behind a mutation's rebase).
+    let (forests, tenants) = sessions.forest_census();
+    shared.metrics.set_forests(forests, tenants);
     // Book the reservations, still under the sessions lock, re-loading the
     // plane because other opens may have published since our solve-time
     // load. A plane at another epoch means a mutation's rebase is imminent
@@ -787,6 +865,8 @@ fn release(shared: &Shared, session: u64) -> Response {
             }
         }
     }
+    let (forests, tenants) = sessions.forest_census();
+    shared.metrics.set_forests(forests, tenants);
     let plane = shared.load.load();
     // Release against the epoch the links were booked under; across a
     // rebase the ledger is rebuilt from the table (which no longer holds
@@ -966,6 +1046,8 @@ fn mutate(shared: &Shared, mutation: &crate::Mutation) -> Response {
             true
         });
     }
+    let (forests, tenants) = sessions.forest_census();
+    shared.metrics.set_forests(forests, tenants);
     let mut map = LoadMap::from_reservations(
         sessions
             .live

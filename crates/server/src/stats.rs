@@ -78,6 +78,22 @@ pub struct StatsSnapshot {
     /// fit into what live sessions left free (`serve` without
     /// `--no-residual`).
     pub residual_rejects: u64,
+    /// Open client connections (gauge), across both connection planes.
+    pub connections_open: u64,
+    /// Request frames admitted to the worker pool whose responses have not
+    /// yet been handed back (gauge). Pipelining makes this exceed the
+    /// connection count; inline control requests never appear here.
+    pub frames_in_flight: u64,
+    /// Times a reactor thread woke from its poll wait (readiness, a worker
+    /// completion, or an idle tick). Zero under `--reactor-threads 0`.
+    pub reactor_wakeups: u64,
+    /// Times a connection crossed its write high-water mark and had its
+    /// read interest parked until the buffer drained.
+    pub backpressure_pauses: u64,
+    /// Bytes currently staged in per-connection write buffers (gauge).
+    /// Backpressure bounds this per connection at roughly the high-water
+    /// mark plus one frame.
+    pub write_buffered_bytes: u64,
 }
 
 /// Shared, interior-mutable counters. Workers record; any connection thread
@@ -104,6 +120,11 @@ pub struct Metrics {
     migration_failures: AtomicU64,
     max_link_utilization_permille: AtomicU64,
     residual_rejects: AtomicU64,
+    connections_open: AtomicU64,
+    frames_in_flight: AtomicU64,
+    reactor_wakeups: AtomicU64,
+    backpressure_pauses: AtomicU64,
+    write_buffered_bytes: AtomicU64,
     latencies_us: Mutex<LatencyWindow>,
 }
 
@@ -207,6 +228,53 @@ impl Metrics {
         self.residual_rejects.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The current open-connection gauge, for cap checks on the accept path
+    /// (a full [`Metrics::snapshot`] sorts the latency window — too heavy
+    /// per accept).
+    pub(crate) fn connections_open_now(&self) -> u64 {
+        self.connections_open.load(Ordering::Relaxed)
+    }
+
+    /// One client connection opened (gauge up).
+    pub fn conn_opened(&self) {
+        self.connections_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One client connection closed (gauge down).
+    pub fn conn_closed(&self) {
+        self.connections_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// One request frame was admitted to the worker pool (gauge up).
+    pub fn frame_dispatched(&self) {
+        self.frames_in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One admitted frame's response came back (gauge down).
+    pub fn frame_completed(&self) {
+        self.frames_in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// One reactor poll wait returned.
+    pub fn reactor_wakeup(&self) {
+        self.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One connection crossed its write high-water mark and parked reads.
+    pub fn backpressure_pause(&self) {
+        self.backpressure_pauses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` bytes were staged into a connection's write buffer (gauge up).
+    pub fn write_buffered(&self, n: u64) {
+        self.write_buffered_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `n` staged bytes were flushed to (or died with) a socket (gauge down).
+    pub fn write_drained(&self, n: u64) {
+        self.write_buffered_bytes.fetch_sub(n, Ordering::Relaxed);
+    }
+
     /// Records one request's end-to-end service latency.
     pub fn record_latency_us(&self, us: u64) {
         let mut w = self.latencies_us.lock();
@@ -252,6 +320,11 @@ impl Metrics {
                 .max_link_utilization_permille
                 .load(Ordering::Relaxed),
             residual_rejects: self.residual_rejects.load(Ordering::Relaxed),
+            connections_open: self.connections_open.load(Ordering::Relaxed),
+            frames_in_flight: self.frames_in_flight.load(Ordering::Relaxed),
+            reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
+            backpressure_pauses: self.backpressure_pauses.load(Ordering::Relaxed),
+            write_buffered_bytes: self.write_buffered_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -291,7 +364,22 @@ mod tests {
         m.hop_cache_miss();
         m.set_forests(9, 90);
         m.set_forests(2, 5); // gauges replace, never accumulate
+        m.conn_opened();
+        m.conn_opened();
+        m.conn_closed();
+        m.frame_dispatched();
+        m.frame_dispatched();
+        m.frame_completed();
+        m.reactor_wakeup();
+        m.backpressure_pause();
+        m.write_buffered(100);
+        m.write_drained(60);
         let s = m.snapshot(3, 7);
+        assert_eq!(s.connections_open, 1);
+        assert_eq!(s.frames_in_flight, 1);
+        assert_eq!(s.reactor_wakeups, 1);
+        assert_eq!(s.backpressure_pauses, 1);
+        assert_eq!(s.write_buffered_bytes, 40);
         assert_eq!(s.cache_hits, 2);
         assert_eq!(s.cache_misses, 1);
         assert_eq!(s.cache_revalidation_fails, 1);

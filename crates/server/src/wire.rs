@@ -169,6 +169,104 @@ pub fn read_frame<T: FromContent>(r: &mut impl Read) -> Result<Option<T>, WireEr
     Ok(Some(value))
 }
 
+/// Serialises `value` as one frame into a fresh byte buffer (prefix + body),
+/// for callers that stage writes instead of owning the transport — the
+/// reactor's per-connection write buffers.
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] if `value` exceeds [`MAX_FRAME`] once encoded,
+/// or [`WireError::Json`] if it cannot be serialised.
+pub fn encode_frame<T: Serialize>(value: &T) -> Result<Vec<u8>, WireError> {
+    let body = serde_json::to_string(value).map_err(|e| WireError::Json(e.to_string()))?;
+    if body.len() > MAX_FRAME {
+        return Err(WireError::Oversized {
+            declared: body.len(),
+        });
+    }
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(body.as_bytes());
+    Ok(out)
+}
+
+/// Incremental frame parser for non-blocking transports.
+///
+/// The blocking [`read_frame`] owns its `Read` and can loop until a frame
+/// completes; a reactor cannot — it gets whatever bytes this readiness event
+/// delivered, which may be half a length prefix or three frames and a
+/// fragment. `FrameDecoder` buffers across those boundaries: [`feed`] bytes
+/// as they arrive, then drain complete frames with [`next_frame`] until it
+/// returns `Ok(None)`.
+///
+/// Oversized prefixes are rejected as soon as the four prefix bytes are
+/// present, before any body accumulates, so a hostile peer cannot make the
+/// decoder buffer more than [`MAX_FRAME`] + 4 bytes per frame.
+///
+/// [`feed`]: FrameDecoder::feed
+/// [`next_frame`]: FrameDecoder::next_frame
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by completed frames; compacted lazily
+    /// so per-byte feeds don't shift the buffer per frame.
+    consumed: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends transport bytes to the internal buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.consumed > 0 && self.consumed == self.buf.len() {
+            self.buf.clear();
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame. Nonzero after
+    /// EOF means the peer died mid-frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Pops the next complete frame, or `Ok(None)` if more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversized`] on a prefix beyond [`MAX_FRAME`],
+    /// [`WireError::Utf8`]/[`WireError::Json`] on a malformed body. After an
+    /// error the decoder is poisoned in place — the connection should be
+    /// dropped, matching the blocking path's behaviour.
+    pub fn next_frame<T: FromContent>(&mut self) -> Result<Option<T>, WireError> {
+        let avail = &self.buf[self.consumed..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::Oversized { declared: len });
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let body = &avail[4..4 + len];
+        let text = std::str::from_utf8(body).map_err(|e| WireError::Utf8(e.to_string()))?;
+        let value = serde_json::from_str(text).map_err(|e| WireError::Json(e.to_string()))?;
+        self.consumed += 4 + len;
+        // Compact once the dead prefix dominates, amortising the copy.
+        if self.consumed > 4096 && self.consumed * 2 >= self.buf.len() {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        Ok(Some(value))
+    }
+}
+
 /// How many consecutive read-timeout ticks a mid-frame stall may last before
 /// the peer is declared dead. The server polls its shutdown flag with a
 /// 100 ms read timeout, so this bounds a stalled frame at roughly a minute.
@@ -289,6 +387,52 @@ mod tests {
         assert!(matches!(err, WireError::Json(_)), "{err:?}");
         assert!(err.is_protocol());
         assert!(err.to_string().contains("JSON"));
+    }
+
+    #[test]
+    fn decoder_handles_torn_and_batched_frames() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&encode_frame(&Request::Stats).unwrap());
+        wire.extend_from_slice(&encode_frame(&Request::LoadMap).unwrap());
+        let mut dec = FrameDecoder::new();
+        // One byte per feed: no frame completes early, both arrive intact.
+        let mut out = Vec::new();
+        for b in &wire {
+            dec.feed(std::slice::from_ref(b));
+            while let Some(req) = dec.next_frame::<Request>().unwrap() {
+                out.push(req);
+            }
+        }
+        assert_eq!(out, vec![Request::Stats, Request::LoadMap]);
+        assert_eq!(dec.pending(), 0);
+        // The whole wire in one feed: both frames drain from one buffer.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        assert_eq!(dec.next_frame::<Request>().unwrap(), Some(Request::Stats));
+        assert_eq!(dec.next_frame::<Request>().unwrap(), Some(Request::LoadMap));
+        assert_eq!(dec.next_frame::<Request>().unwrap(), None);
+    }
+
+    #[test]
+    fn decoder_matches_blocking_reader_on_errors() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&((MAX_FRAME + 1) as u32).to_be_bytes());
+        let err = dec.next_frame::<Request>().unwrap_err();
+        assert!(matches!(err, WireError::Oversized { .. }), "{err:?}");
+
+        let mut dec = FrameDecoder::new();
+        dec.feed(&2u32.to_be_bytes());
+        dec.feed(&[0xff, 0xfe]);
+        let err = dec.next_frame::<Request>().unwrap_err();
+        assert!(matches!(err, WireError::Utf8(_)), "{err:?}");
+
+        let mut dec = FrameDecoder::new();
+        let body = b"[]";
+        dec.feed(&(body.len() as u32).to_be_bytes());
+        dec.feed(body);
+        let err = dec.next_frame::<Request>().unwrap_err();
+        assert!(matches!(err, WireError::Json(_)), "{err:?}");
+        assert!(err.is_protocol());
     }
 
     #[test]

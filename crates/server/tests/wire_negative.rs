@@ -13,7 +13,9 @@ use std::time::Duration;
 
 use sflow_core::fixtures::diamond_fixture;
 use sflow_server::wire::{read_frame, MAX_FRAME};
-use sflow_server::{serve, Algorithm, Client, Response, ServerConfig, StatsSnapshot, World};
+use sflow_server::{
+    serve, Algorithm, Client, Response, ResponseFrame, ServerConfig, StatsSnapshot, World,
+};
 
 const DIAMOND_SPEC: &str = "0>1>3, 0>2>3";
 
@@ -57,14 +59,17 @@ fn wait_for_wire_errors(client: &mut Client, want: u64) -> StatsSnapshot {
     client.stats().unwrap()
 }
 
-/// Reads the server's error reply off a raw stream.
+/// Reads the server's error reply off a raw stream. A protocol error is not
+/// attributable to any request, so its envelope carries the reserved id 0.
 fn read_error_reply(stream: &mut TcpStream) -> Response {
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
         .unwrap();
-    read_frame::<Response>(stream)
+    let frame = read_frame::<ResponseFrame>(stream)
         .expect("server should answer before closing")
-        .expect("server should answer, not just hang up")
+        .expect("server should answer, not just hang up");
+    assert_eq!(frame.request_id, 0, "protocol errors carry the reserved id");
+    frame.response
 }
 
 #[test]

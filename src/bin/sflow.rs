@@ -75,6 +75,9 @@ fn usage() -> ExitCode {
          \x20 serve      run the federation server (default world: Fig. 4)\n\
          \x20            [--addr IP:PORT] [--workers N] [--queue D]\n\
          \x20            [--route-workers N] routing rebuild pool (0 = auto)\n\
+         \x20            [--reactor-threads N] epoll event loops (0 = thread-per-connection)\n\
+         \x20            [--max-conns N] open-connection cap (0 = plane default)\n\
+         \x20            [--write-high-water BYTES] per-connection backpressure mark\n\
          \x20            [--audit] verify every answer, count violations in stats\n\
          \x20            [--no-residual] federate against raw instead of residual capacity\n\
          \x20            [--no-solve-cache] cold-solve every federate, no shared forests\n\
@@ -84,7 +87,7 @@ fn usage() -> ExitCode {
          \x20 request    talk to a running server\n\
          \x20            --addr IP:PORT --edges \"0>1>3,0>2>3\"\n\
          \x20            [--algorithm sflow|global|fixed|service-path]\n\
-         \x20            [--hop-limit H | --full-view] [--repeat N]\n\
+         \x20            [--hop-limit H | --full-view] [--repeat N] [--concurrency D]\n\
          \x20            | --stats | --shutdown | --fail S/H\n\
          \x20            | --release N | --rebalance | --load-map\n\
          \x20            | --set-link \"S/H>S/H\" --bandwidth KBPS --latency US"
@@ -285,6 +288,17 @@ fn serve(flags: &Flags) -> Result<(), String> {
         workers: get(flags, "workers", ServerConfig::default().workers)?,
         queue_depth: get(flags, "queue", ServerConfig::default().queue_depth)?,
         route_workers: get(flags, "route-workers", 0usize)?,
+        reactor_threads: get(
+            flags,
+            "reactor-threads",
+            ServerConfig::default().reactor_threads,
+        )?,
+        max_connections: get(flags, "max-conns", ServerConfig::default().max_connections)?,
+        write_high_water: get(
+            flags,
+            "write-high-water",
+            ServerConfig::default().write_high_water,
+        )?,
         audit: flags.contains_key("audit"),
         residual: !flags.contains_key("no-residual"),
         solve_cache: !flags.contains_key("no-solve-cache"),
@@ -319,8 +333,13 @@ fn serve(flags: &Flags) -> Result<(), String> {
     );
     drop(snapshot);
     let handle = serve_on(addr, world, &config).map_err(|e| format!("bind {addr}: {e}"))?;
+    let plane = if config.reactor_threads > 0 {
+        format!("{} reactor thread(s)", config.reactor_threads)
+    } else {
+        "thread-per-connection".to_owned()
+    };
     println!(
-        "sflow-server listening on {} ({} workers, queue depth {})",
+        "sflow-server listening on {} ({} workers, queue depth {}, {plane})",
         handle.addr(),
         config.workers,
         config.queue_depth
@@ -385,6 +404,14 @@ fn request(flags: &Flags) -> Result<(), String> {
         println!(
             "correctness: {} wire errors, {} audit violations",
             s.wire_errors, s.audit_violations
+        );
+        println!(
+            "reactor: {} connections open, {} frames in flight, {} wakeups",
+            s.connections_open, s.frames_in_flight, s.reactor_wakeups
+        );
+        println!(
+            "backpressure: {} pauses, {} bytes write-buffered",
+            s.backpressure_pauses, s.write_buffered_bytes
         );
         println!(
             "load: {} migrations, {} migration failures, {} residual rejects, \
@@ -500,10 +527,18 @@ fn request(flags: &Flags) -> Result<(), String> {
     // `--repeat N` federates the same requirement N times on one
     // connection — a quick smoke test of the server's warm path (the
     // repeats should show up as solve-cache hits and forest tenants in
-    // `--stats`).
+    // `--stats`). `--concurrency D` keeps up to D of those repeats in
+    // flight at once on the same socket (pipelined framing).
     let repeat: usize = get(flags, "repeat", 1usize)?;
     if repeat == 0 {
         return Err("--repeat wants at least 1".into());
+    }
+    let concurrency: usize = get(flags, "concurrency", 1usize)?;
+    if concurrency == 0 {
+        return Err("--concurrency wants at least 1".into());
+    }
+    if concurrency > 1 {
+        return pipelined_federate(client, spec, algorithm, hop_limit, repeat, concurrency);
     }
     for round in 0..repeat {
         match client
@@ -534,6 +569,60 @@ fn request(flags: &Flags) -> Result<(), String> {
             other => return Err(format!("unexpected response {other:?}")),
         }
     }
+    Ok(())
+}
+
+/// Federates `spec` `max(repeat, concurrency)` times with up to
+/// `concurrency` requests in flight on one socket, then reports the depth
+/// actually reached and the response mix. Responses may arrive out of
+/// order against a reactor server; each is matched by its request id.
+fn pipelined_federate(
+    client: sflow::server::Client,
+    spec: &str,
+    algorithm: sflow::server::Algorithm,
+    hop_limit: Option<usize>,
+    repeat: usize,
+    concurrency: usize,
+) -> Result<(), String> {
+    use sflow::server::{Request, Response};
+    let mut pipe = client.into_pipelined();
+    let request = Request::Federate {
+        requirement: spec.to_owned(),
+        algorithm,
+        hop_limit,
+    };
+    // At least one full window, so `--concurrency 8` alone demonstrates
+    // depth 8 instead of a single lonely frame.
+    let total = repeat.max(concurrency);
+    let (mut sent, mut done) = (0usize, 0usize);
+    let (mut federated, mut errors, mut max_depth) = (0usize, 0usize, 0usize);
+    while done < total {
+        while sent < total && pipe.in_flight() < concurrency {
+            pipe.send(&request).map_err(|e| e.to_string())?;
+            sent += 1;
+            max_depth = max_depth.max(pipe.in_flight());
+        }
+        let frame = pipe.recv_any().map_err(|e| e.to_string())?;
+        done += 1;
+        match frame.response {
+            Response::Federated(s) => {
+                federated += 1;
+                if done == 1 {
+                    println!(
+                        "federated: session {} epoch {}  {} kbit/s, {} µs  (request {})",
+                        s.session, s.epoch, s.bandwidth_kbps, s.latency_us, frame.request_id
+                    );
+                }
+            }
+            Response::Overloaded => errors += 1,
+            Response::Error(_) | Response::Stale { .. } => errors += 1,
+            other => return Err(format!("unexpected response {other:?}")),
+        }
+    }
+    println!(
+        "pipelined: depth {max_depth} reached ({concurrency} requested), \
+         {federated} federated, {errors} rejected, {total} total"
+    );
     Ok(())
 }
 

@@ -1,0 +1,495 @@
+//! Offline stand-in for the `polling` crate: a minimal **level-triggered**
+//! epoll wrapper (Linux only).
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! handful of external dependencies are vendored as minimal shims under
+//! `vendor/` and wired in via `[patch.crates-io]`. Only the API surface the
+//! workspace actually uses is provided: [`Poller::new`], `add`/`modify`/
+//! `delete` keyed registration, [`Poller::wait`] into an [`Events`] buffer,
+//! and [`Poller::notify`] for cross-thread wakeups.
+//!
+//! Deliberate behavioural deviations from the real crate (documented in
+//! `vendor/README.md`, asserted by the tests below):
+//!
+//! * Interest is **level-triggered and persistent**, not oneshot: an event
+//!   keeps being delivered while the condition holds, and registrations stay
+//!   armed until `modify`/`delete` changes them. The reactor in
+//!   `crates/server` manages interest explicitly (e.g. dropping read
+//!   interest under write backpressure), which wants exactly these
+//!   semantics.
+//! * `add` is a safe fn (the real crate marks it `unsafe` over fd lifetime
+//!   concerns); the caller keeps the source alive until `delete`, which the
+//!   reactor's connection table guarantees by construction.
+//! * Error/hangup conditions (`EPOLLERR`/`EPOLLHUP`/`EPOLLRDHUP`) are
+//!   reported as both readable and writable so the owner performs I/O and
+//!   observes the failure through the normal error path.
+//!
+//! The `unsafe` here is the irreducible syscall boundary (epoll and eventfd
+//! are not exposed safely by `std`); everything above it is safe code, and
+//! the workspace's own crates all remain `#![forbid(unsafe_code)]`.
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+// The syscall surface, resolved from the libc `std` already links.
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// The key the internal notifier fd is registered under; never reported.
+const NOTIFY_KEY: u64 = u64::MAX;
+
+// On x86_64 the kernel ABI packs `struct epoll_event` to 12 bytes; other
+// architectures use natural alignment. This shim only targets the arch it
+// is built on.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// Readiness interest in (or delivery for) one registered source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen registration key, echoed back on delivery.
+    pub key: usize,
+    /// Interested in (or ready for) reading.
+    pub readable: bool,
+    /// Interested in (or ready for) writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Read interest only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Write interest only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Both read and write interest.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// Registered but currently interested in nothing (parked).
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+
+    fn mask(self) -> u32 {
+        // RDHUP keeps a peer's half-close visible even when the owner has
+        // (temporarily) dropped read interest, e.g. under backpressure.
+        let mut mask = EPOLLRDHUP;
+        if self.readable {
+            mask |= EPOLLIN;
+        }
+        if self.writable {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+}
+
+/// A buffer [`Poller::wait`] fills with delivered [`Event`]s.
+#[derive(Debug, Default)]
+pub struct Events {
+    inner: Vec<Event>,
+}
+
+impl Events {
+    /// An empty buffer (grows as needed).
+    pub fn new() -> Events {
+        Events::default()
+    }
+
+    /// An empty buffer with room for `cap` deliveries per wait.
+    pub fn with_capacity(cap: usize) -> Events {
+        Events {
+            inner: Vec::with_capacity(cap.max(1)),
+        }
+    }
+
+    /// Iterates over the events delivered by the last wait.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.inner.iter().copied()
+    }
+
+    /// Number of delivered events.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the last wait delivered nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Discards the previous wait's deliveries.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+/// An OS readiness queue: registered sources, keyed events, a wakeup.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+    notify_fd: RawFd,
+    /// Collapses bursts of `notify` into one eventfd write until the next
+    /// wait drains it.
+    notified: AtomicBool,
+}
+
+// The fds are plain ints owned by the Poller; waiting and notifying from
+// different threads is exactly what epoll + eventfd are for.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+fn last_os_error() -> io::Error {
+    io::Error::last_os_error()
+}
+
+impl Poller {
+    /// Creates a new epoll instance with an internal eventfd notifier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1`/`eventfd` failures (fd exhaustion).
+    pub fn new() -> io::Result<Poller> {
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(last_os_error());
+        }
+        let notify_fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if notify_fd < 0 {
+            let e = last_os_error();
+            unsafe { close(epfd) };
+            return Err(e);
+        }
+        let mut ev = EpollEvent {
+            events: EPOLLIN,
+            data: NOTIFY_KEY,
+        };
+        if unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, notify_fd, &mut ev) } < 0 {
+            let e = last_os_error();
+            unsafe {
+                close(notify_fd);
+                close(epfd);
+            }
+            return Err(e);
+        }
+        Ok(Poller {
+            epfd,
+            notify_fd,
+            notified: AtomicBool::new(false),
+        })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, interest: Option<Event>) -> io::Result<()> {
+        let mut ev = interest
+            .map(|i| EpollEvent {
+                events: i.mask(),
+                data: i.key as u64,
+            })
+            .unwrap_or(EpollEvent { events: 0, data: 0 });
+        if unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) } < 0 {
+            return Err(last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `source` under `interest.key`. The source must stay open
+    /// until [`Poller::delete`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failures (already registered, bad fd).
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), Some(interest))
+    }
+
+    /// Replaces the interest set of an already-registered `source`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failures (not registered, bad fd).
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), Some(interest))
+    }
+
+    /// Unregisters `source`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failures (not registered, bad fd).
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), None)
+    }
+
+    /// Blocks until at least one registered source is ready, `timeout`
+    /// elapses (`None` = forever, rounded up to whole milliseconds), or
+    /// [`Poller::notify`] is called. Returns the number of events delivered
+    /// into `events` (0 on timeout or a bare notify).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_wait` failures; `EINTR` is retried internally.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(t) => {
+                let ms = t.as_millis();
+                // Round sub-millisecond timeouts up so Some(small) never
+                // degrades into a busy spin.
+                let ms = if ms == 0 && t.as_nanos() > 0 { 1 } else { ms };
+                ms.min(i32::MAX as u128) as i32
+            }
+        };
+        let cap = events.inner.capacity().clamp(16, 4096);
+        let mut raw = vec![EpollEvent { events: 0, data: 0 }; cap];
+        let n = loop {
+            let n = unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), cap as i32, timeout_ms) };
+            if n >= 0 {
+                break n as usize;
+            }
+            let e = last_os_error();
+            if e.kind() != io::ErrorKind::Interrupted {
+                return Err(e);
+            }
+        };
+        for ev in raw.iter().take(n) {
+            let data = ev.data;
+            let mask = ev.events;
+            if data == NOTIFY_KEY {
+                // Drain the eventfd counter and swallow the event; a notify
+                // is a wakeup, not a delivery.
+                let mut buf = [0u8; 8];
+                unsafe { read(self.notify_fd, buf.as_mut_ptr(), buf.len()) };
+                self.notified.store(false, Ordering::Release);
+                continue;
+            }
+            let broken = mask & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+            events.inner.push(Event {
+                key: data as usize,
+                readable: mask & EPOLLIN != 0 || broken,
+                writable: mask & EPOLLOUT != 0 || broken,
+            });
+        }
+        Ok(events.inner.len())
+    }
+
+    /// Wakes a concurrent (or the next) [`Poller::wait`] without delivering
+    /// an event. Bursts collapse into one wakeup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the eventfd write failure.
+    pub fn notify(&self) -> io::Result<()> {
+        if self.notified.swap(true, Ordering::AcqRel) {
+            return Ok(()); // a wakeup is already pending
+        }
+        let one: u64 = 1;
+        let n = unsafe { write(self.notify_fd, (&one as *const u64).cast(), 8) };
+        if n < 0 {
+            let e = last_os_error();
+            // A full counter still wakes the waiter; only real failures
+            // should surface.
+            if e.kind() != io::ErrorKind::WouldBlock {
+                self.notified.store(false, Ordering::Release);
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.notify_fd);
+            close(self.epfd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readiness_is_level_triggered_and_keyed() {
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, Event::readable(7)).unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Nothing to read yet: a short wait times out empty.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        a.write_all(b"ping").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 7);
+        assert!(ev.readable && !ev.writable);
+
+        // Level-triggered: the event repeats until the data is consumed.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let mut buf = [0u8; 16];
+        let got = (&b).read(&mut buf).unwrap();
+        assert_eq!(&buf[..got], b"ping");
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn interest_can_be_parked_and_modified() {
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, Event::none(3)).unwrap();
+        a.write_all(b"x").unwrap();
+        let mut events = Events::new();
+        // Parked: readable data pending, but no interest registered.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+        poller.modify(&b, Event::readable(3)).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events.iter().next().unwrap().key, 3);
+        // A healthy socket with an empty send buffer is writable.
+        poller.modify(&b, Event::writable(3)).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events.iter().next().unwrap().writable);
+        poller.delete(&b).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn peer_hangup_reports_both_directions() {
+        let (a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, Event::readable(1)).unwrap();
+        drop(a);
+        let mut events = Events::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert!(ev.readable && ev.writable, "hangup surfaces as all-ready");
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait_without_an_event() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::clone(&poller);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.notify().unwrap();
+            // A second notify while the first is pending is coalesced.
+            waker.notify().unwrap();
+        });
+        let mut events = Events::new();
+        let start = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(n, 0, "a notify delivers no event");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "the wait was woken, not timed out"
+        );
+        t.join().unwrap();
+        // The wakeup was consumed: the next wait blocks until timeout again.
+        let start = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+}
